@@ -1,0 +1,95 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Scale control
+-------------
+``REPRO_FAST=1`` in the environment switches from the paper's full scale
+(960x960, all 14 block sizes — a few minutes of simulation) to a reduced
+480x480 sweep (seconds).  The claims checked are the same.
+
+The expensive GE sweep is computed once per pytest session and shared by
+the Figure 7/8/9 benches; each bench prints the exact series the paper
+plots and also writes it to ``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from functools import lru_cache
+
+from repro import MEIKO_CS2, CalibratedCostModel
+from repro.apps import PAPER_BLOCK_SIZES, PAPER_MATRIX_N
+from repro.blockops import CS2_CACHE_BYTES
+from repro.core.predictor import GERow, run_ge_point
+from repro.machine import MachineEmulator
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+FAST = os.environ.get("REPRO_FAST", "0") == "1"
+
+#: the paper's configuration (full) or the reduced one (fast)
+MATRIX_N = 480 if FAST else PAPER_MATRIX_N
+BLOCK_SIZES = (
+    tuple(b for b in PAPER_BLOCK_SIZES if MATRIX_N % b == 0 and b >= 15)
+    if FAST
+    else PAPER_BLOCK_SIZES
+)
+LAYOUTS = ("diagonal", "stripped")
+PARAMS = MEIKO_CS2
+COST_MODEL = CalibratedCostModel()
+
+#: per-node cache.  Each processor holds n^2*8/P bytes of blocks no matter
+#: the block size; the fast scale shrinks that footprint 4x, so the cache
+#: shrinks with it to keep the paper's overflow regime (and hence all the
+#: cache-effect claims) intact.
+CACHE_BYTES = CS2_CACHE_BYTES // 4 if FAST else CS2_CACHE_BYTES
+
+
+def make_emulator(seed: int = 0) -> MachineEmulator:
+    """A fresh emulated Meiko CS-2 at the active scale."""
+    return MachineEmulator(
+        params=PARAMS, cost_model=COST_MODEL, cache_bytes=CACHE_BYTES, seed=seed
+    )
+
+
+@lru_cache(maxsize=1)
+def ge_sweep() -> tuple[GERow, ...]:
+    """The full GE evaluation sweep (cached for the whole session)."""
+    rows = []
+    for layout in LAYOUTS:
+        for b in BLOCK_SIZES:
+            rows.append(
+                run_ge_point(
+                    MATRIX_N,
+                    b,
+                    layout,
+                    PARAMS,
+                    COST_MODEL,
+                    with_measured=True,
+                    seed=0,
+                    emulator=make_emulator(seed=0),
+                )
+            )
+    return tuple(rows)
+
+
+def rows_for(layout: str) -> list[GERow]:
+    """Sweep rows of one layout, ordered by block size."""
+    return sorted((r for r in ge_sweep() if r.layout == layout), key=lambda r: r.b)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a figure table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def scale_banner() -> str:
+    """One line describing the active scale (prefixed to every figure)."""
+    mode = "REPRO_FAST reduced scale" if FAST else "paper scale"
+    return (
+        f"{mode}: n={MATRIX_N}, P={PARAMS.P}, block sizes {list(BLOCK_SIZES)}, "
+        f"{PARAMS.describe()}"
+    )

@@ -1,0 +1,93 @@
+"""Ablation — incorporating a cache model into the prediction (paper §7).
+
+The paper's main future-work item: "a model to simulate caching behavior
+must be incorporated in the simulation algorithm".  This bench runs the
+prediction with and without the analytic cache extension
+(``CachePredictionModel``) against the emulated measurement and asserts
+that the extension closes more than half of the total-time prediction
+gap at every small block size — the regime where the paper's
+measured/predicted divergence lives.  The remaining few percent belong
+to the other un-modelled effects (per-block iteration scans, local
+copies, timing noise).
+
+The benchmark times one cache-extended prediction run.
+"""
+
+from _shared import (
+    BLOCK_SIZES,
+    CACHE_BYTES,
+    COST_MODEL,
+    MATRIX_N,
+    PARAMS,
+    emit,
+    rows_for,
+    scale_banner,
+)
+
+from repro.analysis import format_table
+from repro.apps import GEConfig, build_ge_trace
+from repro.core import CachePredictionModel, ProgramSimulator
+from repro.layouts import DiagonalLayout
+
+
+def test_ablation_cache_model(benchmark):
+    small_sizes = list(BLOCK_SIZES[:3])  # the cache-distorted regime
+    cache_model = CachePredictionModel(cache_bytes=CACHE_BYTES)
+
+    rows_out = []
+    improvements = 0
+    for b in small_sizes:
+        layout = DiagonalLayout(MATRIX_N // b, PARAMS.P)
+        trace = build_ge_trace(GEConfig(MATRIX_N, b, layout))
+        measured = next(r for r in rows_for("diagonal") if r.b == b).measured
+
+        plain = ProgramSimulator(PARAMS, COST_MODEL).run(trace)
+        cached = ProgramSimulator(PARAMS, COST_MODEL, cache_model=cache_model).run(trace)
+
+        gap = lambda pred: abs(measured.total_us - pred.total_us) / measured.total_us
+        rows_out.append(
+            {
+                "b": b,
+                "measured_s": measured.total_us / 1e6,
+                "plain_gap_%": 100 * gap(plain),
+                "cache_gap_%": 100 * gap(cached),
+            }
+        )
+        if gap(cached) < 0.5 * gap(plain):
+            improvements += 1
+
+    assert improvements == len(small_sizes), (
+        "the cache extension must close most of the gap at every small block size"
+    )
+
+    benchmark.pedantic(
+        lambda: ProgramSimulator(PARAMS, COST_MODEL, cache_model=cache_model).run(
+            build_ge_trace(
+                GEConfig(MATRIX_N, max(BLOCK_SIZES),
+                         DiagonalLayout(MATRIX_N // max(BLOCK_SIZES), PARAMS.P))
+            )
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    text = "\n".join(
+        [
+            "Ablation — cache model in the prediction (paper §7 future work)",
+            scale_banner(),
+            "",
+            format_table(
+                rows_out,
+                ["b", "measured_s", "plain_gap_%", "cache_gap_%"],
+                title="total-time prediction gap vs emulated measurement, diagonal "
+                "mapping (small blocks = where the paper saw cache distortion)",
+                floatfmt="{:.2f}",
+            ),
+            "",
+            "the analytic cache model closes most of the small-block prediction "
+            "gap (a slight overshoot remains: real LRU residency gets some "
+            "reuse the closed form does not see) — confirming the paper's "
+            "diagnosis that caching is the dominant missing effect.",
+        ]
+    )
+    emit("ablation_cache_model", text)

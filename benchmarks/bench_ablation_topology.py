@@ -1,0 +1,116 @@
+"""Ablation — the single-L abstraction vs real network topologies.
+
+LogGP folds the whole network into one latency ``L``.  That is benign on
+the Meiko CS-2 because its fat-tree interconnect keeps hop counts nearly
+uniform; it would be less benign on a mesh or a ring.  This bench
+re-executes one full GE program with topology-aware per-message latencies
+— each topology calibrated to the *same mean latency* L (what a
+micro-benchmark would measure) — and reports the divergence from the
+uniform-L prediction.
+
+Finding (asserted): once calibrated to the same mean, *every* topology's
+whole-program time lands within a few percent of the uniform-L
+prediction — the wavefront's critical path averages over so many
+messages that per-pair latency spread washes out.  The single-L
+abstraction is not just adequate for the CS-2's fat tree; it is robust
+for this application class.  (Individual *steps* do diverge — the test
+suite shows far pairs on a ring cost more — it is the program-level
+aggregate that concentrates.)
+
+The benchmark times one topology-aware whole-program run.
+"""
+
+from _shared import COST_MODEL, MATRIX_N, PARAMS, emit, scale_banner
+
+from repro.analysis import format_table
+from repro.apps import GEConfig, build_ge_trace
+from repro.core.des_check import simulate_causal
+from repro.layouts import DiagonalLayout
+from repro.machine import FatTree, Mesh2D, RingTopology
+from repro.trace.program import ProgramTrace
+
+
+def run_with_latency(trace: ProgramTrace, latency_of=None) -> float:
+    """Whole-program causal simulation with per-message latency override."""
+    clocks = {p: 0.0 for p in range(trace.num_procs)}
+    for step in trace.steps:
+        for proc, ops in step.work.items():
+            clocks[proc] += sum(COST_MODEL.cost(w.op, w.b) for w in ops)
+        if step.pattern is None or not step.pattern.remote_messages():
+            continue
+        participants = {
+            p for m in step.pattern.remote_messages() for p in (m.src, m.dst)
+        }
+        starts = {p: clocks[p] for p in participants}
+        result = simulate_causal(
+            PARAMS, step.pattern, start_times=starts, latency_of=latency_of
+        )
+        for p in participants:
+            clocks[p] = result.ctimes.get(p, clocks[p])
+    return max(clocks.values(), default=0.0)
+
+
+def test_ablation_topology(benchmark):
+    b = 48 if MATRIX_N % 48 == 0 else 40
+    trace = build_ge_trace(GEConfig(MATRIX_N, b, DiagonalLayout(MATRIX_N // b, PARAMS.P)))
+
+    uniform_total = run_with_latency(trace, latency_of=None)
+    topologies = {
+        "fat-tree (CS-2 shape)": FatTree(PARAMS.P, arity=4),
+        "2D mesh": Mesh2D(4, PARAMS.P // 4),
+        "ring": RingTopology(PARAMS.P),
+    }
+    rows = []
+    divergence = {}
+    for name, topo in topologies.items():
+        switch = PARAMS.L / topo.mean_hops()  # same mean latency as uniform L
+        total = run_with_latency(trace, latency_of=topo.latency_fn(switch))
+        divergence[name] = abs(total - uniform_total) / uniform_total
+        rows.append(
+            {
+                "topology": name,
+                "diameter_hops": float(topo.diameter()),
+                "mean_hops": topo.mean_hops(),
+                "total_s": total / 1e6,
+                "vs_uniform_%": 100 * (total - uniform_total) / uniform_total,
+            }
+        )
+
+    assert divergence["fat-tree (CS-2 shape)"] < 0.05, (
+        "on the CS-2's own topology the single-L abstraction must hold to a "
+        "few percent"
+    )
+    assert all(d < 0.05 for d in divergence.values()), (
+        "mean-matched topologies concentrate onto the uniform-L prediction "
+        "for wavefront traffic"
+    )
+
+    tree = topologies["fat-tree (CS-2 shape)"]
+    fn = tree.latency_fn(PARAMS.L / tree.mean_hops())
+    benchmark.pedantic(
+        lambda: run_with_latency(trace, latency_of=fn), rounds=3, iterations=1
+    )
+
+    text = "\n".join(
+        [
+            "Ablation — uniform L vs topology-aware latencies",
+            scale_banner(),
+            "",
+            f"GE {MATRIX_N}x{MATRIX_N}, b={b}, diagonal mapping; every topology "
+            f"calibrated to mean latency L={PARAMS.L:g}us "
+            f"(uniform-L total: {uniform_total / 1e6:.4f} s)",
+            "",
+            format_table(
+                rows,
+                ["topology", "diameter_hops", "mean_hops", "total_s", "vs_uniform_%"],
+                floatfmt="{:.3f}",
+            ),
+            "",
+            "every mean-matched topology tracks the single-L prediction to "
+            "within a few percent: the wavefront's critical path averages "
+            "over many messages, so per-pair latency spread washes out — "
+            "the paper's one-parameter network abstraction is robust for "
+            "this application class, not merely adequate for the fat tree.",
+        ]
+    )
+    emit("ablation_topology", text)

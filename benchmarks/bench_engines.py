@@ -1,0 +1,55 @@
+"""Simulator-performance benchmarks (not a paper figure).
+
+Times the three communication-step engines and the DES substrate on
+growing workloads, so regressions in the simulation kernels themselves
+are visible.  ``pytest-benchmark`` handles rounds/statistics.
+"""
+
+import pytest
+
+from _shared import PARAMS
+
+from repro.apps import all_to_all_pattern, random_pattern
+from repro.core import simulate_causal, simulate_standard, simulate_worstcase
+from repro.des import Environment
+
+
+@pytest.mark.parametrize("num_msgs", [50, 500])
+def test_engine_standard(benchmark, num_msgs):
+    pat = random_pattern(PARAMS.P, num_msgs, seed=1, size_range=(100, 5000))
+    benchmark(lambda: simulate_standard(PARAMS, pat, seed=0))
+
+
+@pytest.mark.parametrize("num_msgs", [50, 500])
+def test_engine_worstcase(benchmark, num_msgs):
+    pat = random_pattern(PARAMS.P, num_msgs, seed=1, size_range=(100, 5000))
+    benchmark(lambda: simulate_worstcase(PARAMS, pat, seed=0))
+
+
+@pytest.mark.parametrize("num_msgs", [50, 500])
+def test_engine_causal_des(benchmark, num_msgs):
+    pat = random_pattern(PARAMS.P, num_msgs, seed=1, size_range=(100, 5000))
+    benchmark(lambda: simulate_causal(PARAMS, pat))
+
+
+def test_engine_all_to_all(benchmark):
+    pat = all_to_all_pattern(PARAMS.P, size=4096)
+    benchmark(lambda: simulate_standard(PARAMS, pat, seed=0))
+
+
+def test_des_engine_raw_throughput(benchmark):
+    """10k timeout events through the bare DES kernel."""
+
+    def run():
+        env = Environment()
+
+        def proc(env):
+            for _ in range(100):
+                yield env.timeout(1.0)
+
+        for _ in range(100):
+            env.process(proc(env))
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 100.0

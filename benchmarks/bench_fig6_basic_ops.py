@@ -1,0 +1,80 @@
+"""Figure 6 — running time of the basic operations vs block size.
+
+Two reproductions of the paper's measurement:
+
+* the deterministic calibrated table (the Meiko-CS-2 stand-in used by the
+  prediction experiments) — checked for the paper's shape claims: Op1
+  most expensive for small blocks, all four roughly equal near the
+  crossover, the full multiplication about twice Op1 for large blocks;
+* a live host measurement of the real NumPy implementations (the paper's
+  methodology applied to this machine) — reported for comparison; its
+  absolute values are host-dependent.
+
+The benchmark times the dominant basic operation (Op4) at the paper's
+optimal-region block size.
+"""
+
+from _shared import BLOCK_SIZES, emit, scale_banner
+
+import numpy as np
+
+from repro.analysis import crossover_points, format_table
+from repro.blockops import OP_NAMES, calibrated_table, measure_op_costs, op4_update
+
+
+def test_fig6_basic_ops(benchmark):
+    # --- benchmark kernel: the trailing-update op at b=48 ----------------
+    rng = np.random.default_rng(0)
+    blk, col, row = (rng.standard_normal((48, 48)) for _ in range(3))
+    benchmark(lambda: op4_update(blk, col, row))
+
+    # --- calibrated (CS-2 stand-in) table --------------------------------
+    table = calibrated_table(BLOCK_SIZES)
+    small_b, large_b = min(BLOCK_SIZES), max(BLOCK_SIZES)
+
+    costs_small = {op: table[op][small_b] for op in OP_NAMES}
+    assert max(costs_small, key=costs_small.get) == "op1", (
+        "Op1 must dominate at small block sizes"
+    )
+    costs_large = {op: table[op][large_b] for op in OP_NAMES}
+    assert max(costs_large, key=costs_large.get) == "op4"
+    ratio = costs_large["op4"] / costs_large["op1"]
+    assert 1.5 <= ratio <= 2.2, "Op4 ~ 2x Op1 at large blocks (paper Figure 6)"
+    crossings = crossover_points(table["op1"], table["op4"])
+    assert len(crossings) == 1 and 40 <= crossings[0] <= 80, (
+        "exactly one Op1/Op4 crossover near b~60"
+    )
+
+    # --- host measurement of the real implementations --------------------
+    host_sizes = [b for b in BLOCK_SIZES if b <= 96]
+    host = measure_op_costs(host_sizes, repeats=3, seed=0)
+
+    def rows_from(tbl, sizes):
+        return [
+            {"b": b, **{op: tbl[op][b] / 1000.0 for op in OP_NAMES}} for b in sizes
+        ]
+
+    text = "\n".join(
+        [
+            "Figure 6 — basic-operation running times vs block size",
+            scale_banner(),
+            "",
+            format_table(
+                rows_from(table, BLOCK_SIZES),
+                ["b", *OP_NAMES],
+                title="calibrated CS-2 stand-in [milliseconds]",
+            ),
+            "",
+            f"Op1/Op4 crossover at b={crossings[0]} "
+            f"(paper: most expensive op changes near b~60); "
+            f"Op4/Op1 at b={large_b}: {ratio:.2f}x",
+            "",
+            format_table(
+                rows_from(host, host_sizes),
+                ["b", *OP_NAMES],
+                title="host-measured NumPy implementations [milliseconds] "
+                "(machine-dependent; methodology reproduction only)",
+            ),
+        ]
+    )
+    emit("fig6_basic_ops", text)

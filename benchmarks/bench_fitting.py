@@ -1,0 +1,75 @@
+"""Extension — recovering the LogGP parameters by micro-benchmarking.
+
+The paper's machine parameters came from the LogP/LogGP assessment
+methodology (Culler et al.).  This bench closes the loop inside the
+reproduction: run the micro-benchmark suite against (a) the exact LogGP
+simulator and (b) the jittered emulated network, fit L/o/g/G from the
+observations, and quantify the recovery error.
+
+Asserted: exact recovery from the clean model (machine precision);
+sender-side parameters (o, g, G) stay exact under latency jitter, and L
+is recovered within 15%; the fitted machine reproduces the sample
+pattern's completion time.
+
+The benchmark times one full fit (micro-benchmarks + inversion).
+"""
+
+from _shared import PARAMS, emit, scale_banner
+
+from repro.analysis import format_table
+from repro.apps import sample_pattern
+from repro.core import assess_fit, emulator_runner, fit_loggp, simulate_standard
+from repro.machine import JitteredNetwork
+
+
+def test_parameter_fitting(benchmark):
+    clean_runner = emulator_runner(PARAMS)
+    fitted_clean = benchmark(lambda: fit_loggp(clean_runner, num_procs=PARAMS.P))
+    errors_clean = assess_fit(fitted_clean, PARAMS)
+    assert max(errors_clean.values()) < 1e-9
+
+    net = JitteredNetwork(params=PARAMS, seed=7)
+    fitted_noisy = fit_loggp(
+        emulator_runner(PARAMS, latency_of=net.latency_of), num_procs=PARAMS.P, repeats=15
+    )
+    errors_noisy = assess_fit(fitted_noisy, PARAMS)
+    assert errors_noisy["o"] < 1e-9
+    assert errors_noisy["g"] < 1e-9
+    assert errors_noisy["G"] < 1e-9
+    assert errors_noisy["L"] < 0.15
+
+    pat = sample_pattern()
+    t_true = simulate_standard(PARAMS, pat).completion_time
+    t_fit = simulate_standard(fitted_clean.with_(P=PARAMS.P), pat).completion_time
+    assert abs(t_fit - t_true) < 1e-6
+
+    rows = []
+    for name in ("L", "o", "g", "G"):
+        rows.append(
+            {
+                "parameter": name,
+                "truth": getattr(PARAMS, name),
+                "fit_clean": getattr(fitted_clean, name),
+                "fit_jittered": getattr(fitted_noisy, name),
+                "jitter_err_%": 100 * errors_noisy[name],
+            }
+        )
+    text = "\n".join(
+        [
+            "Extension — LogGP parameter recovery from micro-benchmarks",
+            scale_banner(),
+            "",
+            format_table(
+                rows,
+                ["parameter", "truth", "fit_clean", "fit_jittered", "jitter_err_%"],
+                title="micro-benchmark assessment (send-cost, burst, round-trip)",
+                floatfmt="{:.4f}",
+            ),
+            "",
+            "the clean fit is exact (the inversion matches the model); under "
+            "latency jitter only L — the jittered quantity — moves, by the "
+            "median-of-repeats residual.  The fitted machine reproduces the "
+            "Figure 4 sample-pattern completion to machine precision.",
+        ]
+    )
+    emit("fitting", text)

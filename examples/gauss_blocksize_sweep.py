@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Find the optimal block size for the blocked Gaussian Elimination.
+
+The paper's headline use case: sweep the block size, predict the running
+time of each configuration with the LogGP simulation, and pick the
+optimum — then check against the emulated machine what running that
+choice would really cost.  Also demonstrates the automatic optimum search
+(the paper's future-work item) and how many simulations each heuristic
+needs.
+
+Run:  python examples/gauss_blocksize_sweep.py [n]
+      (default n=480; n=960 reproduces the paper's scale, slower)
+"""
+
+import sys
+
+from repro import MEIKO_CS2, CalibratedCostModel, run_ge_sweep
+from repro.analysis import format_figure, series_from_rows
+from repro.core import exhaustive_search, local_descent, ternary_search
+from repro.core.predictor import run_ge_point
+from repro.core.units import us_to_s
+
+
+def divisor_block_sizes(n: int) -> list[int]:
+    """Block sizes in the paper's range that divide n."""
+    return [b for b in (10, 12, 15, 16, 20, 24, 30, 32, 40, 48, 60, 64, 80, 96, 120, 160) if n % b == 0]
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 480
+    layout = "diagonal"
+    block_sizes = divisor_block_sizes(n)
+    cost_model = CalibratedCostModel()
+    print(f"sweeping {n}x{n} GE on {MEIKO_CS2.describe()}, layout={layout}")
+    print(f"candidate block sizes: {block_sizes}\n")
+
+    rows = run_ge_sweep(
+        n,
+        block_sizes,
+        [layout],
+        MEIKO_CS2,
+        cost_model,
+        with_measured=True,
+        progress=lambda lay, b: print(f"  simulating b={b} ..."),
+    )
+    series = series_from_rows(rows, "b", lambda r: r.series())
+    print()
+    print(format_figure(f"Total running time, {layout} layout (n={n})", series))
+    print()
+
+    # --- automatic optimum search (paper section 7) -----------------------
+    cache: dict[int, float] = {
+        r.b: r.pred_standard.total_us for r in rows
+    }
+    measured = {r.b: r.measured.total_us for r in rows}
+
+    def evaluate(b: int) -> float:
+        return cache[b]
+
+    print("automatic optimum search over the predicted curve:")
+    for name, search in (
+        ("exhaustive", exhaustive_search),
+        ("local descent", local_descent),
+        ("ternary", ternary_search),
+    ):
+        result = search(evaluate, block_sizes)
+        regret = measured[result.best] / min(measured.values())
+        print(
+            f"  {name:14s} -> b={result.best:4d} "
+            f"({result.evaluations:2d} evaluations, "
+            f"real cost {us_to_s(measured[result.best]):.4f} s, "
+            f"{(regret - 1) * 100:.1f}% above the true measured minimum)"
+        )
+
+
+if __name__ == "__main__":
+    main()

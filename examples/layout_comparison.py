@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Compare data layouts for the blocked Gaussian Elimination.
+
+The paper's second stated purpose: "to determine differences in running
+times for different data layouts".  This compares the paper's two layouts
+(row-stripped cyclic, diagonal) plus the extension layouts (column
+cyclic, 2-D block cyclic) at several block sizes, with static layout
+metrics alongside the simulated and emulated times.
+
+Run:  python examples/layout_comparison.py [n]
+"""
+
+import sys
+
+from repro import MEIKO_CS2, CalibratedCostModel, run_ge_point
+from repro.analysis import format_table
+from repro.core.units import us_to_s
+from repro.layouts import LAYOUTS, adjacency_conflicts, load_imbalance
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 480
+    block_sizes = [b for b in (20, 48, 96, 160) if n % b == 0]
+    cost_model = CalibratedCostModel()
+    print(f"{n}x{n} GE on {MEIKO_CS2.describe()}\n")
+
+    # static layout metrics
+    metric_rows = []
+    for name, cls in sorted(LAYOUTS.items()):
+        layout = cls(n // 48, MEIKO_CS2.P)
+        metric_rows.append(
+            {
+                "layout": name,
+                "load_imbalance": load_imbalance(layout),
+                "adjacency_conflicts": float(adjacency_conflicts(layout)),
+            }
+        )
+    print(format_table(metric_rows, ["layout", "load_imbalance", "adjacency_conflicts"],
+                       title=f"static metrics (nb={n // 48} grid)"))
+    print()
+
+    rows = []
+    for b in block_sizes:
+        for name in sorted(LAYOUTS):
+            point = run_ge_point(n, b, name, MEIKO_CS2, cost_model, with_measured=True)
+            rows.append(
+                {
+                    "b": b,
+                    "layout": name,
+                    "predicted_s": us_to_s(point.pred_standard.total_us),
+                    "measured_s": us_to_s(point.measured.total_us),
+                    "comm_s": us_to_s(point.measured.comm_us),
+                }
+            )
+    print(format_table(rows, ["b", "layout", "predicted_s", "measured_s", "comm_s"],
+                       title="per-layout running times"))
+    print()
+
+    for b in block_sizes:
+        here = [r for r in rows if r["b"] == b]
+        best_pred = min(here, key=lambda r: r["predicted_s"])["layout"]
+        best_meas = min(here, key=lambda r: r["measured_s"])["layout"]
+        verdict = "agrees" if best_pred == best_meas else "DISAGREES"
+        print(f"b={b:4d}: prediction picks {best_pred!r}, measurement picks {best_meas!r} ({verdict})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Calibrate a machine: fit LogGP parameters, then ask what to optimise.
+
+The workflow a practitioner runs before using the paper's predictor on a
+new machine:
+
+1. **fit** — run the micro-benchmark suite (single sends, bursts, a
+   round trip) against the machine — here, the jittered emulated network
+   — and invert the closed forms to recover L, o, g, G;
+2. **validate** — check the fitted machine predicts an independent
+   workload like the true one;
+3. **ask questions** — sensitivity analysis: for *your* workload at
+   *your* block size, which parameter would a hardware upgrade most
+   usefully improve?
+
+Run:  python examples/machine_calibration.py
+"""
+
+from repro import MEIKO_CS2, CalibratedCostModel, GEConfig, ProgramSimulator, build_ge_trace
+from repro.analysis import format_table, parameter_elasticities
+from repro.apps import sample_pattern
+from repro.core import assess_fit, emulator_runner, fit_loggp, simulate_standard
+from repro.layouts import DiagonalLayout
+from repro.machine import JitteredNetwork
+
+
+def main() -> None:
+    truth = MEIKO_CS2
+
+    # --- 1. fit ------------------------------------------------------------
+    print("fitting LogGP parameters from micro-benchmarks (jittered network)...")
+    net = JitteredNetwork(params=truth, seed=11)
+    fitted = fit_loggp(
+        emulator_runner(truth, latency_of=net.latency_of),
+        num_procs=truth.P,
+        repeats=15,
+    )
+    rows = [
+        {
+            "parameter": name,
+            "truth": getattr(truth, name),
+            "fitted": getattr(fitted, name),
+            "err_%": 100 * assess_fit(fitted, truth)[name],
+        }
+        for name in ("L", "o", "g", "G")
+    ]
+    print(format_table(rows, ["parameter", "truth", "fitted", "err_%"],
+                       floatfmt="{:.4f}"))
+    print()
+
+    # --- 2. validate ---------------------------------------------------------
+    pat = sample_pattern()
+    t_true = simulate_standard(truth, pat).completion_time
+    t_fit = simulate_standard(fitted.with_(P=truth.P), pat).completion_time
+    print(
+        f"validation on the Figure 3 sample pattern: truth {t_true:.2f} us, "
+        f"fitted machine {t_fit:.2f} us ({100 * abs(t_fit - t_true) / t_true:.2f}% off)\n"
+    )
+
+    # --- 3. sensitivity -------------------------------------------------------
+    cm = CalibratedCostModel()
+    print("which parameter matters for GE communication time? (elasticities)")
+    rows = []
+    for b in (10, 24, 60, 120):
+        trace = build_ge_trace(GEConfig(240, b, DiagonalLayout(240 // b, truth.P)))
+        res = parameter_elasticities(
+            lambda p: ProgramSimulator(p, cm).run(trace).comm_us, truth
+        )
+        rows.append({"b": b, **{k: v for k, v in sorted(res.elasticity.items())}})
+    print(format_table(rows, ["b", "G", "L", "g", "o"], floatfmt="{:+.3f}"))
+    print(
+        "\nreading: at small blocks the per-message gap g competes with "
+        "bandwidth G; by b=24 the transfer is bandwidth-bound (buy G); at "
+        "large blocks no network parameter helps much — the time is "
+        "pipeline-bound, change the block size instead."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Quickstart: simulate a communication step and predict a program's runtime.
+
+This walks the two levels of the library:
+
+1. **Communication-step level** (paper Figures 3-5): take the paper's
+   sample pattern, run the standard (Figure 2) and worst-case (§4.2)
+   LogGP simulation algorithms, and render the send/receive sequences.
+2. **Whole-program level** (paper Figures 7-9): build the blocked
+   Gaussian Elimination trace for one configuration, predict its running
+   time, and compare against the emulated Meiko CS-2 "measurement".
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    MEIKO_CS2,
+    CalibratedCostModel,
+    GEConfig,
+    MachineEmulator,
+    RunningTimePredictor,
+    build_ge_trace,
+    sample_pattern,
+    simulate_standard,
+    simulate_worstcase,
+)
+from repro.analysis import render_timeline
+from repro.core.units import us_to_s
+from repro.layouts import DiagonalLayout
+
+
+def communication_step_demo() -> None:
+    print("=" * 72)
+    print("1. Communication-step simulation (the paper's Figures 4 and 5)")
+    print("=" * 72)
+    pattern = sample_pattern()  # Figure 3: 10 processors, 1160-byte messages
+    print(f"pattern: {pattern}")
+    print(f"machine: {MEIKO_CS2.describe()}\n")
+
+    std = simulate_standard(MEIKO_CS2, pattern, seed=0)
+    print(f"standard algorithm   completes at {std.completion_time:8.2f} us")
+    print(render_timeline(std.timeline, width=90))
+    print()
+
+    wc = simulate_worstcase(MEIKO_CS2, pattern, seed=0)
+    print(f"worst-case algorithm completes at {wc.completion_time:8.2f} us")
+    print(render_timeline(wc.timeline, width=90))
+    print()
+    ratio = wc.completion_time / std.completion_time
+    print(f"overestimation factor: {ratio:.2f}x  (worst case bounds the standard)\n")
+
+
+def whole_program_demo() -> None:
+    print("=" * 72)
+    print("2. Whole-program prediction vs emulated measurement (Figure 7)")
+    print("=" * 72)
+    n, b = 480, 48
+    layout = DiagonalLayout(n // b, MEIKO_CS2.P)
+    trace = build_ge_trace(GEConfig(n=n, b=b, layout=layout))
+    print(f"app: {n}x{n} blocked Gaussian Elimination, b={b}, {layout!r}")
+    print(f"trace: {trace}\n")
+
+    cost_model = CalibratedCostModel()
+    predictor = RunningTimePredictor(MEIKO_CS2, cost_model)
+    pred_std, pred_wc = predictor.predict_both(trace)
+    measured = MachineEmulator(MEIKO_CS2, cost_model, seed=0).run(trace)
+
+    rows = [
+        ("simulated (standard)", pred_std.total_us),
+        ("simulated (worst case)", pred_wc.total_us),
+        ("measured w/  caching", measured.total_us),
+        ("measured w/o caching", measured.total_without_cache_us),
+    ]
+    for name, us in rows:
+        print(f"  {name:24s} {us_to_s(us):8.4f} s")
+    print()
+    print(
+        f"  breakdown (standard prediction): comp {us_to_s(pred_std.comp_us):.4f} s, "
+        f"comm {us_to_s(pred_std.comm_us):.4f} s"
+    )
+    print(
+        f"  breakdown (measured)           : comp {us_to_s(measured.comp_us):.4f} s, "
+        f"comm {us_to_s(measured.comm_us):.4f} s, "
+        f"cache section {us_to_s(measured.cache_us):.4f} s"
+    )
+
+
+if __name__ == "__main__":
+    communication_step_demo()
+    whole_program_demo()

@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs where the ``wheel`` package
+is unavailable (``pip install -e . --no-build-isolation --no-use-pep517``).
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

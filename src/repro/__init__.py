@@ -1,0 +1,140 @@
+"""repro — Predicting the Running Times of Parallel Programs by Simulation.
+
+A full reproduction of Rugina & Schauser (IPPS 1998): LogGP-based
+simulation of the send/receive sequences of oblivious parallel programs,
+validated on the blocked parallel Gaussian Elimination against an emulated
+Meiko CS-2.
+
+Quick start::
+
+    from repro import MEIKO_CS2, simulate_standard, sample_pattern
+
+    result = simulate_standard(MEIKO_CS2, sample_pattern())
+    print(result.completion_time)
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: LogGP model, the two communication-step
+    simulation algorithms, cost models, whole-program prediction,
+    optimum search.
+``repro.des``
+    From-scratch discrete-event simulation engine.
+``repro.machine``
+    Emulated Meiko CS-2 (cache, CPU, jittered network, active messages).
+``repro.apps``
+    In-class applications: Gaussian Elimination, Cannon, Jacobi stencil,
+    plus the paper's Figure 3 sample pattern.
+``repro.layouts``
+    Row-stripped cyclic and diagonal data layouts (plus extensions).
+``repro.blockops``
+    The four GE basic operations with timing and calibration.
+``repro.trace``
+    The oblivious alternating comp/comm program representation.
+``repro.analysis``
+    Timeline rendering, figure formatting, shape statistics.
+"""
+
+from .apps import (
+    PAPER_BLOCK_SIZES,
+    PAPER_MATRIX_N,
+    CannonConfig,
+    GEConfig,
+    StencilConfig,
+    build_cannon_trace,
+    build_ge_trace,
+    build_stencil_trace,
+    sample_pattern,
+)
+from .core import (
+    ETHERNET_CLUSTER,
+    LOW_OVERHEAD_NIC,
+    MEIKO_CS2,
+    CachePredictionModel,
+    CalibratedCostModel,
+    CommPattern,
+    FlopCostModel,
+    GERow,
+    LogGPParameters,
+    MeasuredCostModel,
+    Message,
+    OpKind,
+    PredictionReport,
+    ProgramSimulator,
+    RunningTimePredictor,
+    SimulationResult,
+    StepTimeline,
+    TableCostModel,
+    predicted_optimum,
+    run_ge_point,
+    run_ge_sweep,
+    simulate_causal,
+    simulate_standard,
+    simulate_worstcase,
+)
+from .layouts import (
+    LAYOUTS,
+    BlockCyclic2DLayout,
+    ColumnCyclicLayout,
+    DataLayout,
+    DiagonalLayout,
+    RowStrippedCyclicLayout,
+)
+from .machine import MachineEmulator, MeasuredReport, SplitCMachine
+from .trace import ProgramTrace, Step, TraceBuilder, Work
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # machine model & algorithms
+    "LogGPParameters",
+    "OpKind",
+    "MEIKO_CS2",
+    "ETHERNET_CLUSTER",
+    "LOW_OVERHEAD_NIC",
+    "CommPattern",
+    "Message",
+    "StepTimeline",
+    "SimulationResult",
+    "simulate_standard",
+    "simulate_worstcase",
+    "simulate_causal",
+    # cost models & prediction
+    "TableCostModel",
+    "CalibratedCostModel",
+    "MeasuredCostModel",
+    "FlopCostModel",
+    "CachePredictionModel",
+    "ProgramSimulator",
+    "PredictionReport",
+    "RunningTimePredictor",
+    "GERow",
+    "run_ge_point",
+    "run_ge_sweep",
+    "predicted_optimum",
+    # machine emulator
+    "MachineEmulator",
+    "MeasuredReport",
+    "SplitCMachine",
+    # apps & layouts & traces
+    "GEConfig",
+    "build_ge_trace",
+    "CannonConfig",
+    "build_cannon_trace",
+    "StencilConfig",
+    "build_stencil_trace",
+    "sample_pattern",
+    "PAPER_MATRIX_N",
+    "PAPER_BLOCK_SIZES",
+    "DataLayout",
+    "RowStrippedCyclicLayout",
+    "DiagonalLayout",
+    "ColumnCyclicLayout",
+    "BlockCyclic2DLayout",
+    "LAYOUTS",
+    "ProgramTrace",
+    "Step",
+    "Work",
+    "TraceBuilder",
+]

@@ -1,0 +1,46 @@
+"""Reporting and shape-checking helpers for the reproduced figures."""
+
+from .ascii_chart import ascii_chart
+from .critical_path import CriticalPath, critical_path, operation_slack
+from .report import format_figure, format_table, series_from_rows
+from .sensitivity import SensitivityResult, dominant_parameter, parameter_elasticities
+from .speedup import ScalingPoint, karp_flatt, saturation_point, scaling_study
+from .svg import save_timeline_svg, timeline_to_svg
+from .stats import (
+    argmin_key,
+    bracketed_fraction,
+    crossover_points,
+    has_interior_minimum,
+    is_within_neighbors,
+    relative_gap,
+    sawtooth_score,
+)
+from .timeline import describe_sequence, render_timeline
+
+__all__ = [
+    "format_figure",
+    "format_table",
+    "series_from_rows",
+    "argmin_key",
+    "bracketed_fraction",
+    "crossover_points",
+    "has_interior_minimum",
+    "is_within_neighbors",
+    "relative_gap",
+    "sawtooth_score",
+    "describe_sequence",
+    "render_timeline",
+    "CriticalPath",
+    "critical_path",
+    "operation_slack",
+    "ScalingPoint",
+    "scaling_study",
+    "karp_flatt",
+    "saturation_point",
+    "SensitivityResult",
+    "parameter_elasticities",
+    "dominant_parameter",
+    "timeline_to_svg",
+    "save_timeline_svg",
+    "ascii_chart",
+]

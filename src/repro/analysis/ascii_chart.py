@@ -1,0 +1,95 @@
+"""ASCII line charts for figure series — the paper's plots in a terminal.
+
+The benchmark tables carry the numbers; these charts carry the *shape* —
+the sawtooth of Figure 7, the bracketing band of Figure 8 — in plain
+text, so `pytest -s` output and the persisted result files read like the
+paper's figures.
+
+One chart plots several named series against a shared integer x-axis
+(block sizes); each series gets a marker character; collisions show the
+later series' marker.  Values are auto-scaled; the y-axis is labelled
+with the data range.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "o*x+#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Mapping[int, float]],
+    width: int = 72,
+    height: int = 16,
+    x_label: str = "block size",
+    y_label: str = "seconds",
+    y_scale: float = 1.0,
+) -> str:
+    """Render ``{name: {x: y}}`` as an ASCII chart.
+
+    ``y_scale`` divides every value before plotting (e.g. ``1e6`` to plot
+    µs data in seconds).  X positions are spread by *rank*, not value —
+    matching the paper's figures, whose block-size axes are categorical.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 20 or height < 5:
+        raise ValueError("chart too small")
+    names = list(series)
+    if len(names) > len(_MARKERS):
+        raise ValueError(f"too many series (max {len(_MARKERS)})")
+
+    xs = sorted({x for s in series.values() for x in s})
+    if not xs:
+        raise ValueError("series contain no points")
+    ys = [y / y_scale for s in series.values() for y in s.values()]
+    y_min, y_max = min(ys), max(ys)
+    y_span = max(y_max - y_min, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: int) -> int:
+        if len(xs) == 1:
+            return width // 2
+        return round(xs.index(x) / (len(xs) - 1) * (width - 1))
+
+    def row(y: float) -> int:
+        frac = (y / y_scale - y_min) / y_span
+        return (height - 1) - round(frac * (height - 1))
+
+    for name, marker in zip(names, _MARKERS):
+        for x, y in sorted(series[name].items()):
+            grid[row(y)][col(x)] = marker
+
+    label_w = 10
+    lines = []
+    for i, cells in enumerate(grid):
+        if i == 0:
+            label = f"{y_max:9.3g}"
+        elif i == height - 1:
+            label = f"{y_min:9.3g}"
+        elif i == height // 2:
+            label = f"{(y_min + y_max) / 2:9.3g}"
+        else:
+            label = " " * 9
+        lines.append(label + " |" + "".join(cells))
+
+    lines.append(" " * label_w + "+" + "-" * width)
+    # x tick labels at first / middle / last (buffer padded so the last
+    # label never truncates)
+    axis = [" "] * (label_w + 1 + width + 8)
+    for x in (xs[0], xs[len(xs) // 2], xs[-1]):
+        pos = label_w + 1 + col(x)
+        text = str(x)
+        for i, ch in enumerate(text):
+            if pos + i < len(axis):
+                axis[pos + i] = ch
+    lines.append("".join(axis) + f"  {x_label}")
+    legend = "   ".join(
+        f"{marker} {name}" for name, marker in zip(names, _MARKERS)
+    )
+    lines.append(" " * label_w + f"[{y_label}]  " + legend)
+    return "\n".join(lines)

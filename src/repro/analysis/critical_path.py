@@ -1,0 +1,165 @@
+"""Critical-path analysis of simulated communication schedules.
+
+Once the simulation has produced a timed schedule (Figures 4/5), the next
+question a performance engineer asks is *why* it finishes when it does.
+This module extracts the chain of operations that determines the
+completion time and computes per-operation slack, exposing exactly which
+messages an optimisation would have to move.
+
+Dependency model (derived from the LogGP rules the simulators enforce):
+
+* an operation depends on the *previous operation at its processor*
+  (port/gap dependency), and
+* a receive additionally depends on its matching send (wire dependency).
+
+An operation is **tight** on an edge when it starts exactly when that
+dependency allows; the critical path follows tight edges backwards from
+the operation that ends last.  ``slack(op)`` is how much later the
+operation could have started without changing the step's completion time
+(computed by a backward pass over the dependency DAG).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.events import CommEvent, StepTimeline
+from ..core.loggp import OpKind
+from ..core.units import TIME_EPS
+
+__all__ = ["CriticalPath", "critical_path", "operation_slack"]
+
+
+def _dependencies(timeline: StepTimeline) -> dict[int, list[tuple[CommEvent, float]]]:
+    """``{id(op): [(dependency op, earliest start it allows), ...]}``."""
+    params = timeline.params
+    deps: dict[int, list[tuple[CommEvent, float]]] = {id(e): [] for e in timeline.events}
+    # port order per processor
+    for proc in timeline.participants():
+        seq = timeline.events_of(proc)
+        for prev, nxt in zip(seq, seq[1:]):
+            allowed = params.earliest_start(prev.kind, prev.end, nxt.kind)
+            deps[id(nxt)].append((prev, allowed))
+    # wire dependencies
+    sends = {e.message.uid: e for e in timeline.events if e.kind is OpKind.SEND}
+    for e in timeline.events:
+        if e.kind is OpKind.RECV:
+            send = sends.get(e.message.uid)
+            if send is not None:
+                arrival = e.arrival if e.arrival is not None else (
+                    send.start + params.send_duration(send.message.size) + params.L
+                )
+                deps[id(e)].append((send, arrival))
+    return deps
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The chain of operations that pins the completion time.
+
+    ``operations`` runs from the earliest element of the chain to the
+    final operation of the step.
+    """
+
+    operations: tuple[CommEvent, ...]
+    completion_time: float
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    @property
+    def processors(self) -> tuple[int, ...]:
+        """Processors visited along the path, in order (dedup'd runs)."""
+        out: list[int] = []
+        for e in self.operations:
+            if not out or out[-1] != e.proc:
+                out.append(e.proc)
+        return tuple(out)
+
+    @property
+    def wire_hops(self) -> int:
+        """Number of send→receive (cross-processor) hops on the path."""
+        hops = 0
+        for a, b in zip(self.operations, self.operations[1:]):
+            if a.kind is OpKind.SEND and b.kind is OpKind.RECV and a.message.uid == b.message.uid:
+                hops += 1
+        return hops
+
+    def describe(self) -> str:
+        """Readable rendering of the path."""
+        lines = [f"critical path ({len(self)} ops, completion {self.completion_time:.2f} us):"]
+        for e in self.operations:
+            lines.append(f"  {e}")
+        return "\n".join(lines)
+
+
+def critical_path(timeline: StepTimeline) -> CriticalPath:
+    """Extract the critical path of a simulated communication step.
+
+    Walks tight dependency edges backwards from the operation that ends
+    last.  Ties (several tight predecessors) prefer the wire dependency,
+    which yields the more informative cross-processor chain.
+    """
+    if not timeline.events:
+        return CriticalPath(operations=(), completion_time=timeline.completion_time)
+    deps = _dependencies(timeline)
+    last = max(timeline.events, key=lambda e: e.end)
+    chain = [last]
+    current = last
+    while True:
+        candidates = deps[id(current)]
+        tight: Optional[CommEvent] = None
+        # prefer wire edges: scan in reverse (wire deps are appended last)
+        for dep, allowed in reversed(candidates):
+            if current.start <= allowed + TIME_EPS:
+                tight = dep
+                break
+        if tight is None:
+            break
+        chain.append(tight)
+        current = tight
+    chain.reverse()
+    return CriticalPath(operations=tuple(chain), completion_time=timeline.completion_time)
+
+
+def operation_slack(timeline: StepTimeline) -> dict[int, float]:
+    """Per-operation slack: ``{message uid * 2 + is_recv: slack_us}``.
+
+    Keyed by ``(uid, kind)`` encoded as ``uid * 2 + (kind is RECV)`` so the
+    result is hashable and stable.  Slack is how much an operation's start
+    could slip without moving the step completion, holding everything
+    else's *dependencies* (not start times) fixed — the standard backward
+    longest-path slack over the dependency DAG.
+    """
+    events = timeline.events
+    if not events:
+        return {}
+    params = timeline.params
+    deps = _dependencies(timeline)
+    # invert: successors with the lag they impose
+    succs: dict[int, list[tuple[CommEvent, float]]] = {id(e): [] for e in events}
+    for e in events:
+        for dep, allowed in deps[id(e)]:
+            # successor e can start no earlier than `allowed`; the lag from
+            # the dependency's *start* is (allowed - dep.start)
+            succs[id(dep)].append((e, allowed - dep.start))
+
+    completion = timeline.completion_time
+    latest_start: dict[int, float] = {}
+
+    def compute(e: CommEvent) -> float:
+        key = id(e)
+        if key in latest_start:
+            return latest_start[key]
+        latest = completion - e.duration  # may always slip to the very end
+        for succ, lag in succs[key]:
+            latest = min(latest, compute(succ) - lag)
+        latest_start[key] = latest
+        return latest
+
+    out: dict[int, float] = {}
+    for e in events:
+        slack = compute(e) - e.start
+        out[e.message.uid * 2 + (1 if e.kind is OpKind.RECV else 0)] = max(0.0, slack)
+    return out

@@ -1,0 +1,88 @@
+"""Table/series formatting for the benchmark reports.
+
+The benchmark harness prints, for every figure of the paper, the same
+rows/series the paper plots.  These helpers format them consistently
+(block sizes down the side, series across the top, seconds like the
+paper's figures).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.units import us_to_s
+
+__all__ = ["format_table", "series_from_rows", "format_figure"]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+    title: str = "",
+    floatfmt: str = "{:.4f}",
+) -> str:
+    """Plain-text table: ``rows`` are dicts, ``columns`` selects and orders."""
+    if not columns:
+        raise ValueError("need at least one column")
+    header = [str(c) for c in columns]
+    body = []
+    for row in rows:
+        line = []
+        for c in columns:
+            v = row.get(c, "")
+            line.append(floatfmt.format(v) if isinstance(v, float) else str(v))
+        body.append(line)
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(columns))
+    ]
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for line in body:
+        out.append("  ".join(v.rjust(w) for v, w in zip(line, widths)))
+    return "\n".join(out)
+
+
+def series_from_rows(
+    rows, x_attr: str, series_fn, x_filter=None
+) -> dict[str, dict[int, float]]:
+    """Pivot row objects into ``{series_name: {x: value}}``.
+
+    ``series_fn(row) -> {name: value}``; ``x_attr`` names the x attribute.
+    """
+    out: dict[str, dict[int, float]] = {}
+    for row in rows:
+        x = getattr(row, x_attr)
+        if x_filter is not None and not x_filter(x):
+            continue
+        for name, value in series_fn(row).items():
+            out.setdefault(name, {})[x] = value
+    return out
+
+
+def format_figure(
+    title: str,
+    series: Mapping[str, Mapping[int, float]],
+    x_label: str = "block size",
+    in_seconds: bool = True,
+) -> str:
+    """Render a figure's series as one table, x down the side.
+
+    Values are converted from µs to seconds when ``in_seconds`` (matching
+    the paper's figure axes).
+    """
+    names = sorted(series)
+    xs = sorted({x for s in series.values() for x in s})
+    rows = []
+    for x in xs:
+        row: dict[str, object] = {x_label: x}
+        for name in names:
+            v = series[name].get(x)
+            if v is not None:
+                row[name] = us_to_s(v) if in_seconds else v
+        rows.append(row)
+    unit = "seconds" if in_seconds else "microseconds"
+    return format_table(rows, [x_label, *names], title=f"{title}  [{unit}]")

@@ -1,0 +1,84 @@
+"""Sensitivity of predicted running times to the machine parameters.
+
+A designer using the paper's tool wants to know not just *how long* but
+*what to buy*: does this workload care about latency, overhead, gap or
+bandwidth?  This module computes elasticities — the percentage change of
+the predicted time per percentage change of each LogGP parameter — by
+central finite differences on the full simulation.
+
+``elasticity[p] ≈ 1`` means the workload's time is proportional to
+parameter ``p``; ``≈ 0`` means the parameter is irrelevant in this
+regime.  The GE study shows the classic pattern: G (bandwidth) dominates
+at small block sizes, while at large block sizes no single network
+parameter matters much (the time is computation- and pipeline-bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from ..core.loggp import LogGPParameters
+
+__all__ = ["SensitivityResult", "parameter_elasticities", "dominant_parameter"]
+
+PARAMETERS = ("L", "o", "g", "G")
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Elasticities of one prediction w.r.t. the four network parameters."""
+
+    base_us: float
+    elasticity: Mapping[str, float]
+
+    def dominant(self) -> str:
+        """The parameter with the largest absolute elasticity."""
+        return max(self.elasticity, key=lambda k: abs(self.elasticity[k]))
+
+    def describe(self) -> str:
+        """One-line summary."""
+        parts = ", ".join(f"{k}={v:+.3f}" for k, v in sorted(self.elasticity.items()))
+        return f"T={self.base_us:.1f}us; elasticities: {parts}"
+
+
+def parameter_elasticities(
+    predict: Callable[[LogGPParameters], float],
+    params: LogGPParameters,
+    rel_step: float = 0.05,
+    parameters: Sequence[str] = PARAMETERS,
+) -> SensitivityResult:
+    """Central-difference elasticities of ``predict`` around ``params``.
+
+    ``predict`` maps machine parameters to a predicted time (µs); it is
+    called twice per parameter with ``±rel_step`` relative perturbations.
+    Parameters whose base value is zero get elasticity 0 (no relative
+    perturbation exists).
+    """
+    if not (0.0 < rel_step < 1.0):
+        raise ValueError("rel_step must be in (0, 1)")
+    for name in parameters:
+        if name not in PARAMETERS:
+            raise ValueError(f"unknown parameter {name!r}")
+    base = float(predict(params))
+    if base <= 0:
+        raise ValueError("baseline prediction must be positive")
+    elastic: dict[str, float] = {}
+    for name in parameters:
+        value = getattr(params, name)
+        if value == 0.0:
+            elastic[name] = 0.0
+            continue
+        hi = predict(params.with_(**{name: value * (1 + rel_step)}))
+        lo = predict(params.with_(**{name: value * (1 - rel_step)}))
+        elastic[name] = ((hi - lo) / base) / (2 * rel_step)
+    return SensitivityResult(base_us=base, elasticity=elastic)
+
+
+def dominant_parameter(
+    predict: Callable[[LogGPParameters], float],
+    params: LogGPParameters,
+    rel_step: float = 0.05,
+) -> str:
+    """Convenience: the single most influential network parameter."""
+    return parameter_elasticities(predict, params, rel_step).dominant()

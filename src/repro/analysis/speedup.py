@@ -1,0 +1,90 @@
+"""Scalability analysis: speedup, efficiency, and saturation detection.
+
+The paper's introduction: "The prediction of running times is also useful
+for analyzing the scaling behavior of parallel programs."  These helpers
+turn a family of predictions across processor counts into the standard
+scalability quantities, plus a crude-but-useful serial-fraction estimate
+(Karp-Flatt metric) that flags where an app stops scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = ["ScalingPoint", "scaling_study", "karp_flatt", "saturation_point"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One processor-count sample of a scaling study."""
+
+    procs: int
+    total_us: float
+    speedup: float
+    efficiency: float
+
+    def __post_init__(self) -> None:
+        if self.procs < 1:
+            raise ValueError("procs must be >= 1")
+
+
+def scaling_study(
+    predict: Callable[[int], float], proc_counts: Sequence[int]
+) -> list[ScalingPoint]:
+    """Run ``predict(P) -> total_us`` over ``proc_counts``.
+
+    Speedup is measured against the smallest processor count supplied
+    (relative speedup; with ``1`` in the list it is absolute).
+    """
+    counts = sorted(set(proc_counts))
+    if not counts:
+        raise ValueError("need at least one processor count")
+    totals = {p: float(predict(p)) for p in counts}
+    base_p = counts[0]
+    base = totals[base_p]
+    if base <= 0:
+        raise ValueError("baseline running time must be positive")
+    out = []
+    for p in counts:
+        speedup = base / totals[p]
+        out.append(
+            ScalingPoint(
+                procs=p,
+                total_us=totals[p],
+                speedup=speedup,
+                efficiency=speedup * (base_p / p),
+            )
+        )
+    return out
+
+
+def karp_flatt(point: ScalingPoint, base: ScalingPoint) -> float:
+    """Experimentally determined serial fraction (Karp-Flatt metric).
+
+    ``e = (1/s - 1/p) / (1 - 1/p)`` with ``s`` the speedup relative to
+    ``base`` and ``p`` the processor ratio.  Rising ``e`` with ``p``
+    indicates overheads growing with the machine (communication), not a
+    fixed serial part.
+    """
+    p = point.procs / base.procs
+    if p <= 1:
+        raise ValueError("point must use more processors than base")
+    s = base.total_us / point.total_us
+    return (1.0 / s - 1.0 / p) / (1.0 - 1.0 / p)
+
+
+def saturation_point(
+    points: Sequence[ScalingPoint], efficiency_floor: float = 0.5
+) -> int | None:
+    """Smallest processor count whose efficiency drops below the floor.
+
+    Returns ``None`` if the study never saturates.  Efficiencies are
+    relative to the study's own baseline (see :func:`scaling_study`).
+    """
+    if not (0.0 < efficiency_floor <= 1.0):
+        raise ValueError("efficiency_floor must be in (0, 1]")
+    for pt in sorted(points, key=lambda q: q.procs):
+        if pt.efficiency < efficiency_floor:
+            return pt.procs
+    return None

@@ -1,0 +1,122 @@
+"""Statistical helpers for checking the paper's qualitative claims.
+
+The reproduction cannot match 1997 absolute times, so the benchmarks and
+integration tests verify *shapes* instead; these helpers make the shapes
+checkable: interior minima (Figure 7's nonlinear running-time curve),
+sawtooth scores, cost-curve crossovers (Figure 6), bracketing of measured
+communication between the standard and worst-case simulations (Figure 8).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = [
+    "argmin_key",
+    "has_interior_minimum",
+    "sawtooth_score",
+    "crossover_points",
+    "bracketed_fraction",
+    "relative_gap",
+    "is_within_neighbors",
+]
+
+
+def argmin_key(series: Mapping[int, float]) -> int:
+    """The key with the smallest value."""
+    if not series:
+        raise ValueError("empty series")
+    return min(series, key=series.__getitem__)
+
+
+def has_interior_minimum(series: Mapping[int, float]) -> bool:
+    """True if the minimum is at neither end of the (sorted-key) series."""
+    if len(series) < 3:
+        return False
+    keys = sorted(series)
+    best = argmin_key(series)
+    return best not in (keys[0], keys[-1])
+
+
+def sawtooth_score(series: Mapping[int, float]) -> int:
+    """Number of sign changes of the discrete derivative (>=1 = non-monotone).
+
+    The paper's Figure 7 curves are "sawtooth" for block sizes above ~40:
+    the running time alternates as the block size's divisibility interacts
+    with the wavefront length.  A pure monotone curve scores 0.
+    """
+    keys = sorted(series)
+    if len(keys) < 3:
+        return 0
+    signs = []
+    for a, b in zip(keys, keys[1:]):
+        diff = series[b] - series[a]
+        if diff != 0:
+            signs.append(1 if diff > 0 else -1)
+    return sum(1 for s0, s1 in zip(signs, signs[1:]) if s0 != s1)
+
+
+def crossover_points(
+    curve_a: Mapping[int, float], curve_b: Mapping[int, float]
+) -> list[int]:
+    """Keys where ``curve_a - curve_b`` changes sign (shared keys only).
+
+    Used on the Figure 6 op-cost curves: Op1 starts above Op4 and ends
+    below it, so exactly one crossover is expected.
+    """
+    keys = sorted(set(curve_a) & set(curve_b))
+    if len(keys) < 2:
+        return []
+    out = []
+    prev = curve_a[keys[0]] - curve_b[keys[0]]
+    for k in keys[1:]:
+        cur = curve_a[k] - curve_b[k]
+        if prev != 0 and cur != 0 and (prev > 0) != (cur > 0):
+            out.append(k)
+        if cur != 0:
+            prev = cur
+    return out
+
+
+def bracketed_fraction(
+    measured: Mapping[int, float],
+    lower: Mapping[int, float],
+    upper: Mapping[int, float],
+    slack: float = 0.0,
+) -> float:
+    """Fraction of points with ``lower*(1-slack) <= measured <= upper*(1+slack)``.
+
+    The Figure 8 claim: measured communication time falls between the
+    standard (lower) and worst-case (upper) simulations.
+    """
+    keys = sorted(set(measured) & set(lower) & set(upper))
+    if not keys:
+        raise ValueError("no common keys")
+    ok = sum(
+        1
+        for k in keys
+        if lower[k] * (1.0 - slack) <= measured[k] <= upper[k] * (1.0 + slack)
+    )
+    return ok / len(keys)
+
+
+def relative_gap(predicted: float, measured: float) -> float:
+    """``(measured - predicted) / measured`` (positive = under-prediction)."""
+    if measured == 0:
+        raise ValueError("measured value is zero")
+    return (measured - predicted) / measured
+
+
+def is_within_neighbors(
+    candidate: int, target: int, candidates: Sequence[int], hops: int = 1
+) -> bool:
+    """True if ``candidate`` is within ``hops`` grid points of ``target``.
+
+    The paper's optimum-prediction tolerance: the predicted best block
+    size may differ from the measured one, but only by neighbouring
+    entries of the size set (e.g. predicted 30 vs measured 48).
+    """
+    cands = sorted(set(candidates))
+    if candidate not in cands or target not in cands:
+        raise ValueError("candidate/target must be in the candidate set")
+    return abs(cands.index(candidate) - cands.index(target)) <= hops

@@ -1,0 +1,126 @@
+"""SVG rendering of simulated timelines (Figures 4/5 as vector graphics).
+
+The ASCII renderer (:mod:`repro.analysis.timeline`) is for terminals;
+this writer produces a standalone SVG — one lane per processor, sends and
+receives as coloured bars, a µs axis — with no dependencies beyond the
+standard library.  Colours follow the paper's figures: dark bars for
+sends, light bars for receives.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+from xml.sax.saxutils import escape
+
+from ..core.events import StepTimeline
+from ..core.loggp import OpKind
+
+__all__ = ["timeline_to_svg", "save_timeline_svg"]
+
+_SEND_FILL = "#30507a"
+_RECV_FILL = "#9db8d9"
+_LANE_H = 22
+_BAR_H = 14
+_MARGIN_L = 52
+_MARGIN_T = 28
+_MARGIN_B = 34
+_MARGIN_R = 16
+
+
+def timeline_to_svg(
+    timeline: StepTimeline, width: int = 800, title: str = ""
+) -> str:
+    """Render a :class:`StepTimeline` as an SVG document (a string)."""
+    if width < 100:
+        raise ValueError("width must be >= 100")
+    procs = timeline.participants()
+    if not procs:
+        procs = sorted(timeline.start_times)
+    t0 = min(
+        [min(timeline.start_times.values(), default=0.0)]
+        + [e.start for e in timeline.events]
+    ) if (timeline.events or timeline.start_times) else 0.0
+    t1 = timeline.completion_time
+    span = max(t1 - t0, 1e-9)
+    plot_w = width - _MARGIN_L - _MARGIN_R
+    height = _MARGIN_T + len(procs) * _LANE_H + _MARGIN_B
+
+    def x(t: float) -> float:
+        return _MARGIN_L + (t - t0) / span * plot_w
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{_MARGIN_L}" y="16" font-size="13">{escape(title)}</text>'
+        )
+
+    lane_of = {p: i for i, p in enumerate(procs)}
+    for p, i in lane_of.items():
+        y = _MARGIN_T + i * _LANE_H
+        parts.append(
+            f'<text x="6" y="{y + _BAR_H - 2}" fill="#333">P{p}</text>'
+        )
+        parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{y + _LANE_H - 3}" x2="{width - _MARGIN_R}" '
+            f'y2="{y + _LANE_H - 3}" stroke="#eee"/>'
+        )
+
+    for e in sorted(timeline.events, key=lambda ev: ev.start):
+        y = _MARGIN_T + lane_of[e.proc] * _LANE_H
+        fill = _SEND_FILL if e.kind is OpKind.SEND else _RECV_FILL
+        bar_w = max(1.0, x(e.end) - x(e.start))
+        peer = e.message.dst if e.kind is OpKind.SEND else e.message.src
+        label = (
+            f"{e.kind.value} P{e.proc}&#8596;P{peer} "
+            f"[{e.start:.1f}, {e.end:.1f}) us, {e.message.size}B"
+        )
+        parts.append(
+            f'<rect x="{x(e.start):.2f}" y="{y}" width="{bar_w:.2f}" '
+            f'height="{_BAR_H}" fill="{fill}"><title>{label}</title></rect>'
+        )
+
+    axis_y = _MARGIN_T + len(procs) * _LANE_H + 8
+    parts.append(
+        f'<line x1="{_MARGIN_L}" y1="{axis_y}" x2="{width - _MARGIN_R}" '
+        f'y2="{axis_y}" stroke="#666"/>'
+    )
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        t = t0 + frac * span
+        parts.append(
+            f'<line x1="{x(t):.2f}" y1="{axis_y}" x2="{x(t):.2f}" '
+            f'y2="{axis_y + 4}" stroke="#666"/>'
+        )
+        parts.append(
+            f'<text x="{x(t):.2f}" y="{axis_y + 16}" text-anchor="middle" '
+            f'fill="#333">{t:.0f}</text>'
+        )
+    parts.append(
+        f'<text x="{width - _MARGIN_R}" y="{axis_y + 28}" text-anchor="end" '
+        f'fill="#333">microseconds</text>'
+    )
+    # legend
+    parts.append(
+        f'<rect x="{_MARGIN_L}" y="{axis_y + 20}" width="10" height="10" fill="{_SEND_FILL}"/>'
+        f'<text x="{_MARGIN_L + 14}" y="{axis_y + 29}">send</text>'
+        f'<rect x="{_MARGIN_L + 55}" y="{axis_y + 20}" width="10" height="10" fill="{_RECV_FILL}"/>'
+        f'<text x="{_MARGIN_L + 69}" y="{axis_y + 29}">receive</text>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def save_timeline_svg(
+    timeline: StepTimeline,
+    path: Union[str, Path],
+    width: int = 800,
+    title: Optional[str] = None,
+) -> None:
+    """Write the SVG rendering of ``timeline`` to ``path``."""
+    Path(path).write_text(
+        timeline_to_svg(timeline, width=width, title=title or "")
+    )

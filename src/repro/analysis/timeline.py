@@ -1,0 +1,71 @@
+"""ASCII rendering of send/receive sequences (paper Figures 4 and 5).
+
+The paper plots, per processor, the timed sequence of send (dark) and
+receive (light) operations of a communication step.  These helpers render
+the same picture in a terminal: one lane per processor, ``S``/``#`` for
+sends, ``R``/``=`` for receives, a µs axis underneath.
+"""
+
+from __future__ import annotations
+
+from ..core.events import StepTimeline
+from ..core.loggp import OpKind
+
+__all__ = ["render_timeline", "describe_sequence"]
+
+
+def render_timeline(timeline: StepTimeline, width: int = 100) -> str:
+    """Render a :class:`StepTimeline` as an ASCII gantt chart.
+
+    Each processor gets one lane; an operation paints ``S``/``R`` at its
+    start and fills its duration with ``#`` (send) or ``=`` (receive).
+    """
+    if width < 20:
+        raise ValueError("width must be >= 20")
+    procs = timeline.participants()
+    if not procs:
+        return "(empty timeline)"
+    t0 = min(timeline.start_times.values(), default=0.0)
+    t0 = min([t0] + [e.start for e in timeline.events])
+    t1 = timeline.completion_time
+    span = max(t1 - t0, 1e-9)
+    scale = (width - 1) / span
+
+    def col(t: float) -> int:
+        return min(width - 1, max(0, int((t - t0) * scale + 0.5)))
+
+    label_w = max(len(f"P{p}") for p in procs) + 1
+    lines = []
+    for p in procs:
+        lane = [" "] * width
+        for e in timeline.events_of(p):
+            c0, c1 = col(e.start), col(e.end)
+            fill = "#" if e.kind is OpKind.SEND else "="
+            for c in range(c0, max(c0, c1) + 1):
+                lane[c] = fill
+            lane[c0] = "S" if e.kind is OpKind.SEND else "R"
+        lines.append(f"P{p}".ljust(label_w) + "|" + "".join(lane) + "|")
+
+    # time axis with ~5 tick labels (padded so the last label never truncates)
+    axis = [" "] * (label_w + 1 + width + 8)
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        t = t0 + frac * span
+        c = label_w + 1 + col(t)
+        label = f"{t:.0f}"
+        for i, ch in enumerate(label):
+            if c + i < len(axis):
+                axis[c + i] = ch
+    lines.append("".join(axis).rstrip() + " us")
+    return "\n".join(lines)
+
+
+def describe_sequence(timeline: StepTimeline) -> str:
+    """Textual per-processor op listing (start/end times, peers, sizes)."""
+    out = []
+    for p in timeline.participants():
+        out.append(f"P{p}:")
+        for e in timeline.events_of(p):
+            out.append(f"  {e}")
+        out.append(f"  finishes at {timeline.finish_time(p):.2f} us")
+    out.append(f"step completion: {timeline.completion_time:.2f} us")
+    return "\n".join(out)

@@ -1,0 +1,72 @@
+"""Applications in the paper's restricted algorithm class (section 2).
+
+Gaussian Elimination is the paper's case study; Cannon's algorithm is the
+paper's other named in-class example; the Jacobi stencil demonstrates a
+non-GE basic-operation set.  :mod:`repro.apps.patterns` holds the Figure 3
+sample pattern and generic pattern generators.
+"""
+
+from .cannon import CannonConfig, build_cannon_trace, cannon_grid_side, execute_cannon
+from .gauss import (
+    PAPER_BLOCK_SIZES,
+    PAPER_MATRIX_N,
+    GEConfig,
+    build_ge_trace,
+    execute_blocked_ge,
+    random_spd_like_matrix,
+    verify_lu,
+)
+from .patterns import (
+    SAMPLE_MESSAGE_BYTES,
+    SAMPLE_PATTERN_EDGES,
+    all_to_all_pattern,
+    broadcast_pattern,
+    ge_wavefront_pattern,
+    hypercube_exchange_pattern,
+    random_pattern,
+    ring_pattern,
+    sample_pattern,
+)
+from .stencil import (
+    StencilConfig,
+    build_stencil_trace,
+    execute_jacobi,
+    stencil_cost_table,
+)
+from .triangular import (
+    TriangularConfig,
+    build_trsv_trace,
+    execute_trsv,
+    trsv_cost_table,
+)
+
+__all__ = [
+    "GEConfig",
+    "build_ge_trace",
+    "execute_blocked_ge",
+    "verify_lu",
+    "random_spd_like_matrix",
+    "PAPER_MATRIX_N",
+    "PAPER_BLOCK_SIZES",
+    "CannonConfig",
+    "build_cannon_trace",
+    "execute_cannon",
+    "cannon_grid_side",
+    "StencilConfig",
+    "build_stencil_trace",
+    "execute_jacobi",
+    "stencil_cost_table",
+    "sample_pattern",
+    "SAMPLE_PATTERN_EDGES",
+    "SAMPLE_MESSAGE_BYTES",
+    "ring_pattern",
+    "all_to_all_pattern",
+    "broadcast_pattern",
+    "hypercube_exchange_pattern",
+    "random_pattern",
+    "ge_wavefront_pattern",
+    "TriangularConfig",
+    "build_trsv_trace",
+    "execute_trsv",
+    "trsv_cost_table",
+]

@@ -1,0 +1,120 @@
+"""Systolic Jacobi stencil (third in-class application).
+
+A 5-point Jacobi relaxation on an ``n x n`` grid, row-block partitioned
+over ``P`` processors, iterated ``T`` times.  Each iteration is one
+computation step (every processor relaxes its strip) followed by one
+communication step (halo rows exchanged with the two neighbours) —
+squarely inside the paper's restricted class: oblivious, equal-sized
+blocks, alternating non-overlapping phases.
+
+The stencil defines its own basic operation, ``"jacobi"``, priced by
+:func:`stencil_cost_table` per strip height — demonstrating that the
+prediction framework is not GE-specific.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.costmodel import TableCostModel
+from ..core.message import CommPattern
+from ..trace.program import ProgramTrace, Step, Work
+
+__all__ = ["StencilConfig", "build_stencil_trace", "execute_jacobi", "stencil_cost_table"]
+
+#: µs per relaxed grid point (5-point stencil, mid-90s node stand-in)
+POINT_COST_US = 0.03
+#: fixed per-sweep overhead, µs
+SWEEP_OVERHEAD_US = 40.0
+
+
+@dataclass(frozen=True)
+class StencilConfig:
+    """One Jacobi experiment: ``n x n`` grid, ``P`` row strips, ``T`` sweeps."""
+
+    n: int
+    num_procs: int
+    iterations: int
+
+    def __post_init__(self) -> None:
+        if self.n < self.num_procs:
+            raise ValueError("grid must have at least one row per processor")
+        if self.n % self.num_procs:
+            raise ValueError(
+                f"processor count {self.num_procs} does not divide n={self.n}"
+            )
+        if self.iterations < 1:
+            raise ValueError("need at least one iteration")
+
+    @property
+    def rows_per_proc(self) -> int:
+        """Strip height."""
+        return self.n // self.num_procs
+
+
+def stencil_cost_table(n: int, strip_heights: Sequence[int]) -> TableCostModel:
+    """Cost table pricing the ``"jacobi"`` op for the given strip heights.
+
+    The ``b`` argument of the op is the strip height; a sweep relaxes
+    ``b * n`` points.
+    """
+    return TableCostModel(
+        {
+            "jacobi": {
+                h: POINT_COST_US * h * n + SWEEP_OVERHEAD_US for h in strip_heights
+            }
+        }
+    )
+
+
+def build_stencil_trace(config: StencilConfig) -> ProgramTrace:
+    """Trace of ``T`` Jacobi sweeps with halo exchange between sweeps."""
+    p = config.num_procs
+    h = config.rows_per_proc
+    halo_bytes = config.n * 8  # one grid row of float64
+    trace = ProgramTrace(num_procs=p)
+
+    for sweep in range(config.iterations):
+        work = {
+            proc: [Work(op="jacobi", b=h, block=(proc, 0), iteration=sweep)]
+            for proc in range(p)
+        }
+        pattern = CommPattern(p)
+        if sweep < config.iterations - 1:  # last sweep needs no exchange
+            for proc in range(p):
+                if proc > 0:
+                    pattern.add(proc, proc - 1, halo_bytes)
+                if proc < p - 1:
+                    pattern.add(proc, proc + 1, halo_bytes)
+        trace.add_step(Step(work=work, pattern=pattern, label=f"sweep {sweep}"))
+
+    trace.meta.update(
+        {
+            "app": "stencil",
+            "n": config.n,
+            "num_procs": p,
+            "rows_per_proc": h,
+            "iterations": config.iterations,
+            "halo_bytes": halo_bytes,
+        }
+    )
+    return trace
+
+
+def execute_jacobi(grid: np.ndarray, iterations: int) -> np.ndarray:
+    """Numerically run the 5-point Jacobi relaxation (boundary held fixed)."""
+    if grid.ndim != 2:
+        raise ValueError("grid must be 2-D")
+    if iterations < 0:
+        raise ValueError("iterations must be >= 0")
+    cur = np.array(grid, dtype=np.float64, copy=True)
+    for _ in range(iterations):
+        nxt = cur.copy()
+        nxt[1:-1, 1:-1] = 0.25 * (
+            cur[:-2, 1:-1] + cur[2:, 1:-1] + cur[1:-1, :-2] + cur[1:-1, 2:]
+        )
+        cur = nxt
+    return cur

@@ -1,0 +1,59 @@
+"""Basic block operations of the blocked Gaussian Elimination (paper §5.1).
+
+Real NumPy implementations (plus scalar references), a host timing harness
+reproducing the Figure 6 measurement methodology, and a deterministic
+Meiko-CS-2-shaped calibration for the cost curves.
+"""
+
+from .calibration import (
+    CS2_CACHE_BYTES,
+    CS2_FLOP_US,
+    CS2_LINE_BYTES,
+    CS2_MISS_PENALTY_US,
+    SCAN_US_PER_BLOCK,
+    LOCAL_COPY_US_PER_BYTE,
+    calibrated_cost,
+    calibrated_table,
+    cold_extra_cost,
+    operand_bytes,
+)
+from .ops import (
+    OP_NAMES,
+    Factors,
+    flop_count,
+    op1_factor,
+    op1_factor_ref,
+    op2_row,
+    op2_row_ref,
+    op3_col,
+    op3_col_ref,
+    op4_update,
+    op4_update_ref,
+)
+from .timing import OpTimer, measure_op_costs
+
+__all__ = [
+    "OP_NAMES",
+    "Factors",
+    "flop_count",
+    "op1_factor",
+    "op1_factor_ref",
+    "op2_row",
+    "op2_row_ref",
+    "op3_col",
+    "op3_col_ref",
+    "op4_update",
+    "op4_update_ref",
+    "OpTimer",
+    "measure_op_costs",
+    "calibrated_cost",
+    "calibrated_table",
+    "cold_extra_cost",
+    "operand_bytes",
+    "CS2_FLOP_US",
+    "CS2_CACHE_BYTES",
+    "CS2_LINE_BYTES",
+    "CS2_MISS_PENALTY_US",
+    "SCAN_US_PER_BLOCK",
+    "LOCAL_COPY_US_PER_BYTE",
+]

@@ -1,0 +1,117 @@
+"""Deterministic Meiko-CS-2-shaped basic-operation cost tables.
+
+We do not have a Meiko CS-2 to measure, so this module provides an
+analytic stand-in calibrated to the *shape* the paper reports in Figure 6
+(section 5.1):
+
+* the dependence of every op's cost on the block size ``b`` is nonlinear
+  (cubic flop terms plus linear/constant per-call and per-row overheads);
+* for **small** blocks, **Op1** (triangularise + invert) is the most
+  expensive — its ``b`` sequential pivot steps carry the largest per-row
+  overhead;
+* near ``b ~ 60`` all four operations cost roughly the same (~1.7 ms);
+* for **large** blocks (``b ~ 120..160``) the full multiplication of
+  Op3/Op4 costs about **twice** Op1.
+
+The model is ``cost(b) = f * flops(op, b) * w_op + row * b + call`` with a
+per-op cubic weight ``w_op`` chosen so the asymptotic ratios match the
+paper, and overheads chosen so the curves cross near ``b = 60``.
+
+The cost of a *cache-cold* invocation (used by the machine emulator and
+the cache-aware prediction extension) adds a miss term proportional to the
+operand footprint; see :func:`cold_extra_cost`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .ops import OP_NAMES, flop_count
+
+__all__ = [
+    "CS2_FLOP_US",
+    "calibrated_cost",
+    "calibrated_table",
+    "cold_extra_cost",
+    "operand_bytes",
+    "CS2_CACHE_BYTES",
+    "CS2_LINE_BYTES",
+    "CS2_MISS_PENALTY_US",
+    "SCAN_US_PER_BLOCK",
+    "LOCAL_COPY_US_PER_BYTE",
+]
+
+#: per-flop cost stand-in for a mid-90s SPARC node (~100 MFLOPS), µs/flop
+CS2_FLOP_US = 0.01
+
+#: cubic weight per op.  Op1's 4/3 b^3 factor/invert flops pipeline better
+#: per flop than its raw count suggests (weight 0.75 makes its effective
+#: cubic term f*b^3), so that Op4's full multiply (2 f b^3) costs about
+#: twice Op1 at large block sizes — the paper's Figure 6 asymptote.  Op2
+#: and Op3 (triangular-by-square products, b^3 multiply-adds but poorer
+#: pipelining than the full product) sit between, keeping all four curves
+#: within a small band near the crossover as the paper's Figure 6 shows.
+_CUBIC_WEIGHT = {"op1": 0.75, "op2": 1.6, "op3": 1.6, "op4": 1.0}
+
+#: per-row overhead (µs per b): Op1 pays for its sequential pivot loop,
+#: which makes it the most expensive op for small blocks (Figure 6).
+_ROW_OVERHEAD = {"op1": 30.0, "op2": 5.0, "op3": 5.0, "op4": 1.5}
+
+#: fixed per-call overhead (µs); tuned so Op1 and Op4 cross near b ~ 56.
+_CALL_OVERHEAD = {"op1": 200.0, "op2": 50.0, "op3": 50.0, "op4": 25.0}
+
+#: cache geometry of the emulated node (256 KiB direct-ish cache, 32 B lines)
+CS2_CACHE_BYTES = 256 * 1024
+CS2_LINE_BYTES = 32
+#: penalty per missed cache line, µs
+CS2_MISS_PENALTY_US = 0.35
+
+#: per-step scan cost of iterating over one assigned block (each processor
+#: walks all of its blocks every wavefront step to find the active ones —
+#: the paper's explanation for the computation-time under-prediction at
+#: small block sizes, section 6.3), µs per block per step
+SCAN_US_PER_BLOCK = 1.0
+
+#: local memory transfer cost (self-messages in real execution), µs/byte;
+#: ~500 MB/s node-local copy, an order of magnitude cheaper than the wire
+LOCAL_COPY_US_PER_BYTE = 0.002
+
+
+def calibrated_cost(op: str, b: int) -> float:
+    """Warm-cache cost in µs of one basic op on a ``b x b`` block."""
+    if op not in OP_NAMES:
+        raise ValueError(f"unknown op {op!r}; expected one of {OP_NAMES}")
+    if b < 1:
+        raise ValueError("block size must be >= 1")
+    cubic = CS2_FLOP_US * flop_count(op, b) * _CUBIC_WEIGHT[op]
+    return cubic + _ROW_OVERHEAD[op] * b + _CALL_OVERHEAD[op]
+
+
+def calibrated_table(block_sizes: Sequence[int]) -> Mapping[str, Mapping[int, float]]:
+    """``{op: {b: cost_us}}`` for the given block sizes."""
+    return {op: {b: calibrated_cost(op, b) for b in block_sizes} for op in OP_NAMES}
+
+
+def operand_bytes(op: str, b: int) -> int:
+    """Bytes of float64 operands an op touches (inputs + output)."""
+    blocks = {"op1": 3, "op2": 3, "op3": 3, "op4": 4}[op]
+    return blocks * b * b * 8
+
+
+def cold_extra_cost(
+    op: str,
+    b: int,
+    cache_bytes: int = CS2_CACHE_BYTES,
+    line_bytes: int = CS2_LINE_BYTES,
+    miss_penalty_us: float = CS2_MISS_PENALTY_US,
+) -> float:
+    """Extra µs for a cache-cold invocation of ``op`` on a ``b x b`` block.
+
+    Every operand line must be fetched; once the operand footprint exceeds
+    the cache, even "warm" invocations stream (that regime is already
+    inside the calibrated cubic term, so the cold extra is capped at the
+    cache size).
+    """
+    touched = min(operand_bytes(op, b), cache_bytes)
+    lines = touched / line_bytes
+    return lines * miss_penalty_us

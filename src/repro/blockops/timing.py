@@ -1,0 +1,105 @@
+"""Host measurement of basic-operation running times (paper Figure 6).
+
+The paper measured the four basic operations on a Meiko CS-2 node for each
+block size.  The equivalent here is to time our own implementations on the
+host; the resulting cost table plugs into the prediction through
+:class:`repro.core.costmodel.TableCostModel`.
+
+Host timings are inherently machine- and load-dependent — they reproduce
+the *kind* of nonlinearity of Figure 6 (per-call overheads dominating small
+blocks, cubic terms dominating large ones), while the deterministic tables
+in :mod:`repro.blockops.calibration` reproduce the paper's exact shape.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from .ops import OP_NAMES, op1_factor, op2_row, op3_col, op4_update
+
+__all__ = ["OpTimer", "measure_op_costs"]
+
+
+def _mk_inputs(op: str, b: int, rng: np.random.Generator) -> tuple:
+    """Random, numerically safe inputs for one basic op."""
+    base = rng.standard_normal((b, b))
+    dominant = base + b * np.eye(b)  # diagonally dominant: safe without pivoting
+    if op == "op1":
+        return (dominant,)
+    if op == "op2":
+        lower_inv = np.tril(rng.standard_normal((b, b)), -1) + np.eye(b)
+        return (lower_inv, base)
+    if op == "op3":
+        upper_inv = np.triu(rng.standard_normal((b, b))) + b * np.eye(b)
+        return (base, upper_inv)
+    if op == "op4":
+        return (base, rng.standard_normal((b, b)), rng.standard_normal((b, b)))
+    raise ValueError(f"unknown op {op!r}")
+
+
+_IMPLS: dict[str, Callable] = {
+    "op1": op1_factor,
+    "op2": op2_row,
+    "op3": op3_col,
+    "op4": op4_update,
+}
+
+
+@dataclass
+class OpTimer:
+    """Times basic operations on the host with warmup and median-of-repeats.
+
+    Parameters
+    ----------
+    repeats:
+        Timed repetitions per (op, block size); the median is reported.
+    warmup:
+        Untimed calls before measuring (JIT-less here, but primes caches
+        and NumPy internals).
+    seed:
+        Seed for the random inputs.
+    """
+
+    repeats: int = 5
+    warmup: int = 1
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        self._rng = np.random.default_rng(self.seed)
+
+    def time_op(self, op: str, b: int) -> float:
+        """Median wall time of one ``op`` call on a ``b x b`` block, in µs."""
+        if op not in _IMPLS:
+            raise ValueError(f"unknown op {op!r}; expected one of {OP_NAMES}")
+        if b < 1:
+            raise ValueError("block size must be >= 1")
+        impl = _IMPLS[op]
+        args = _mk_inputs(op, b, self._rng)
+        for _ in range(self.warmup):
+            impl(*args)
+        samples = []
+        for _ in range(self.repeats):
+            t0 = time.perf_counter()
+            impl(*args)
+            samples.append((time.perf_counter() - t0) * 1e6)
+        return float(np.median(samples))
+
+    def sweep(self, block_sizes: Sequence[int]) -> dict[str, dict[int, float]]:
+        """``{op: {b: cost_us}}`` over all four ops and the given sizes."""
+        return {
+            op: {b: self.time_op(op, b) for b in block_sizes} for op in OP_NAMES
+        }
+
+
+def measure_op_costs(
+    block_sizes: Sequence[int], repeats: int = 5, seed: int = 0
+) -> Mapping[str, Mapping[int, float]]:
+    """Convenience wrapper: measure all four ops over ``block_sizes``."""
+    return OpTimer(repeats=repeats, seed=seed).sweep(block_sizes)

@@ -1,0 +1,295 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+``timeline``   simulate one communication step and render it
+               (the paper's Figures 4/5 for any pattern)
+``predict``    predict a GE configuration (both algorithms + emulated run)
+``sweep``      block-size sweep for GE, with optimum report (Figure 7)
+``ops``        print the basic-operation cost table (Figure 6)
+``trace``      generate a GE trace and save it as JSON
+
+Examples
+--------
+::
+
+    python -m repro timeline --pattern sample --algorithm worstcase
+    python -m repro predict -n 480 -b 48 --layout diagonal
+    python -m repro sweep -n 480 --layout diagonal stripped
+    python -m repro ops -b 10 20 40 80 160 --source calibrated
+    python -m repro trace -n 240 -b 24 --layout diagonal -o ge.json
+    python -m repro profile -n 480 -b 48
+    python -m repro fit --jitter
+    python -m repro svg --pattern sample -o fig4.svg
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import format_figure, format_table, render_timeline, series_from_rows
+from .apps import (
+    PAPER_BLOCK_SIZES,
+    all_to_all_pattern,
+    ring_pattern,
+    sample_pattern,
+)
+from .apps.gauss import GEConfig, build_ge_trace
+from .blockops import OP_NAMES, calibrated_table, measure_op_costs
+from .core import (
+    MEIKO_CS2,
+    CalibratedCostModel,
+    LogGPParameters,
+    run_ge_point,
+    run_ge_sweep,
+    simulate_causal,
+    simulate_standard,
+    simulate_worstcase,
+)
+from .core.units import us_to_s
+from .layouts import LAYOUTS
+from .trace.serialization import save_trace
+
+__all__ = ["main", "build_parser"]
+
+_ALGORITHMS = {
+    "standard": simulate_standard,
+    "worstcase": simulate_worstcase,
+    "causal": simulate_causal,
+}
+
+_PATTERNS = {
+    "sample": lambda P, size: sample_pattern(size),
+    "ring": ring_pattern,
+    "alltoall": all_to_all_pattern,
+}
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--L", type=float, default=MEIKO_CS2.L, help="latency, us")
+    parser.add_argument("--o", type=float, default=MEIKO_CS2.o, help="overhead, us")
+    parser.add_argument("--g", type=float, default=MEIKO_CS2.g, help="gap, us")
+    parser.add_argument("--G", type=float, default=MEIKO_CS2.G, help="gap per byte, us/B")
+    parser.add_argument("--procs", type=int, default=MEIKO_CS2.P, help="processor count")
+
+
+def _machine(args: argparse.Namespace) -> LogGPParameters:
+    return LogGPParameters(L=args.L, o=args.o, g=args.g, G=args.G, P=args.procs, name="cli")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LogGP running-time prediction (Rugina & Schauser, IPPS 1998)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("timeline", help="simulate one communication step")
+    p.add_argument("--pattern", choices=sorted(_PATTERNS), default="sample")
+    p.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="standard")
+    p.add_argument("--size", type=int, default=1160, help="message bytes")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--width", type=int, default=100)
+    _add_machine_args(p)
+
+    p = sub.add_parser("predict", help="predict one GE configuration")
+    p.add_argument("-n", type=int, default=480, help="matrix order")
+    p.add_argument("-b", type=int, default=48, help="block size")
+    p.add_argument("--layout", choices=sorted(LAYOUTS), default="diagonal")
+    p.add_argument("--no-measured", action="store_true", help="skip the emulated run")
+    p.add_argument("--seed", type=int, default=0)
+    _add_machine_args(p)
+
+    p = sub.add_parser("sweep", help="GE block-size sweep (Figure 7)")
+    p.add_argument("-n", type=int, default=480)
+    p.add_argument("--blocks", type=int, nargs="*", default=None,
+                   help="block sizes (default: paper sizes dividing n)")
+    p.add_argument("--layout", nargs="+", choices=sorted(LAYOUTS), default=["diagonal"])
+    p.add_argument("--no-measured", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    _add_machine_args(p)
+
+    p = sub.add_parser("ops", help="basic-operation cost table (Figure 6)")
+    p.add_argument("-b", "--blocks", type=int, nargs="+", default=[10, 20, 40, 60, 80, 160])
+    p.add_argument("--source", choices=["calibrated", "measured"], default="calibrated")
+    p.add_argument("--repeats", type=int, default=3, help="host-timing repeats")
+
+    p = sub.add_parser("trace", help="generate and save a GE trace as JSON")
+    p.add_argument("-n", type=int, default=240)
+    p.add_argument("-b", type=int, default=24)
+    p.add_argument("--layout", choices=sorted(LAYOUTS), default="diagonal")
+    p.add_argument("-o", "--output", required=True, help="output JSON path")
+    p.add_argument("--procs", type=int, default=MEIKO_CS2.P)
+
+    p = sub.add_parser("profile", help="lost-cycles decomposition of a GE run")
+    p.add_argument("-n", type=int, default=480)
+    p.add_argument("-b", type=int, default=48)
+    p.add_argument("--layout", choices=sorted(LAYOUTS), default="diagonal")
+    p.add_argument("--mode", choices=["standard", "worstcase", "causal"], default="standard")
+    _add_machine_args(p)
+
+    p = sub.add_parser("fit", help="recover LogGP parameters via micro-benchmarks")
+    p.add_argument("--jitter", action="store_true", help="run against the jittered network")
+    p.add_argument("--repeats", type=int, default=9)
+    p.add_argument("--seed", type=int, default=0)
+    _add_machine_args(p)
+
+    p = sub.add_parser("svg", help="render a communication step as SVG")
+    p.add_argument("--pattern", choices=sorted(_PATTERNS), default="sample")
+    p.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="standard")
+    p.add_argument("--size", type=int, default=1160)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--svg-width", type=int, default=900)
+    p.add_argument("-o", "--output", required=True, help="output SVG path")
+    _add_machine_args(p)
+
+    return parser
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    params = _machine(args)
+    pattern = _PATTERNS[args.pattern](params.P if args.pattern != "sample" else 10, args.size)
+    result = _ALGORITHMS[args.algorithm](params, pattern, seed=args.seed)
+    print(f"{args.algorithm} algorithm on {args.pattern!r} pattern  ({params.describe()})")
+    print(render_timeline(result.timeline, width=args.width))
+    print(f"completion: {result.completion_time:.2f} us")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    params = _machine(args)
+    row = run_ge_point(
+        args.n, args.b, args.layout, params, CalibratedCostModel(),
+        with_measured=not args.no_measured, seed=args.seed,
+    )
+    print(f"{args.n}x{args.n} GE, b={args.b}, layout={args.layout}  ({params.describe()})")
+    for name, us in row.series().items():
+        print(f"  {name:26s} {us_to_s(us):9.4f} s")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    params = _machine(args)
+    blocks = args.blocks or [b for b in PAPER_BLOCK_SIZES if args.n % b == 0]
+    if not blocks:
+        print(f"error: no paper block size divides n={args.n}", file=sys.stderr)
+        return 2
+    bad = [b for b in blocks if args.n % b]
+    if bad:
+        print(f"error: block sizes {bad} do not divide n={args.n}", file=sys.stderr)
+        return 2
+    rows = run_ge_sweep(
+        args.n, blocks, args.layout, params, CalibratedCostModel(),
+        with_measured=not args.no_measured, seed=args.seed,
+    )
+    for layout in args.layout:
+        mine = [r for r in rows if r.layout == layout]
+        series = series_from_rows(mine, "b", lambda r: r.series())
+        print(format_figure(f"{layout} mapping, n={args.n}", series))
+        best = min(mine, key=lambda r: r.pred_standard.total_us)
+        print(f"predicted optimal block size: {best.b}\n")
+    return 0
+
+
+def _cmd_ops(args: argparse.Namespace) -> int:
+    if args.source == "calibrated":
+        table = calibrated_table(args.blocks)
+        title = "calibrated CS-2 stand-in [ms]"
+    else:
+        table = measure_op_costs(args.blocks, repeats=args.repeats)
+        title = "host-measured [ms]"
+    rows = [
+        {"b": b, **{op: table[op][b] / 1000.0 for op in OP_NAMES}} for b in args.blocks
+    ]
+    print(format_table(rows, ["b", *OP_NAMES], title=title))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    layout = LAYOUTS[args.layout](args.n // args.b, args.procs)
+    trace = build_ge_trace(GEConfig(n=args.n, b=args.b, layout=layout))
+    save_trace(trace, args.output)
+    print(
+        f"wrote {args.output}: {len(trace)} steps, {trace.total_ops()} ops, "
+        f"{trace.total_messages()} messages"
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .apps.gauss import GEConfig as _GEConfig
+    from .machine import profile_program
+
+    params = _machine(args)
+    layout = LAYOUTS[args.layout](args.n // args.b, params.P)
+    trace = build_ge_trace(_GEConfig(n=args.n, b=args.b, layout=layout))
+    profile = profile_program(trace, params, CalibratedCostModel(), mode=args.mode)
+    print(profile.describe())
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    from .core.fitting import assess_fit, emulator_runner, fit_loggp
+
+    truth = _machine(args)
+    if args.jitter:
+        from .machine import JitteredNetwork
+
+        net = JitteredNetwork(params=truth, seed=args.seed)
+        runner = emulator_runner(truth, latency_of=net.latency_of)
+    else:
+        runner = emulator_runner(truth, seed=args.seed)
+    fitted = fit_loggp(runner, num_procs=truth.P, repeats=args.repeats)
+    errors = assess_fit(fitted, truth)
+    print(f"truth : {truth.describe()}")
+    print(f"fitted: {fitted.describe()}")
+    print(
+        "errors: "
+        + ", ".join(f"{k}={100 * v:.2f}%" for k, v in sorted(errors.items()))
+    )
+    return 0
+
+
+def _cmd_svg(args: argparse.Namespace) -> int:
+    from .analysis.svg import save_timeline_svg
+
+    params = _machine(args)
+    pattern = _PATTERNS[args.pattern](params.P if args.pattern != "sample" else 10, args.size)
+    result = _ALGORITHMS[args.algorithm](params, pattern, seed=args.seed)
+    save_timeline_svg(
+        result.timeline,
+        args.output,
+        width=args.svg_width,
+        title=f"{args.algorithm} algorithm, {args.pattern} pattern",
+    )
+    print(f"wrote {args.output} (completion {result.completion_time:.2f} us)")
+    return 0
+
+
+_COMMANDS = {
+    "timeline": _cmd_timeline,
+    "predict": _cmd_predict,
+    "sweep": _cmd_sweep,
+    "ops": _cmd_ops,
+    "trace": _cmd_trace,
+    "profile": _cmd_profile,
+    "fit": _cmd_fit,
+    "svg": _cmd_svg,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

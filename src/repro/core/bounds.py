@@ -1,0 +1,115 @@
+"""Analytic bounds and the BSP reference estimate for program running time.
+
+Before simulating, one can bracket the answer with closed forms — the
+approach of the bound-oriented prior work the paper cites (Liang &
+Tripathi; Löwe & Zimmermann's upper time bounds, its references [12] and
+[13]).  The simulation must land inside the bracket, which gives the test
+suite a model-independent sanity check, and the gap between bound and
+simulation *is* the value the paper's simulation adds.
+
+Lower bounds (each individually valid; the reported bound is their max):
+
+* **work bound** — some processor must execute its own operations and be
+  engaged for its own sends/receives: ``max_p (comp_p + busy_p)``;
+* **average bound** — the total work cannot be split better than evenly
+  across processors: ``(Σ comp + Σ busy) / P``.
+
+Upper bound:
+
+* **serialisation bound** — run everything with zero overlap: every op
+  after every other, every message after every other:
+  ``Σ comp + Σ (send + L + recv + g)``.
+
+Additionally, :func:`compute_bounds` reports the **BSP reference**
+estimate (Valiant's bulk-synchronous model, the paper's section 1): what
+the program would cost if every step ended with a global barrier —
+``Σ over steps of (max-processor computation + one message transit)``.
+Under per-processor clocks (the paper's model) steps of different
+processors overlap, so the BSP figure is *neither* a bound nor the
+prediction; the difference between it and the LogGP simulation measures
+what barrier-free execution buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trace.program import ProgramTrace
+from .costmodel import CostModel
+from .loggp import LogGPParameters
+
+__all__ = ["RunningTimeBounds", "compute_bounds"]
+
+
+@dataclass(frozen=True)
+class RunningTimeBounds:
+    """Closed-form bracket on a program's running time (µs)."""
+
+    lower_us: float
+    upper_us: float
+    #: the individual lower bounds (diagnostics)
+    work_bound_us: float
+    average_bound_us: float
+    #: Valiant-style barrier-synchronous estimate (not a bound; see module doc)
+    bsp_reference_us: float
+
+    def __post_init__(self) -> None:
+        if self.lower_us > self.upper_us + 1e-9:
+            raise ValueError("lower bound exceeds upper bound")
+
+    def contains(self, value_us: float, slack: float = 1e-9) -> bool:
+        """Is ``value_us`` inside the bracket (with relative slack)?"""
+        return (
+            self.lower_us * (1.0 - slack) <= value_us <= self.upper_us * (1.0 + slack)
+        )
+
+    @property
+    def spread(self) -> float:
+        """Upper / lower ratio — how loose the analytic bracket is."""
+        if self.lower_us == 0:
+            return float("inf")
+        return self.upper_us / self.lower_us
+
+
+def compute_bounds(
+    trace: ProgramTrace, params: LogGPParameters, cost_model: CostModel
+) -> RunningTimeBounds:
+    """Bracket the running time of ``trace`` without simulating it."""
+    per_proc_comp = {p: 0.0 for p in range(trace.num_procs)}
+    per_proc_busy = {p: 0.0 for p in range(trace.num_procs)}
+    bsp = 0.0
+    serial = 0.0
+
+    for step in trace.steps:
+        step_comp_max = 0.0
+        for proc, ops in step.work.items():
+            t = sum(cost_model.cost(w.op, w.b) for w in ops)
+            per_proc_comp[proc] += t
+            serial += t
+            step_comp_max = max(step_comp_max, t)
+
+        step_msg_max = 0.0
+        if step.pattern is not None:
+            for m in step.pattern.remote_messages():
+                send = params.send_duration(m.size)
+                recv = params.recv_duration(m.size)
+                per_proc_busy[m.src] += send
+                per_proc_busy[m.dst] += recv
+                serial += send + params.L + recv + params.g
+                step_msg_max = max(step_msg_max, params.end_to_end(m.size))
+        bsp += step_comp_max + step_msg_max
+
+    work_bound = max(
+        (per_proc_comp[p] + per_proc_busy[p] for p in per_proc_comp), default=0.0
+    )
+    total = sum(per_proc_comp.values()) + sum(per_proc_busy.values())
+    average_bound = total / trace.num_procs
+    lower = max(work_bound, average_bound)
+    upper = max(serial, lower)
+    return RunningTimeBounds(
+        lower_us=lower,
+        upper_us=upper,
+        work_bound_us=work_bound,
+        average_bound_us=average_bound,
+        bsp_reference_us=bsp,
+    )

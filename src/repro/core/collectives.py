@@ -1,0 +1,351 @@
+"""Collective communication under LogGP: patterns and optimal schedules.
+
+The paper builds on work that analysed *regular* communication patterns
+with explicit formulas — most prominently Karp, Sahay, Santos and
+Schauser, "Optimal broadcast and summation in the LogP model" (its
+reference [9]).  This module provides that substrate:
+
+* pattern generators for the classic collectives (linear and binomial
+  broadcast, scatter, gather, reduction trees, ring all-gather), emitted
+  as :class:`~repro.core.message.CommPattern` so the paper's simulation
+  algorithms can schedule them;
+* the **optimal single-item LogP broadcast tree** of Karp et al.: each
+  processor that knows the datum keeps transmitting to new processors;
+  the shape is determined by ``L``, ``o`` and ``g``;
+* closed-form completion times for the simple collectives, used by the
+  test suite to cross-check the simulators against theory (where a
+  formula exists, simulation must match it — the paper's point is that
+  formulas stop existing once patterns get irregular).
+
+A semantic subtlety the paper's model makes explicit: a
+:class:`~repro.core.message.CommPattern` describes **one communication
+step**, in which every message is ready at step start.  Simulating a
+multi-round tree broadcast as a single step therefore *under*-estimates:
+a recruit would forward the datum before receiving it.  Single-hop
+collectives (linear broadcast, scatter, gather, one ring round) are
+single-step exact; for trees, :func:`simulate_tree_broadcast` executes
+the pattern on the Split-C active-message runtime, where forwarding is
+triggered by the receive — the data-dependent schedule the closed forms
+describe.
+
+Formulas use this package's timing conventions (see
+:mod:`repro.core.loggp`): a send engages the sender ``o + (k-1)G``,
+consecutive sends are separated by a gap ``g`` after the previous send
+*ends*, a send after a receive waits ``max(o, g) - o``, the wire adds
+``L``, and a receive engages the receiver ``o``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional
+
+from .loggp import LogGPParameters
+from .message import CommPattern
+
+__all__ = [
+    "linear_broadcast_pattern",
+    "binomial_broadcast_pattern",
+    "scatter_pattern",
+    "gather_pattern",
+    "reduction_pattern",
+    "ring_allgather_round",
+    "linear_broadcast_time",
+    "binomial_broadcast_time",
+    "gather_time",
+    "BroadcastSchedule",
+    "optimal_broadcast_schedule",
+    "simulate_tree_broadcast",
+]
+
+
+def _check(num_procs: int, root: int) -> None:
+    if num_procs < 1:
+        raise ValueError("num_procs must be >= 1")
+    if not (0 <= root < num_procs):
+        raise ValueError(f"root {root} out of range")
+
+
+# --------------------------------------------------------------------------
+# pattern generators
+# --------------------------------------------------------------------------
+
+def linear_broadcast_pattern(num_procs: int, size: int = 1, root: int = 0) -> CommPattern:
+    """Root sends to every other processor, one message at a time."""
+    _check(num_procs, root)
+    pat = CommPattern(num_procs)
+    for dst in range(num_procs):
+        if dst != root:
+            pat.add(root, dst, size)
+    return pat
+
+
+def binomial_broadcast_pattern(num_procs: int, size: int = 1, root: int = 0) -> CommPattern:
+    """Binomial-tree broadcast: informed processors recruit in rounds.
+
+    In round ``r``, every processor that already holds the datum sends it
+    to a processor at distance ``2**r`` (mod P).  Message insertion order
+    follows rounds, so per-sender program order matches the tree.
+    """
+    _check(num_procs, root)
+    pat = CommPattern(num_procs)
+    informed = [root]
+    stride = 1
+    while stride < num_procs:
+        for src in list(informed):
+            dst = (src + stride) % num_procs
+            if len(informed) >= num_procs:
+                break
+            pat.add(src, dst, size)
+            informed.append(dst)
+        stride *= 2
+    return pat
+
+
+def scatter_pattern(num_procs: int, size: int = 1, root: int = 0) -> CommPattern:
+    """Root sends a distinct block to every processor (same bytes each)."""
+    return linear_broadcast_pattern(num_procs, size, root)
+
+
+def gather_pattern(num_procs: int, size: int = 1, root: int = 0) -> CommPattern:
+    """Every processor sends one block to the root."""
+    _check(num_procs, root)
+    pat = CommPattern(num_procs)
+    for src in range(num_procs):
+        if src != root:
+            pat.add(src, root, size)
+    return pat
+
+
+def reduction_pattern(num_procs: int, size: int = 1, root: int = 0) -> CommPattern:
+    """Binomial reduction tree toward the root (mirror of the broadcast)."""
+    _check(num_procs, root)
+    pat = CommPattern(num_procs)
+    # pair processors at growing strides (leaf combines first, so every
+    # contribution is in hand before it is forwarded); relabel so the
+    # root is processor 0 of the virtual numbering
+    relabel = lambda p: (p + root) % num_procs
+    stride = 1
+    while stride < num_procs:
+        for p in range(0, num_procs, 2 * stride):
+            partner = p + stride
+            if partner < num_procs:
+                pat.add(relabel(partner), relabel(p), size)
+        stride *= 2
+    return pat
+
+
+def ring_allgather_round(num_procs: int, size: int = 1) -> CommPattern:
+    """One round of a ring all-gather: everyone forwards to the right."""
+    if num_procs < 2:
+        raise ValueError("a ring needs >= 2 processors")
+    pat = CommPattern(num_procs)
+    for p in range(num_procs):
+        pat.add(p, (p + 1) % num_procs, size)
+    return pat
+
+
+# --------------------------------------------------------------------------
+# closed forms (cross-checked against the simulators by the tests)
+# --------------------------------------------------------------------------
+
+def linear_broadcast_time(params: LogGPParameters, num_procs: int, size: int = 1) -> float:
+    """Completion time of the linear broadcast under this package's rules.
+
+    The root issues ``P-1`` sends separated by ``g`` after each send ends;
+    each message lands ``L`` later and costs the receiver ``o``.  All
+    receivers are distinct, so the last *issued* message finishes last:
+
+    ``(P-1)*s + (P-2)*g + L + o`` with ``s = o + (size-1)G``.
+    """
+    if num_procs < 2:
+        return 0.0
+    s = params.send_duration(size)
+    return (num_procs - 1) * s + (num_procs - 2) * params.g + params.L + params.recv_duration(size)
+
+
+def binomial_broadcast_time(params: LogGPParameters, num_procs: int, size: int = 1) -> float:
+    """Completion time of the binomial-tree broadcast.
+
+    Computed by the natural recurrence: a processor informed at time ``t``
+    (its receive *ends* at ``t``) starts forwarding after the
+    receive→send gap and then sends every ``s + g``; a new processor is
+    informed ``s + L + o`` after each send starts.  The result is exact
+    for the *data-dependent* execution of the pattern
+    :func:`binomial_broadcast_pattern` generates — the tests verify it
+    against :func:`simulate_tree_broadcast`.
+    """
+    if num_procs < 2:
+        return 0.0
+    s = params.send_duration(size)
+    o = params.recv_duration(size)
+    rs_gap = max(params.o, params.g) - params.o  # receive -> send
+    ss_gap = params.g
+
+    informed = 1
+    finish = 0.0
+    # simulate the recruitment greedily in pattern order
+    order = []
+    stride = 1
+    srcs: list[int] = [0]
+    while stride < num_procs:
+        for src in list(srcs):
+            if len(srcs) >= num_procs:
+                break
+            order.append(src)
+            srcs.append(len(srcs))
+        stride *= 2
+    next_send = {0: 0.0}
+    informed_at = {0: 0.0}
+    new_id = 0
+    for src in order:
+        if informed >= num_procs:
+            break
+        start = next_send[src]
+        next_send[src] = start + s + ss_gap
+        arrive_end = start + s + params.L + o
+        new_id += 1
+        informed_at[new_id] = arrive_end
+        next_send[new_id] = arrive_end + rs_gap
+        informed += 1
+        finish = max(finish, arrive_end)
+    return finish
+
+
+def gather_time(params: LogGPParameters, num_procs: int, size: int = 1) -> float:
+    """Completion time of the all-to-root gather.
+
+    All messages arrive at the root ``s + L`` after time 0; the root then
+    performs ``P-1`` receives separated by the receive gap:
+
+    ``s + L + o + (P-2)*(g + o)``.
+    """
+    if num_procs < 2:
+        return 0.0
+    s = params.send_duration(size)
+    o = params.recv_duration(size)
+    return s + params.L + o + (num_procs - 2) * (params.g + o)
+
+
+# --------------------------------------------------------------------------
+# optimal LogP broadcast (Karp et al., the paper's reference [9])
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BroadcastSchedule:
+    """An optimal-broadcast solution: who sends to whom, when.
+
+    ``sends`` is a list of ``(src, dst, send_start)``; ``informed_at``
+    maps processor → the time it holds the datum (receive end).
+    """
+
+    sends: tuple[tuple[int, int, float], ...]
+    informed_at: dict[int, float]
+
+    @property
+    def completion_time(self) -> float:
+        """Time the last processor is informed."""
+        return max(self.informed_at.values())
+
+    def to_pattern(self, size: int = 1, num_procs: Optional[int] = None) -> CommPattern:
+        """The schedule's message set as a :class:`CommPattern`.
+
+        Per-sender program order follows send start times, so executing
+        the pattern with data dependencies
+        (:func:`simulate_tree_broadcast`) reproduces this exact schedule.
+        """
+        n = num_procs if num_procs is not None else len(self.informed_at)
+        pat = CommPattern(n)
+        for src, dst, _ in sorted(self.sends, key=lambda t: (t[0], t[2])):
+            pat.add(src, dst, size)
+        return pat
+
+
+def optimal_broadcast_schedule(
+    params: LogGPParameters, num_procs: int, size: int = 1
+) -> BroadcastSchedule:
+    """Greedy-optimal single-item broadcast (Karp et al. construction).
+
+    Every informed processor keeps sending to uninformed ones; each new
+    datum copy goes to the processor that can be informed *earliest*.
+    Under LogP this greedy schedule is provably optimal; here it is
+    computed for this package's LogGP timing rules (gap after send end,
+    receive→send gap of ``max(o, g) - o``).
+    """
+    if num_procs < 1:
+        raise ValueError("num_procs must be >= 1")
+    s = params.send_duration(size)
+    o = params.recv_duration(size)
+    rs_gap = max(params.o, params.g) - params.o
+    ss_gap = params.g
+
+    informed_at = {0: 0.0}
+    sends: list[tuple[int, int, float]] = []
+    # heap of (next send start, processor id)
+    heap: list[tuple[float, int]] = [(0.0, 0)]
+    next_id = 1
+    while next_id < num_procs:
+        start, src = heapq.heappop(heap)
+        dst = next_id
+        next_id += 1
+        arrive_end = start + s + params.L + o
+        informed_at[dst] = arrive_end
+        sends.append((src, dst, start))
+        heapq.heappush(heap, (start + s + ss_gap, src))
+        heapq.heappush(heap, (arrive_end + rs_gap, dst))
+    return BroadcastSchedule(sends=tuple(sends), informed_at=informed_at)
+
+
+# --------------------------------------------------------------------------
+# data-dependent execution of tree patterns (active-message runtime)
+# --------------------------------------------------------------------------
+
+def simulate_tree_broadcast(
+    params: LogGPParameters, pattern: CommPattern, root: int = 0
+):
+    """Execute a tree-broadcast pattern with real data dependencies.
+
+    Every non-root processor forwards its outgoing messages only *after*
+    receiving the datum — the semantics a tree broadcast actually has,
+    provided here by the Split-C active-message runtime
+    (:class:`repro.machine.SplitCMachine`).  Returns the resulting
+    :class:`~repro.core.events.StepTimeline`.
+
+    Requires ``pattern`` to be a tree rooted at ``root``: every processor
+    other than the root receives exactly once.
+    """
+    from ..machine.activemsg import SplitCMachine  # deferred: avoids cycle
+
+    receivers = [m.dst for m in pattern.remote_messages()]
+    if len(set(receivers)) != len(receivers):
+        raise ValueError("pattern is not a tree: some processor receives twice")
+    if root in receivers:
+        raise ValueError("pattern is not rooted here: the root receives a message")
+
+    children: dict[int, list[tuple[int, int]]] = {}
+    for m in pattern.remote_messages():
+        children.setdefault(m.src, []).append((m.dst, m.size))
+
+    machine = SplitCMachine(params.with_(P=max(pattern.num_procs, params.P)))
+
+    def program(m):
+        nodes = set(children) | set(receivers) | {root}
+
+        def make_handler(pid: int):
+            def handler(src, payload):
+                for dst, size in children.get(pid, ()):  # forward on receipt
+                    m.port(pid).store(dst, size=size, payload=payload)
+                m.port(pid).finish()
+
+            return handler
+
+        for p in sorted(nodes):
+            m.port(p)  # materialise every participating port
+            if p != root:
+                m.on_receive(p, make_handler(p))
+        for dst, size in children.get(root, ()):
+            m.port(root).store(dst, size=size, payload="datum")
+        m.port(root).finish()
+
+    return machine.run(program)

@@ -1,0 +1,169 @@
+"""Basic-operation cost models (the computation side of the prediction).
+
+The paper measures the running time of each basic operation for every
+block size (Figure 6) and uses the resulting table "to determine the
+computation time along the control flow path in the simulation algorithm".
+A :class:`CostModel` is exactly that table behind a two-argument call:
+``cost(op, b) -> microseconds``.
+
+Implementations:
+
+* :class:`TableCostModel` — explicit ``{op: {b: us}}`` table with
+  cubic-consistent interpolation for unseen sizes (so variable-sized-block
+  programs work even when only the paper's 14 sizes were measured);
+* :class:`CalibratedCostModel` — the deterministic Meiko-CS-2-shaped model
+  of :mod:`repro.blockops.calibration`;
+* :class:`MeasuredCostModel` — lazy host timing of our real NumPy
+  implementations (memoised), the closest analogue of the paper's method;
+* :class:`FlopCostModel` — a bare ``us_per_flop * flops`` baseline, useful
+  for ablations showing why the nonlinear table matters.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Mapping, Protocol, Sequence, runtime_checkable
+
+from ..blockops.calibration import calibrated_cost
+from ..blockops.ops import OP_NAMES, flop_count
+from ..blockops.timing import OpTimer
+
+__all__ = [
+    "CostModel",
+    "TableCostModel",
+    "CalibratedCostModel",
+    "MeasuredCostModel",
+    "FlopCostModel",
+]
+
+
+@runtime_checkable
+class CostModel(Protocol):
+    """Anything with ``cost(op, b) -> us`` can price computation steps."""
+
+    def cost(self, op: str, b: int) -> float:  # pragma: no cover - protocol
+        """Running time in µs of one ``op`` invocation on a ``b x b`` block."""
+        ...
+
+
+def _check_op(op: str) -> None:
+    if op not in OP_NAMES:
+        raise ValueError(f"unknown op {op!r}; expected one of {OP_NAMES}")
+
+
+class TableCostModel:
+    """Cost table with interpolation consistent with cubic growth.
+
+    The table may price any finite op set (GE's four, a stencil's kernel,
+    ...).  Between tabulated sizes the cost is interpolated linearly in
+    ``b**3`` (the leading term of every GE basic op), which is markedly
+    better than linear-in-``b`` for the wide gaps in the paper's size set;
+    outside the table it extrapolates from the nearest two entries.
+    """
+
+    def __init__(self, table: Mapping[str, Mapping[int, float]]):
+        if not table:
+            raise ValueError("cost table must price at least one op")
+        self._table: dict[str, dict[int, float]] = {}
+        for op, raw in table.items():
+            entries = dict(raw)
+            if not entries:
+                raise ValueError(f"table for {op!r} is empty")
+            for b, cost in entries.items():
+                if b < 1:
+                    raise ValueError(f"bad block size {b} for {op}")
+                if cost < 0:
+                    raise ValueError(f"negative cost for {op} at b={b}")
+            self._table[op] = entries
+        self._sizes = {op: sorted(t) for op, t in self._table.items()}
+
+    @property
+    def block_sizes(self) -> dict[str, list[int]]:
+        """Tabulated sizes per op."""
+        return {op: list(sizes) for op, sizes in self._sizes.items()}
+
+    def cost(self, op: str, b: int) -> float:
+        """Table lookup with cubic-domain interpolation/extrapolation."""
+        if op not in self._table:
+            raise ValueError(f"op {op!r} not in cost table ({sorted(self._table)})")
+        if b < 1:
+            raise ValueError("block size must be >= 1")
+        entries = self._table[op]
+        if b in entries:
+            return entries[b]
+        sizes = self._sizes[op]
+        if len(sizes) == 1:
+            # single entry: scale by the cubic ratio
+            b0 = sizes[0]
+            return entries[b0] * (b / b0) ** 3
+        pos = bisect.bisect_left(sizes, b)
+        if pos == 0:
+            lo, hi = sizes[0], sizes[1]
+        elif pos == len(sizes):
+            lo, hi = sizes[-2], sizes[-1]
+        else:
+            lo, hi = sizes[pos - 1], sizes[pos]
+        x0, x1, x = float(lo) ** 3, float(hi) ** 3, float(b) ** 3
+        y0, y1 = entries[lo], entries[hi]
+        value = y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+        return max(0.0, value)
+
+
+class CalibratedCostModel:
+    """The deterministic Figure-6-shaped analytic model (CS-2 stand-in)."""
+
+    def cost(self, op: str, b: int) -> float:
+        """See :func:`repro.blockops.calibration.calibrated_cost`."""
+        return calibrated_cost(op, b)
+
+    def table(self, block_sizes: Sequence[int]) -> dict[str, dict[int, float]]:
+        """Materialise the model as an explicit table."""
+        return {op: {b: self.cost(op, b) for b in block_sizes} for op in OP_NAMES}
+
+
+class MeasuredCostModel:
+    """Host-measured costs of the real NumPy implementations (memoised).
+
+    This mirrors the paper's methodology exactly: implement the basic
+    operations, time them per block size, feed the table to the simulator.
+    Timings depend on the host; use :class:`CalibratedCostModel` for
+    deterministic experiments.
+    """
+
+    def __init__(self, repeats: int = 5, seed: int = 0):
+        self._timer = OpTimer(repeats=repeats, seed=seed)
+        self._memo: dict[tuple[str, int], float] = {}
+
+    def cost(self, op: str, b: int) -> float:
+        """Median host wall time (µs), measured once per (op, b)."""
+        _check_op(op)
+        key = (op, b)
+        if key not in self._memo:
+            self._memo[key] = self._timer.time_op(op, b)
+        return self._memo[key]
+
+    def to_table(self, block_sizes: Sequence[int]) -> TableCostModel:
+        """Measure a full sweep and freeze it as a :class:`TableCostModel`."""
+        return TableCostModel(
+            {op: {b: self.cost(op, b) for b in block_sizes} for op in OP_NAMES}
+        )
+
+
+class FlopCostModel:
+    """``cost = us_per_flop * flops(op, b)`` — the naive linear-in-flops model.
+
+    Ablation baseline: it misses every per-call and per-row overhead, so it
+    cannot reproduce the Figure 6 crossover (Op1 never overtakes Op4).
+    """
+
+    def __init__(self, us_per_flop: float = 0.01):
+        if us_per_flop <= 0:
+            raise ValueError("us_per_flop must be positive")
+        self.us_per_flop = us_per_flop
+
+    def cost(self, op: str, b: int) -> float:
+        """Pure flop pricing."""
+        _check_op(op)
+        if b < 1:
+            raise ValueError("block size must be >= 1")
+        return self.us_per_flop * flop_count(op, b)

@@ -1,0 +1,157 @@
+"""LogGP parameter estimation from micro-benchmarks.
+
+The LogGP parameters of a real machine are not given — they are measured
+(the paper's parameters are "close to the Meiko CS-2" because somebody
+ran micro-benchmarks; cf. Culler et al., "LogP Performance Assessment of
+Fast Network Interfaces").  This module implements that assessment loop
+against any *runner*: a callable that executes a communication pattern
+and reports per-processor timings — the machine emulator in this
+repository, a real machine in the field.
+
+Micro-benchmarks (classic shapes):
+
+* **send cost**: one k-byte message; the sender is engaged
+  ``o + (k-1) G`` — two sizes separate ``o`` from ``G``;
+* **one-way transfer**: a 1-byte message completes in ``o + L + o``,
+  giving ``L`` (the simulated runner has a global clock; on a real
+  machine one would halve a ping-pong round trip instead);
+* **gap saturation**: ``m`` back-to-back 1-byte sends finish at
+  ``m*o + (m-1)*g`` on the sender, giving ``g``.
+
+:func:`fit_loggp` runs these against the runner and inverts the closed
+forms; :func:`assess_fit` reports relative errors against known
+parameters (used by the tests to show the estimator recovers the
+emulator's truth, jitter and all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .loggp import LogGPParameters
+from .message import CommPattern
+from .standard_sim import SimulationResult, simulate_standard
+
+__all__ = ["MicrobenchResults", "fit_loggp", "assess_fit", "emulator_runner"]
+
+#: a runner executes one communication pattern and returns the result
+Runner = Callable[[CommPattern], SimulationResult]
+
+
+def emulator_runner(
+    params: LogGPParameters,
+    latency_of=None,
+    seed: int = 0,
+) -> Runner:
+    """A runner backed by the package's own simulation (or jittered net).
+
+    With ``latency_of`` unset this produces exact LogGP behaviour — the
+    fixture the tests use to show :func:`fit_loggp` inverts the model.
+    Pass a :class:`repro.machine.JitteredNetwork`'s ``latency_of`` for a
+    noisy assessment.
+    """
+    if latency_of is None:
+        return lambda pattern: simulate_standard(params, pattern, seed=seed)
+
+    from .des_check import simulate_causal  # jitter needs the causal engine
+
+    return lambda pattern: simulate_causal(params, pattern, latency_of=latency_of)
+
+
+@dataclass(frozen=True)
+class MicrobenchResults:
+    """Raw micro-benchmark observations (µs)."""
+
+    send_small: float  # sender busy, 1-byte message
+    send_large: float  # sender busy, `large_bytes` message
+    large_bytes: int
+    burst: float  # sender finish time, `burst_count` 1-byte messages
+    burst_count: int
+    one_way: float  # completion of a single 1-byte transfer
+
+
+def run_microbenchmarks(
+    runner: Runner, large_bytes: int = 65536, burst_count: int = 16, repeats: int = 3
+) -> MicrobenchResults:
+    """Execute the micro-benchmark suite, median over ``repeats``."""
+    if large_bytes < 2:
+        raise ValueError("large_bytes must be >= 2")
+    if burst_count < 2:
+        raise ValueError("burst_count must be >= 2")
+
+    def median(values):
+        return float(np.median(values))
+
+    def sender_busy(size: int) -> float:
+        samples = []
+        for _ in range(repeats):
+            res = runner(CommPattern(2, edges=[(0, 1, size)]))
+            samples.append(sum(e.duration for e in res.timeline.sends()))
+        return median(samples)
+
+    def burst_finish() -> float:
+        samples = []
+        for _ in range(repeats):
+            pat = CommPattern(burst_count + 1)
+            for i in range(burst_count):
+                pat.add(0, 1 + i, 1)  # distinct receivers: no recv gaps bias
+            res = runner(pat)
+            samples.append(res.timeline.finish_time(0))
+        return median(samples)
+
+    def one_way() -> float:
+        samples = []
+        for _ in range(repeats):
+            res = runner(CommPattern(2, edges=[(0, 1, 1)]))
+            samples.append(res.completion_time)
+        return median(samples)
+
+    return MicrobenchResults(
+        send_small=sender_busy(1),
+        send_large=sender_busy(large_bytes),
+        large_bytes=large_bytes,
+        burst=burst_finish(),
+        burst_count=burst_count,
+        one_way=one_way(),
+    )
+
+
+def fit_loggp(
+    runner: Runner,
+    num_procs: int = 8,
+    large_bytes: int = 65536,
+    burst_count: int = 16,
+    repeats: int = 3,
+) -> LogGPParameters:
+    """Estimate LogGP parameters by inverting the micro-benchmarks.
+
+    Closed-form inversion (this package's timing rules):
+
+    * ``o = send_small``                      (1-byte sender busy time)
+    * ``G = (send_large - o) / (large_bytes - 1)``
+    * ``g = (burst - m*o) / (m - 1)``         (m = burst_count sends)
+    * ``L = one_way - o - o``                 (1-byte end-to-end minus
+      both overheads)
+    """
+    bench = run_microbenchmarks(runner, large_bytes, burst_count, repeats)
+    o = bench.send_small
+    G = max(0.0, (bench.send_large - o) / (bench.large_bytes - 1))
+    m = bench.burst_count
+    g = max(0.0, (bench.burst - m * o) / (m - 1))
+    L = max(0.0, bench.one_way - 2 * o)
+    return LogGPParameters(L=L, o=o, g=g, G=G, P=num_procs, name="fitted")
+
+
+def assess_fit(
+    fitted: LogGPParameters, truth: LogGPParameters
+) -> dict[str, float]:
+    """Relative error per parameter: ``|fitted - truth| / max(truth, eps)``."""
+    out = {}
+    for name in ("L", "o", "g", "G"):
+        t = getattr(truth, name)
+        f = getattr(fitted, name)
+        out[name] = abs(f - t) / max(abs(t), 1e-12)
+    return out

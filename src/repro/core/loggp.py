@@ -1,0 +1,147 @@
+"""The LogGP machine model (paper section 3).
+
+The LogGP model [Alexandrov, Ionescu, Schauser, Scheiman, SPAA'95]
+abstracts a distributed-memory machine with five parameters:
+
+* ``L`` — upper bound on the latency of a message (µs),
+* ``o`` — overhead: time a processor is engaged in sending or receiving
+  a message (µs),
+* ``g`` — gap: minimum interval between consecutive message operations at
+  one processor (µs),
+* ``G`` — gap per byte for long messages (µs/byte),
+* ``P`` — number of processors.
+
+The model is *single port*: at any time a processor is engaged in at most
+one send or one receive.
+
+Timing semantics used throughout this package (documented reconstruction
+of the paper's Figure 1; see DESIGN.md):
+
+* A **send** of a ``k``-byte message starting at time ``s`` engages the
+  sender for ``o + (k-1)*G``; the last byte arrives at the destination at
+  ``s + o + (k-1)*G + L``.
+* A **receive** engages the receiver for ``o`` and cannot start before the
+  message has fully arrived.
+* Between consecutive operations at one processor (Figure 1 of the paper):
+
+  ========  ========  =====================================
+  previous  next      earliest start of *next*
+  ========  ========  =====================================
+  send      send      ``end(prev) + g``
+  send      receive   ``end(prev) + g``
+  receive   receive   ``end(prev) + g``
+  receive   send      ``end(prev) + max(o, g) - o``
+  ========  ========  =====================================
+
+  The asymmetric receive→send rule is the paper's: the receive overhead
+  ``o`` and the gap ``g`` elapse concurrently, so a send may follow a
+  receive after only ``max(o, g) - o`` further time units.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+
+__all__ = ["OpKind", "LogGPParameters", "MEIKO_CS2", "ETHERNET_CLUSTER", "LOW_OVERHEAD_NIC"]
+
+
+class OpKind(enum.Enum):
+    """The two communication operation kinds of the single-port model."""
+
+    SEND = "send"
+    RECV = "recv"
+
+    def __repr__(self) -> str:
+        return f"OpKind.{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class LogGPParameters:
+    """The five LogGP parameters plus the timing rules derived from them.
+
+    Times are microseconds; ``G`` is microseconds per byte.
+    """
+
+    L: float
+    o: float
+    g: float
+    G: float
+    P: int
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.L < 0 or self.o < 0 or self.g < 0 or self.G < 0:
+            raise ValueError("LogGP parameters must be non-negative")
+        if self.P < 1:
+            raise ValueError(f"P must be >= 1, got {self.P}")
+        for field in ("L", "o", "g", "G"):
+            if not math.isfinite(getattr(self, field)):
+                raise ValueError(f"{field} must be finite")
+
+    # -- durations ----------------------------------------------------------
+    def send_duration(self, size_bytes: int) -> float:
+        """Time the sender's port is engaged transmitting ``size_bytes``."""
+        if size_bytes < 1:
+            raise ValueError(f"message size must be >= 1 byte, got {size_bytes}")
+        return self.o + (size_bytes - 1) * self.G
+
+    def recv_duration(self, size_bytes: int) -> float:
+        """Time the receiver is engaged processing an arrived message.
+
+        Under LogGP the per-byte cost is paid once, on injection; the
+        receiving overhead is ``o`` regardless of length.
+        """
+        if size_bytes < 1:
+            raise ValueError(f"message size must be >= 1 byte, got {size_bytes}")
+        return self.o
+
+    def wire_time(self, size_bytes: int) -> float:
+        """Delay from send start until the last byte reaches the receiver."""
+        return self.send_duration(size_bytes) + self.L
+
+    def end_to_end(self, size_bytes: int) -> float:
+        """Send start to receive end for an otherwise idle pair."""
+        return self.wire_time(size_bytes) + self.recv_duration(size_bytes)
+
+    # -- gap rules (paper Figure 1) ------------------------------------------
+    def gap_after(self, prev: OpKind, nxt: OpKind) -> float:
+        """Minimum idle time between the *end* of ``prev`` and start of ``nxt``."""
+        if prev is OpKind.RECV and nxt is OpKind.SEND:
+            return max(self.o, self.g) - self.o
+        return self.g
+
+    def earliest_start(self, prev_kind: OpKind | None, prev_end: float, nxt: OpKind) -> float:
+        """Earliest start of ``nxt`` given the previous operation at a processor.
+
+        ``prev_kind is None`` means the processor has not communicated yet;
+        the operation may start at ``prev_end`` (its current clock).
+        """
+        if prev_kind is None:
+            return prev_end
+        return prev_end + self.gap_after(prev_kind, nxt)
+
+    # -- convenience ----------------------------------------------------------
+    def with_(self, **changes) -> "LogGPParameters":
+        """A copy with some parameters replaced (e.g. ``params.with_(P=16)``)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. for benchmark headers."""
+        return (
+            f"{self.name}: L={self.L:g}us o={self.o:g}us g={self.g:g}us "
+            f"G={self.G:g}us/B P={self.P}"
+        )
+
+
+#: Meiko CS-2 stand-in parameters (paper section 4.1; digits reconstructed,
+#: see DESIGN.md — the paper states values "close to the Meiko CS-2").
+#: G = 0.023 us/byte ~= 43 MB/s matches the CS-2's measured bandwidth.
+MEIKO_CS2 = LogGPParameters(L=9.0, o=5.0, g=14.0, G=0.023, P=8, name="meiko-cs2")
+
+#: A slower commodity-cluster preset, useful for sensitivity studies.
+ETHERNET_CLUSTER = LogGPParameters(L=60.0, o=9.0, g=25.0, G=0.9, P=8, name="ethernet")
+
+#: A fast NIC preset with o << g (bandwidth-limited regime).
+LOW_OVERHEAD_NIC = LogGPParameters(L=5.0, o=1.0, g=12.0, G=0.05, P=8, name="fast-nic")

@@ -1,0 +1,161 @@
+"""Automatic optimum search over block sizes and layouts (paper §7).
+
+The paper's future work: "automatically determine these optimal values
+from the predicted running times.  This reduces to a search problem and
+therefore some heuristics have to be used."  This module implements that
+search over the discrete candidate set:
+
+* :func:`exhaustive_search` — evaluate every candidate (the oracle);
+* :func:`local_descent` — start somewhere, walk downhill on the sorted
+  candidate list; exact for unimodal curves, cheap always;
+* :func:`ternary_search` — discrete golden-section-style bracketing,
+  ``O(log n)`` evaluations, exact for strictly unimodal curves (total GE
+  time is *sawtoothed*, so this is a heuristic — the benches quantify how
+  often it lands on a near-optimal point, like the paper's "roughly
+  predicted best block sizes yield real running times not far from the
+  real minimum");
+* :func:`search_block_size_and_layout` — joint search, one evaluation
+  budget report per layout.
+
+Every search takes an ``evaluate(candidate) -> float`` callable (lower is
+better) and memoises it, so expensive simulations are never repeated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+__all__ = [
+    "SearchResult",
+    "exhaustive_search",
+    "local_descent",
+    "ternary_search",
+    "search_block_size_and_layout",
+]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search: the winner, its value and the cost paid."""
+
+    best: int
+    value: float
+    evaluations: int
+    #: every (candidate, value) actually evaluated, in evaluation order
+    history: list[tuple[int, float]] = field(default_factory=list)
+
+
+class _Memo:
+    def __init__(self, evaluate: Callable[[int], float]):
+        self._fn = evaluate
+        self._memo: dict[int, float] = {}
+        self.history: list[tuple[int, float]] = []
+
+    def __call__(self, x: int) -> float:
+        if x not in self._memo:
+            value = self._fn(x)
+            self._memo[x] = value
+            self.history.append((x, value))
+        return self._memo[x]
+
+    @property
+    def count(self) -> int:
+        return len(self._memo)
+
+
+def _checked(candidates: Sequence[int]) -> list[int]:
+    cands = sorted(set(candidates))
+    if not cands:
+        raise ValueError("need at least one candidate")
+    return cands
+
+
+def exhaustive_search(
+    evaluate: Callable[[int], float], candidates: Sequence[int]
+) -> SearchResult:
+    """Evaluate everything; guaranteed optimal over the candidate set."""
+    cands = _checked(candidates)
+    memo = _Memo(evaluate)
+    best = min(cands, key=memo)
+    return SearchResult(best=best, value=memo(best), evaluations=memo.count, history=memo.history)
+
+
+def local_descent(
+    evaluate: Callable[[int], float],
+    candidates: Sequence[int],
+    start: int | None = None,
+) -> SearchResult:
+    """Hill descent on the sorted candidate list from ``start``.
+
+    Moves to whichever neighbour improves until neither does.  Finds the
+    global optimum of unimodal curves; on sawtoothed curves it finds a
+    local optimum — the paper's notion of "locally optimal value".
+    """
+    cands = _checked(candidates)
+    memo = _Memo(evaluate)
+    if start is None:
+        idx = len(cands) // 2
+    else:
+        if start not in cands:
+            raise ValueError(f"start {start} is not a candidate")
+        idx = cands.index(start)
+    while True:
+        here = memo(cands[idx])
+        moved = False
+        for step in (-1, +1):
+            nxt = idx + step
+            if 0 <= nxt < len(cands) and memo(cands[nxt]) < here:
+                idx, moved = nxt, True
+                break
+        if not moved:
+            break
+    best = cands[idx]
+    return SearchResult(best=best, value=memo(best), evaluations=memo.count, history=memo.history)
+
+
+def ternary_search(
+    evaluate: Callable[[int], float], candidates: Sequence[int]
+) -> SearchResult:
+    """Discrete ternary search: O(log n) evaluations, exact if unimodal."""
+    cands = _checked(candidates)
+    memo = _Memo(evaluate)
+    lo, hi = 0, len(cands) - 1
+    while hi - lo > 2:
+        m1 = lo + (hi - lo) // 3
+        m2 = hi - (hi - lo) // 3
+        if memo(cands[m1]) < memo(cands[m2]):
+            hi = m2 - 1
+        else:
+            lo = m1 + 1
+    best = min(cands[lo : hi + 1], key=memo)
+    return SearchResult(best=best, value=memo(best), evaluations=memo.count, history=memo.history)
+
+
+def search_block_size_and_layout(
+    evaluate: Callable[[str, int], float],
+    layouts: Sequence[str],
+    candidates: Sequence[int],
+    method: str = "exhaustive",
+) -> tuple[str, SearchResult, dict[str, SearchResult]]:
+    """Joint layout + block-size search.
+
+    Runs the chosen per-layout search for every layout and returns
+    ``(best_layout, its_result, {layout: result})``.
+    """
+    methods = {
+        "exhaustive": exhaustive_search,
+        "descent": local_descent,
+        "ternary": ternary_search,
+    }
+    if method not in methods:
+        raise ValueError(f"unknown method {method!r}; known: {sorted(methods)}")
+    if not layouts:
+        raise ValueError("need at least one layout")
+    search = methods[method]
+    per_layout = {
+        name: search(lambda b, _n=name: evaluate(_n, b), candidates)
+        for name in layouts
+    }
+    best_layout = min(per_layout, key=lambda name: per_layout[name].value)
+    return best_layout, per_layout[best_layout], per_layout

@@ -1,0 +1,183 @@
+"""High-level prediction API: run the paper's experiments in one call.
+
+This is the layer the benchmarks, examples and integration tests use.  It
+wires together trace generation (:mod:`repro.apps`), the whole-program
+LogGP simulation (:mod:`repro.core.program_sim`, both the standard and the
+worst-case algorithm) and — optionally — the machine emulator standing in
+for the real Meiko CS-2 (:mod:`repro.machine.emulator`).
+
+One :class:`GERow` is one point of Figures 7-9: a (block size, layout)
+pair with its predicted and "measured" breakdowns.  :func:`run_ge_sweep`
+produces the full figure series; :func:`predicted_optimum` extracts the
+paper's "locally optimal block size" answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..apps.gauss import GEConfig, build_ge_trace
+from ..layouts import LAYOUTS
+from ..machine.emulator import MachineEmulator, MeasuredReport
+from ..trace.program import ProgramTrace
+from .cache_extension import CachePredictionModel
+from .costmodel import CostModel
+from .loggp import LogGPParameters
+from .program_sim import PredictionReport, ProgramSimulator
+
+__all__ = [
+    "RunningTimePredictor",
+    "GERow",
+    "run_ge_point",
+    "run_ge_sweep",
+    "predicted_optimum",
+]
+
+
+class RunningTimePredictor:
+    """Predicts program running times from traces (the paper's tool).
+
+    Bundles the machine parameters and cost model; exposes the standard
+    and worst-case predictions plus the optional extensions (overlap,
+    cache model) as keyword switches.
+    """
+
+    def __init__(
+        self,
+        params: LogGPParameters,
+        cost_model: CostModel,
+        seed: int = 0,
+    ):
+        self.params = params
+        self.cost_model = cost_model
+        self.seed = seed
+
+    def predict(
+        self,
+        trace: ProgramTrace,
+        mode: str = "standard",
+        overlap: bool = False,
+        cache_model: Optional[CachePredictionModel] = None,
+        iter_overhead_us: float = 0.0,
+    ) -> PredictionReport:
+        """One prediction run; see :class:`ProgramSimulator` for knobs."""
+        sim = ProgramSimulator(
+            params=self.params,
+            cost_model=self.cost_model,
+            mode=mode,
+            seed=self.seed,
+            overlap=overlap,
+            cache_model=cache_model,
+            iter_overhead_us=iter_overhead_us,
+        )
+        return sim.run(trace)
+
+    def predict_both(self, trace: ProgramTrace) -> tuple[PredictionReport, PredictionReport]:
+        """``(standard, worst-case)`` predictions of one trace."""
+        return self.predict(trace, "standard"), self.predict(trace, "worstcase")
+
+
+@dataclass
+class GERow:
+    """One (block size, layout) point of the GE evaluation."""
+
+    n: int
+    b: int
+    layout: str
+    pred_standard: PredictionReport
+    pred_worstcase: PredictionReport
+    measured: Optional[MeasuredReport] = None
+
+    def series(self) -> dict[str, float]:
+        """The Figure 7 series of this point, in µs."""
+        out = {
+            "simulated_standard": self.pred_standard.total_us,
+            "simulated_worstcase": self.pred_worstcase.total_us,
+        }
+        if self.measured is not None:
+            out["measured_with_caching"] = self.measured.total_us
+            out["measured_without_caching"] = self.measured.total_without_cache_us
+        return out
+
+
+def run_ge_point(
+    n: int,
+    b: int,
+    layout_name: str,
+    params: LogGPParameters,
+    cost_model: CostModel,
+    with_measured: bool = True,
+    seed: int = 0,
+    emulator: Optional[MachineEmulator] = None,
+) -> GERow:
+    """Evaluate one GE configuration: both predictions plus the emulator.
+
+    ``layout_name`` is a key of :data:`repro.layouts.LAYOUTS`.
+    """
+    if layout_name not in LAYOUTS:
+        raise ValueError(f"unknown layout {layout_name!r}; known: {sorted(LAYOUTS)}")
+    layout = LAYOUTS[layout_name](n // b, params.P)
+    trace = build_ge_trace(GEConfig(n=n, b=b, layout=layout))
+    predictor = RunningTimePredictor(params, cost_model, seed=seed)
+    pred_std, pred_wc = predictor.predict_both(trace)
+    measured = None
+    if with_measured:
+        if emulator is None:
+            emulator = MachineEmulator(params=params, cost_model=cost_model, seed=seed)
+        measured = emulator.run(trace)
+    return GERow(
+        n=n,
+        b=b,
+        layout=layout_name,
+        pred_standard=pred_std,
+        pred_worstcase=pred_wc,
+        measured=measured,
+    )
+
+
+def run_ge_sweep(
+    n: int,
+    block_sizes: Sequence[int],
+    layout_names: Sequence[str],
+    params: LogGPParameters,
+    cost_model: CostModel,
+    with_measured: bool = True,
+    seed: int = 0,
+    progress=None,
+) -> list[GERow]:
+    """All (block size, layout) points of the paper's GE evaluation.
+
+    ``progress`` is an optional callable ``(layout, b) -> None`` invoked
+    before each point (benchmarks print status with it).
+    """
+    rows = []
+    for layout_name in layout_names:
+        for b in block_sizes:
+            if n % b:
+                raise ValueError(f"block size {b} does not divide n={n}")
+            if progress is not None:
+                progress(layout_name, b)
+            rows.append(
+                run_ge_point(
+                    n,
+                    b,
+                    layout_name,
+                    params,
+                    cost_model,
+                    with_measured=with_measured,
+                    seed=seed,
+                )
+            )
+    return rows
+
+
+def predicted_optimum(
+    rows: Sequence[GERow], layout: str, series: str = "simulated_standard"
+) -> int:
+    """The block size minimising ``series`` among a layout's rows."""
+    candidates = [r for r in rows if r.layout == layout]
+    if not candidates:
+        raise ValueError(f"no rows for layout {layout!r}")
+    best = min(candidates, key=lambda r: r.series()[series])
+    return best.b

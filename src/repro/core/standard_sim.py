@@ -1,0 +1,197 @@
+"""The standard LogGP communication-simulation algorithm (paper Figure 2).
+
+Given a communication pattern and per-processor start clocks, determine the
+sequence of send and receive operations each processor performs, such that:
+
+* the gap rules of Figure 1 hold between consecutive operations,
+* available messages are sent as soon as possible,
+* **receives have priority over sends** — whenever a processor wants to
+  send while at least one message is waiting to be received, the receive is
+  performed first (Split-C active-message semantics),
+* ties between processors with equal current time break randomly (seeded).
+
+The algorithm keeps, per processor, a FIFO queue of messages to send (in
+program order) and a priority queue of in-flight messages ordered by
+arrival time.  The main loop repeatedly picks the processor with the
+minimum current time among those that still want to send, and lets it
+perform whichever of {next send, earliest receive} can *start* earlier —
+with the strict comparison giving receives priority on ties.  Once all
+sends are done, every processor drains its receive queue.
+
+Self-messages are local memory transfers in real execution and are
+deliberately excluded here (paper section 6.3); they are reported in
+:attr:`SimulationResult.skipped_local`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+from .events import CommEvent, StepTimeline
+from .loggp import LogGPParameters, OpKind
+from .message import CommPattern, Message
+
+__all__ = ["SimulationResult", "simulate_standard", "StandardSimulator"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one communication-step simulation."""
+
+    timeline: StepTimeline
+    #: per-processor clock after the step (end of each processor's last op)
+    ctimes: dict[int, float]
+    #: self-messages excluded from the LogGP simulation
+    skipped_local: tuple[Message, ...] = ()
+
+    @property
+    def completion_time(self) -> float:
+        """Completion time of the step (max over processors)."""
+        return self.timeline.completion_time
+
+    def elapsed(self, start_times: Optional[Mapping[int, float]] = None) -> float:
+        """Step duration relative to the earliest start clock."""
+        starts = start_times if start_times is not None else self.timeline.start_times
+        base = min(starts.values(), default=0.0) if starts else 0.0
+        return self.completion_time - base
+
+
+class _ProcState:
+    """Mutable per-processor simulation state."""
+
+    __slots__ = ("ctime", "last_kind", "send_queue", "recv_heap")
+
+    def __init__(self, ctime: float, sends: tuple[Message, ...]):
+        self.ctime = ctime
+        self.last_kind: Optional[OpKind] = None
+        self.send_queue: deque[Message] = deque(sends)
+        # entries: (arrival_time, uid, Message)
+        self.recv_heap: list[tuple[float, int, Message]] = []
+
+
+class StandardSimulator:
+    """Reusable simulator object (exposes the same algorithm as a class).
+
+    Useful when many steps are simulated with the same parameters; the
+    :class:`repro.core.program_sim.ProgramSimulator` drives one of these.
+    """
+
+    def __init__(self, params: LogGPParameters, rng: Optional[np.random.Generator] = None):
+        self.params = params
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def run(
+        self,
+        pattern: CommPattern,
+        start_times: Optional[Mapping[int, float]] = None,
+    ) -> SimulationResult:
+        """Simulate one communication step; see module docstring."""
+        return _simulate(self.params, pattern, start_times, self.rng)
+
+
+def simulate_standard(
+    params: LogGPParameters,
+    pattern: CommPattern,
+    start_times: Optional[Mapping[int, float]] = None,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> SimulationResult:
+    """Functional entry point for the Figure 2 algorithm.
+
+    Parameters
+    ----------
+    params:
+        LogGP machine parameters.
+    pattern:
+        The communication pattern of this step.
+    start_times:
+        Per-processor clocks at the start of the step (missing ids start
+        at 0); processors not mentioned and not in the pattern are ignored.
+    rng, seed:
+        Randomness for tie-breaking; ``rng`` wins if both are given.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0 if seed is None else seed)
+    return _simulate(params, pattern, start_times, rng)
+
+
+def _simulate(
+    params: LogGPParameters,
+    pattern: CommPattern,
+    start_times: Optional[Mapping[int, float]],
+    rng: np.random.Generator,
+) -> SimulationResult:
+    starts = dict(start_times or {})
+    remote = pattern.remote_messages()
+    local = pattern.local_messages()
+
+    procs = sorted(
+        {m.src for m in remote} | {m.dst for m in remote} | set(starts)
+    )
+    state: dict[int, _ProcState] = {}
+    for p in procs:
+        sends = tuple(m for m in remote if m.src == p)
+        state[p] = _ProcState(starts.get(p, 0.0), sends)
+
+    timeline = StepTimeline(params=params, start_times={p: starts.get(p, 0.0) for p in procs})
+
+    def do_send(proc: int) -> None:
+        st = state[proc]
+        msg = st.send_queue.popleft()
+        start = params.earliest_start(st.last_kind, st.ctime, OpKind.SEND)
+        duration = params.send_duration(msg.size)
+        timeline.add(CommEvent(proc, OpKind.SEND, start, duration, msg))
+        st.ctime = start + duration
+        st.last_kind = OpKind.SEND
+        arrival = start + duration + params.L
+        heapq.heappush(state[msg.dst].recv_heap, (arrival, msg.uid, msg))
+
+    def do_recv(proc: int) -> None:
+        st = state[proc]
+        arrival, _, msg = heapq.heappop(st.recv_heap)
+        earliest = params.earliest_start(st.last_kind, st.ctime, OpKind.RECV)
+        start = max(arrival, earliest)
+        duration = params.recv_duration(msg.size)
+        timeline.add(
+            CommEvent(proc, OpKind.RECV, start, duration, msg, arrival=arrival)
+        )
+        st.ctime = start + duration
+        st.last_kind = OpKind.RECV
+
+    # Main loop: processors that still want to send, in ctime order.
+    while True:
+        senders = [p for p in procs if state[p].send_queue]
+        if not senders:
+            break
+        min_ct = min(state[p].ctime for p in senders)
+        tied = [p for p in senders if state[p].ctime == min_ct]
+        min_proc = tied[0] if len(tied) == 1 else int(rng.choice(tied))
+        st = state[min_proc]
+
+        if st.recv_heap:
+            arrival = st.recv_heap[0][0]
+            start_recv = max(
+                arrival, params.earliest_start(st.last_kind, st.ctime, OpKind.RECV)
+            )
+        else:
+            start_recv = float("inf")
+        start_send = params.earliest_start(st.last_kind, st.ctime, OpKind.SEND)
+
+        # Strict '<' gives receives priority over sends on equal start times.
+        if start_send < start_recv:
+            do_send(min_proc)
+        else:
+            do_recv(min_proc)
+
+    # Drain: every processor performs its remaining receives.
+    for p in procs:
+        while state[p].recv_heap:
+            do_recv(p)
+
+    ctimes = {p: state[p].ctime for p in procs}
+    return SimulationResult(timeline=timeline, ctimes=ctimes, skipped_local=local)

@@ -1,0 +1,56 @@
+"""Unit conventions and small numeric helpers.
+
+All simulation times in this package are **floating-point microseconds**;
+all message sizes are **integer bytes**.  These helpers make conversions
+explicit at API boundaries (benchmark reports print seconds, like the
+paper's figures).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "US_PER_MS",
+    "US_PER_S",
+    "us_to_s",
+    "us_to_ms",
+    "s_to_us",
+    "ms_to_us",
+    "approx_le",
+    "approx_ge",
+]
+
+US_PER_MS = 1_000.0
+US_PER_S = 1_000_000.0
+
+#: absolute slack used when comparing event times (float round-off only)
+TIME_EPS = 1e-9
+
+
+def us_to_s(t_us: float) -> float:
+    """Convert microseconds to seconds."""
+    return t_us / US_PER_S
+
+
+def us_to_ms(t_us: float) -> float:
+    """Convert microseconds to milliseconds."""
+    return t_us / US_PER_MS
+
+
+def s_to_us(t_s: float) -> float:
+    """Convert seconds to microseconds."""
+    return t_s * US_PER_S
+
+
+def ms_to_us(t_ms: float) -> float:
+    """Convert milliseconds to microseconds."""
+    return t_ms * US_PER_MS
+
+
+def approx_le(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """``a <= b`` up to float round-off."""
+    return a <= b + eps
+
+
+def approx_ge(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """``a >= b`` up to float round-off."""
+    return a + eps >= b

@@ -1,0 +1,37 @@
+"""From-scratch discrete-event simulation substrate.
+
+The paper's "repro" hint suggests an event-driven LogGP model (SimPy-style);
+SimPy is not available offline, so :mod:`repro.des` provides an equivalent
+generator-coroutine kernel used by the machine emulator
+(:mod:`repro.machine`) and by the DES cross-check of the LogGP algorithms
+(:mod:`repro.core.des_check`).
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .monitor import Monitor, TraceRecord
+from .resources import PriorityStore, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "Monitor",
+    "TraceRecord",
+    "PriorityStore",
+    "Resource",
+    "Store",
+]

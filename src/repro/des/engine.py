@@ -1,0 +1,398 @@
+"""Discrete-event simulation engine.
+
+A from-scratch, generator-coroutine discrete-event kernel in the style of
+SimPy (which is not available offline).  It provides everything the machine
+emulator and the DES cross-check of the LogGP algorithms need:
+
+* :class:`Environment` — simulation clock and event heap.
+* :class:`Event` — one-shot occurrence with callbacks and a value.
+* :class:`Timeout` — event that fires after a simulated delay.
+* :class:`Process` — a generator wrapped as a coroutine; ``yield``-ing an
+  event suspends the process until the event fires.
+* :class:`AllOf` / :class:`AnyOf` — composite wait conditions.
+
+Times are plain floats; the engine imposes no unit (the rest of the package
+uses microseconds).
+
+Example
+-------
+>>> env = Environment()
+>>> log = []
+>>> def worker(env, name, delay):
+...     yield env.timeout(delay)
+...     log.append((env.now, name))
+>>> _ = env.process(worker(env, "a", 2.0))
+>>> _ = env.process(worker(env, "b", 1.0))
+>>> env.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. yielding a non-event)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a :class:`Process` by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot simulation event.
+
+    An event moves through three states: *pending* (created), *triggered*
+    (scheduled on the heap with a value), and *processed* (callbacks ran).
+    Processes wait on events by ``yield``-ing them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    #: sentinel distinguishing "no value yet" from a ``None`` value
+    _PENDING = object()
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[[Event], None]]] = []
+        self._value: Any = Event._PENDING
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+
+    # -- state inspection ---------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to occur."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (False once :meth:`fail` is used)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event occurred with; raises if still pending."""
+        if self._value is Event._PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule the event to occur after ``delay`` with ``value``."""
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule the event to occur as a failure carrying ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, delay)
+        return self
+
+    def _resolve(self) -> None:
+        """Run callbacks.  Called by the environment at the event's time."""
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(self)
+        if not self._ok and not self._defused:
+            # An un-waited-for failure propagates out of the run loop.
+            raise self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after its creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a :class:`Process` at creation time."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._triggered = True
+        self._value = None
+        env._schedule(self, 0.0)
+
+
+class Process(Event):
+    """A generator running as a simulation coroutine.
+
+    The process itself is an event that fires when the generator returns
+    (its value is the generator's return value), so processes can wait for
+    each other by yielding the :class:`Process` object.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"Process requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        interrupt_event = Event(self.env)
+        interrupt_event.callbacks.append(self._resume)
+        interrupt_event._defused = True
+        interrupt_event.fail(Interrupt(cause))
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value (or exception) of ``event``."""
+        self.env._active_process = self
+        try:
+            if event._ok:
+                result = self._generator.send(event._value)
+            else:
+                event._defused = True
+                result = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._target = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self._target = None
+            self.fail(exc)
+            return
+        finally:
+            self.env._active_process = None
+
+        if not isinstance(result, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded non-event {result!r}"
+            )
+        if result.env is not self.env:
+            raise SimulationError("yielded event belongs to a different environment")
+        self._target = result
+        if result.callbacks is None:
+            # Already processed: resume immediately at the current time.
+            immediate = Event(self.env)
+            immediate.callbacks.append(self._resume)
+            if result._ok:
+                immediate.succeed(result._value)
+            else:
+                result._defused = True
+                immediate._defused = True
+                immediate.fail(result._value)
+        else:
+            result.callbacks.append(self._resume)
+            if not result._ok:
+                result._defused = True
+
+
+class Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf` composite events."""
+
+    __slots__ = ("events", "_n_needed", "_n_done")
+
+    def __init__(self, env: "Environment", events: Iterable[Event], need_all: bool):
+        super().__init__(env)
+        self.events = tuple(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("all events must share one environment")
+        self._n_needed = len(self.events) if need_all else min(1, len(self.events))
+        self._n_done = 0
+        if self._n_needed == 0:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._n_done += 1
+        if self._n_done >= self._n_needed:
+            self.succeed(
+                {ev: ev._value for ev in self.events if ev._triggered and ev._ok}
+            )
+
+
+class AllOf(Condition):
+    """Fires once *all* constituent events have fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, need_all=True)
+
+
+class AnyOf(Condition):
+    """Fires as soon as *any* constituent event fires."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, need_all=False)
+
+
+class Environment:
+    """Simulation environment: clock, event heap, and factory helpers."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- factories ----------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start ``generator`` as a simulation process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event that fires when every event in ``events`` fires."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event that fires when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._heap, (self._now + delay, next(self._counter), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._heap:
+            raise SimulationError("no more events")
+        when, _, event = heapq.heappop(self._heap)
+        self._now = when
+        event._resolve()
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to exhaustion), a time (run up to and
+        including that time, then set ``now`` to it), or an :class:`Event`
+        (run until it fires and return its value).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            stop: list[Any] = []
+            if until.callbacks is None:
+                return until._value
+            until.callbacks.append(lambda ev: stop.append(ev))
+            while self._heap and not stop:
+                self.step()
+            if not stop:
+                raise SimulationError("event never fired; simulation ran dry")
+            if not until._ok:
+                until._defused = True
+                raise until._value
+            return until._value
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError("cannot run backwards in time")
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

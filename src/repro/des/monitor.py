@@ -1,0 +1,49 @@
+"""Tracing and probing utilities for the DES engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .engine import Environment
+
+__all__ = ["TraceRecord", "Monitor"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One observation: ``(time, tag, payload)``."""
+
+    time: float
+    tag: str
+    payload: Any = None
+
+
+@dataclass
+class Monitor:
+    """Accumulates timestamped observations during a simulation run.
+
+    The machine emulator uses one monitor per run to record per-processor
+    send/receive/compute intervals, from which the "measured" breakdowns of
+    Figures 7-9 are assembled.
+    """
+
+    env: Environment
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def record(self, tag: str, payload: Any = None) -> None:
+        """Append an observation stamped with the current simulation time."""
+        self.records.append(TraceRecord(self.env.now, tag, payload))
+
+    def filter(self, tag: str) -> list[TraceRecord]:
+        """All records with the given tag, in time order."""
+        return [r for r in self.records if r.tag == tag]
+
+    def series(self, tag: str, key: Optional[Callable[[Any], float]] = None) -> list[tuple[float, float]]:
+        """``(time, value)`` pairs for a tag; ``key`` extracts the value."""
+        key = key or (lambda p: float(p))
+        return [(r.time, key(r.payload)) for r in self.records if r.tag == tag]
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self.records.clear()

@@ -1,0 +1,176 @@
+"""Shared resources for the DES engine: capacity resources and stores.
+
+These mirror the SimPy resource suite at the scale this package needs:
+
+* :class:`Resource` — ``capacity`` slots, FIFO queue of requesters.
+* :class:`Store` — unbounded (or bounded) FIFO buffer of items.
+* :class:`PriorityStore` — buffer that always yields the smallest item;
+  used by the active-message layer to deliver the earliest-arriving message
+  first, matching the priority receive queue of the paper's Figure 2
+  algorithm.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any
+
+from .engine import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Release", "Store", "PriorityStore"]
+
+
+class Request(Event):
+    """Pending claim on a :class:`Resource` slot (also a context manager)."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._trigger()
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.resource.release(self)
+
+
+class Release(Event):
+    """Immediate event confirming a :class:`Resource` slot release."""
+
+    __slots__ = ()
+
+
+class Resource:
+    """A resource with ``capacity`` identical slots and a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._users: list[Request] = []
+        self._queue: list[Request] = []
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests still waiting."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event fires once the slot is granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        """Return a previously granted slot."""
+        if request in self._users:
+            self._users.remove(request)
+        elif request in self._queue:
+            # Cancelling a request that never got the resource.
+            self._queue.remove(request)
+        ev = Release(self.env)
+        ev.succeed()
+        self._trigger()
+        return ev
+
+    def _trigger(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            req = self._queue.pop(0)
+            self._users.append(req)
+            req.succeed()
+
+
+class _Get(Event):
+    __slots__ = ()
+
+
+class _Put(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, env: Environment, item: Any):
+        super().__init__(env)
+        self.item = item
+
+
+class Store:
+    """FIFO item buffer.
+
+    ``put(item)`` returns an event that fires when the item is accepted
+    (immediately unless the store is at ``capacity``); ``get()`` returns an
+    event that fires with the next item once one is available.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._getters: list[_Get] = []
+        self._putters: list[_Put] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Offer ``item`` to the store."""
+        ev = _Put(self.env, item)
+        self._putters.append(ev)
+        self._dispatch()
+        return ev
+
+    def get(self) -> Event:
+        """Take the next item (event fires with the item as its value)."""
+        ev = _Get(self.env)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    # -- internals ----------------------------------------------------------
+    def _accept(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _yield_item(self) -> Any:
+        return self.items.pop(0)
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.pop(0)
+                self._accept(put.item)
+                put.succeed()
+                progressed = True
+            while self._getters and self.items:
+                get = self._getters.pop(0)
+                get.succeed(self._yield_item())
+                progressed = True
+
+
+class PriorityStore(Store):
+    """A :class:`Store` that always yields its smallest item first.
+
+    Items must be mutually orderable; ``(priority, tiebreak, payload)``
+    tuples are the usual shape.
+    """
+
+    def _accept(self, item: Any) -> None:
+        heapq.heappush(self.items, item)
+
+    def _yield_item(self) -> Any:
+        return heapq.heappop(self.items)
+
+    def peek(self) -> Any:
+        """Smallest item without removing it."""
+        if not self.items:
+            raise SimulationError("peek() on empty PriorityStore")
+        return self.items[0]

@@ -1,0 +1,181 @@
+"""Experiment orchestration with a persistent result store.
+
+Running the full GE evaluation is expensive (minutes at paper scale), and
+a study typically revisits the same (n, b, layout, seed) points many
+times — from benchmarks, notebooks and the CLI.  :class:`ExperimentStore`
+memoises :func:`repro.core.predictor.run_ge_point` results on disk as
+JSON, keyed by the full configuration, so repeated studies are free and
+interrupted sweeps resume where they stopped.
+
+Stored values are *summaries* (totals and breakdowns, not per-event
+timelines), versioned with :data:`STORE_VERSION`; changing the underlying
+models bumps the version and silently invalidates old entries.
+"""
+
+from __future__ import annotations
+
+import json
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from .core.costmodel import CostModel
+from .core.loggp import LogGPParameters
+from .core.predictor import run_ge_point
+
+__all__ = ["STORE_VERSION", "PointSummary", "ExperimentStore"]
+
+STORE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PointSummary:
+    """Flat summary of one GE evaluation point (all times µs)."""
+
+    n: int
+    b: int
+    layout: str
+    seed: int
+    pred_standard_total: float
+    pred_standard_comp: float
+    pred_standard_comm: float
+    pred_worstcase_total: float
+    pred_worstcase_comm: float
+    measured_total: Optional[float] = None
+    measured_total_wo_cache: Optional[float] = None
+    measured_comp: Optional[float] = None
+    measured_comm: Optional[float] = None
+
+    def series(self) -> dict[str, float]:
+        """The Figure 7 series of this point (like :meth:`GERow.series`)."""
+        out = {
+            "simulated_standard": self.pred_standard_total,
+            "simulated_worstcase": self.pred_worstcase_total,
+        }
+        if self.measured_total is not None:
+            out["measured_with_caching"] = self.measured_total
+            out["measured_without_caching"] = self.measured_total_wo_cache
+        return out
+
+
+class ExperimentStore:
+    """Disk-backed memo of GE evaluation points.
+
+    Parameters
+    ----------
+    directory:
+        Where the JSON entries live (created on demand).
+    params, cost_model:
+        The machine and cost model every point in this store uses; they
+        are part of the cache key (via the machine description and the
+        cost model's class name + probe costs).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        params: LogGPParameters,
+        cost_model: CostModel,
+    ):
+        self.directory = Path(directory)
+        self.params = params
+        self.cost_model = cost_model
+        self._model_tag = self._fingerprint()
+
+    def _fingerprint(self) -> str:
+        """Stable tag for (machine, cost model) so stale entries miss."""
+        probes = [
+            ("op1", 16),
+            ("op4", 16),
+            ("op2", 64),
+            ("op3", 64),
+        ]
+        costs = []
+        for op, b in probes:
+            try:
+                costs.append(f"{self.cost_model.cost(op, b):.6f}")
+            except ValueError:
+                costs.append("n/a")
+        payload = "|".join(
+            [
+                f"v{STORE_VERSION}",
+                self.params.describe(),
+                type(self.cost_model).__name__,
+                *costs,
+            ]
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def _path(self, n: int, b: int, layout: str, seed: int, measured: bool) -> Path:
+        name = f"ge_n{n}_b{b}_{layout}_s{seed}_{'m1' if measured else 'm0'}_{self._model_tag}.json"
+        return self.directory / name
+
+    # -- public API ---------------------------------------------------------
+    def point(
+        self,
+        n: int,
+        b: int,
+        layout: str,
+        seed: int = 0,
+        with_measured: bool = True,
+    ) -> PointSummary:
+        """The summary for one configuration, computing it on a miss."""
+        path = self._path(n, b, layout, seed, with_measured)
+        if path.exists():
+            return PointSummary(**json.loads(path.read_text()))
+        row = run_ge_point(
+            n, b, layout, self.params, self.cost_model,
+            with_measured=with_measured, seed=seed,
+        )
+        summary = PointSummary(
+            n=n,
+            b=b,
+            layout=layout,
+            seed=seed,
+            pred_standard_total=row.pred_standard.total_us,
+            pred_standard_comp=row.pred_standard.comp_us,
+            pred_standard_comm=row.pred_standard.comm_us,
+            pred_worstcase_total=row.pred_worstcase.total_us,
+            pred_worstcase_comm=row.pred_worstcase.comm_us,
+            measured_total=row.measured.total_us if row.measured else None,
+            measured_total_wo_cache=(
+                row.measured.total_without_cache_us if row.measured else None
+            ),
+            measured_comp=row.measured.comp_us if row.measured else None,
+            measured_comm=row.measured.comm_us if row.measured else None,
+        )
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(summary.__dict__))
+        return summary
+
+    def sweep(
+        self,
+        n: int,
+        block_sizes: Sequence[int],
+        layouts: Sequence[str],
+        seed: int = 0,
+        with_measured: bool = True,
+    ) -> list[PointSummary]:
+        """A full sweep, point by point (resumable: hits are free)."""
+        return [
+            self.point(n, b, layout, seed=seed, with_measured=with_measured)
+            for layout in layouts
+            for b in block_sizes
+        ]
+
+    def cached_count(self) -> int:
+        """Entries on disk for the current model fingerprint."""
+        if not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.glob(f"*_{self._model_tag}.json"))
+
+    def clear(self) -> int:
+        """Delete entries for the current fingerprint; returns the count."""
+        if not self.directory.exists():
+            return 0
+        removed = 0
+        for path in self.directory.glob(f"*_{self._model_tag}.json"):
+            path.unlink()
+            removed += 1
+        return removed

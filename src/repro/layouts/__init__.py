@@ -1,0 +1,26 @@
+"""Block-to-processor data layouts (paper section 6.2 plus extensions)."""
+
+from .base import DataLayout, adjacency_conflicts, load_imbalance
+from .block2d import BlockCyclic2DLayout
+from .column import ColumnCyclicLayout
+from .diagonal import DiagonalLayout
+from .stripped import RowStrippedCyclicLayout
+
+#: registry used by examples / benches to select layouts by name
+LAYOUTS: dict[str, type[DataLayout]] = {
+    RowStrippedCyclicLayout.name: RowStrippedCyclicLayout,
+    DiagonalLayout.name: DiagonalLayout,
+    ColumnCyclicLayout.name: ColumnCyclicLayout,
+    BlockCyclic2DLayout.name: BlockCyclic2DLayout,
+}
+
+__all__ = [
+    "DataLayout",
+    "RowStrippedCyclicLayout",
+    "DiagonalLayout",
+    "ColumnCyclicLayout",
+    "BlockCyclic2DLayout",
+    "LAYOUTS",
+    "adjacency_conflicts",
+    "load_imbalance",
+]

@@ -1,0 +1,42 @@
+"""2-D block-cyclic layout (extension baseline).
+
+The ScaLAPACK-style mapping: processors form a ``pr x pc`` grid and block
+``(i, j)`` belongs to processor ``(i mod pr) * pc + (j mod pc)``.  Balances
+both row and column traffic; included as an extra baseline beyond the
+paper's two layouts.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import DataLayout
+
+__all__ = ["BlockCyclic2DLayout"]
+
+
+def _default_grid(num_procs: int) -> tuple[int, int]:
+    """Most-square factorisation ``pr * pc == num_procs`` with ``pr <= pc``."""
+    pr = int(math.isqrt(num_procs))
+    while num_procs % pr:
+        pr -= 1
+    return pr, num_procs // pr
+
+
+class BlockCyclic2DLayout(DataLayout):
+    """Block ``(i, j)`` → processor ``(i mod pr) * pc + (j mod pc)``."""
+
+    name = "block2d"
+
+    def __init__(self, nb: int, num_procs: int, grid: tuple[int, int] | None = None):
+        super().__init__(nb, num_procs)
+        if grid is None:
+            grid = _default_grid(num_procs)
+        pr, pc = grid
+        if pr * pc != num_procs:
+            raise ValueError(f"grid {grid} does not tile {num_procs} processors")
+        self.pr, self.pc = pr, pc
+
+    def owner(self, i: int, j: int) -> int:
+        self._check(i, j)
+        return (i % self.pr) * self.pc + (j % self.pc)

@@ -1,0 +1,23 @@
+"""Column-cyclic layout (extension baseline).
+
+The transpose of the row-stripped cyclic layout: block ``(i, j)`` belongs
+to processor ``j mod P``.  Column-wise propagation is local; row-wise
+propagation always crosses processors.  Included as an extra baseline for
+layout-comparison experiments (it is not in the paper's evaluation).
+"""
+
+from __future__ import annotations
+
+from .base import DataLayout
+
+__all__ = ["ColumnCyclicLayout"]
+
+
+class ColumnCyclicLayout(DataLayout):
+    """Block ``(i, j)`` → processor ``j mod P``."""
+
+    name = "column"
+
+    def owner(self, i: int, j: int) -> int:
+        self._check(i, j)
+        return j % self.num_procs

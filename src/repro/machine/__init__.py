@@ -1,0 +1,37 @@
+"""The emulated "real machine" (Meiko CS-2 stand-in).
+
+Built from: per-node caches (:mod:`.cache`), node CPUs (:mod:`.cpu`), a
+jittered LogGP network (:mod:`.network`), a Split-C-style active-message
+runtime (:mod:`.activemsg`) and the trace-executing emulator
+(:mod:`.emulator`) that produces the "measured" series of Figures 7-9.
+"""
+
+from .activemsg import ActiveMessagePort, SplitCMachine
+from .cache import BlockCache, CacheStats, LineCache
+from .cpu import CompPhaseResult, NodeCPU, touched_blocks
+from .emulator import MachineEmulator, MeasuredReport
+from .network import JitteredNetwork
+from .profiler import ProcessorProfile, ProgramProfile, profile_program
+from .topology import FatTree, Mesh2D, RingTopology, Topology, UniformTopology
+
+__all__ = [
+    "ActiveMessagePort",
+    "SplitCMachine",
+    "BlockCache",
+    "CacheStats",
+    "LineCache",
+    "CompPhaseResult",
+    "NodeCPU",
+    "touched_blocks",
+    "MachineEmulator",
+    "MeasuredReport",
+    "JitteredNetwork",
+    "ProcessorProfile",
+    "ProgramProfile",
+    "profile_program",
+    "Topology",
+    "FatTree",
+    "Mesh2D",
+    "RingTopology",
+    "UniformTopology",
+]

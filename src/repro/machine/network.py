@@ -1,0 +1,79 @@
+"""The emulated machine's network: LogGP means with seeded jitter.
+
+The paper observes that "the LogGP model gives an average behavior of the
+transmission of messages over the network, and not a precise one" and that
+a single late message can reshuffle the whole send/receive sequence
+(section 4.1).  The emulated network therefore draws each message's wire
+latency from a log-normal distribution around the LogGP ``L``, plus an
+occasional straggler — enough variability to land the "measured"
+communication times strictly inside the standard/worst-case band of
+Figure 8, as the paper reports.
+
+Local (same-processor) transfers are memory copies, charged per byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from ..blockops.calibration import LOCAL_COPY_US_PER_BYTE
+from ..core.loggp import LogGPParameters
+from ..core.message import Message
+
+__all__ = ["JitteredNetwork"]
+
+
+@dataclass
+class JitteredNetwork:
+    """Per-message latency sampler and local-copy pricer.
+
+    Parameters
+    ----------
+    params:
+        The LogGP means.
+    jitter_sigma:
+        Std-dev of the log-normal multiplier on ``L`` (0 = deterministic).
+    straggler_prob, straggler_factor:
+        With probability ``straggler_prob`` a message's latency is further
+        multiplied by ``straggler_factor`` (network contention spikes).
+    local_copy_us_per_byte:
+        Cost of self-messages (local memory transfers).
+    """
+
+    params: LogGPParameters
+    jitter_sigma: float = 0.10
+    straggler_prob: float = 0.01
+    straggler_factor: float = 2.5
+    local_copy_us_per_byte: float = LOCAL_COPY_US_PER_BYTE
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be >= 0")
+        if not (0.0 <= self.straggler_prob <= 1.0):
+            raise ValueError("straggler_prob must be in [0, 1]")
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1")
+        self._rng = np.random.default_rng(self.seed)
+        # Normalise so E[multiplier] == 1: the LogGP L is the *mean*
+        # latency ("the model gives an average behavior", section 4.1),
+        # so jitter must not systematically inflate it.
+        lognormal_mean = float(np.exp(self.jitter_sigma**2 / 2.0))
+        straggler_mean = 1.0 + self.straggler_prob * (self.straggler_factor - 1.0)
+        self._norm = 1.0 / (lognormal_mean * straggler_mean)
+
+    def latency_of(self, message: Message) -> float:
+        """Sampled wire latency (µs) for one message (mean ``params.L``)."""
+        lat = self.params.L * self._norm
+        if self.jitter_sigma:
+            lat *= float(np.exp(self._rng.normal(0.0, self.jitter_sigma)))
+        if self.straggler_prob and self._rng.random() < self.straggler_prob:
+            lat *= self.straggler_factor
+        return lat
+
+    def local_copy_us(self, message: Message) -> float:
+        """Cost of a same-processor transfer (µs)."""
+        if not message.is_local:
+            raise ValueError("local_copy_us() expects a self-message")
+        return message.size * self.local_copy_us_per_byte

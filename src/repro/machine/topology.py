@@ -1,0 +1,151 @@
+"""Network topologies: per-pair latencies under the LogGP abstraction.
+
+The LogGP model collapses the network into a single latency upper bound
+``L`` — reasonable for the Meiko CS-2, whose **fat-tree** interconnect
+keeps hop counts nearly uniform.  This module makes that design decision
+inspectable: it provides hop-count models for the classic topologies and
+a per-message latency function (`latency_of`) that the causal simulator
+and the machine emulator accept, so one can quantify how much a
+non-uniform network would bend the paper's single-``L`` predictions.
+
+Latency model: ``L(src, dst) = switch_us * hops(src, dst)`` with
+``hops`` topology-specific; ``uniform_equivalent`` gives the traffic-
+agnostic mean, which is the ``L`` a micro-benchmark calibration would
+report on that machine.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.message import Message
+
+__all__ = ["Topology", "FatTree", "Mesh2D", "RingTopology", "UniformTopology"]
+
+
+class Topology(abc.ABC):
+    """Abstract hop-count model over ``num_procs`` endpoints."""
+
+    def __init__(self, num_procs: int):
+        if num_procs < 1:
+            raise ValueError("num_procs must be >= 1")
+        self.num_procs = num_procs
+
+    @abc.abstractmethod
+    def hops(self, src: int, dst: int) -> int:
+        """Switch traversals between two endpoints (0 for src == dst)."""
+
+    def _check(self, src: int, dst: int) -> None:
+        if not (0 <= src < self.num_procs and 0 <= dst < self.num_procs):
+            raise ValueError(f"endpoint out of range for P={self.num_procs}")
+
+    # -- derived -----------------------------------------------------------
+    def diameter(self) -> int:
+        """Maximum hop count over all pairs."""
+        return max(
+            self.hops(s, d)
+            for s in range(self.num_procs)
+            for d in range(self.num_procs)
+        )
+
+    def mean_hops(self) -> float:
+        """Average hops over all ordered distinct pairs."""
+        if self.num_procs == 1:
+            return 0.0
+        total = sum(
+            self.hops(s, d)
+            for s in range(self.num_procs)
+            for d in range(self.num_procs)
+            if s != d
+        )
+        return total / (self.num_procs * (self.num_procs - 1))
+
+    def latency_fn(self, switch_us: float) -> Callable[[Message], float]:
+        """A per-message latency function for the simulators/emulator."""
+        if switch_us < 0:
+            raise ValueError("switch_us must be non-negative")
+
+        def latency_of(message: Message) -> float:
+            return switch_us * self.hops(message.src, message.dst)
+
+        return latency_of
+
+    def uniform_equivalent(self, switch_us: float) -> float:
+        """The single ``L`` a calibration would measure on this network."""
+        return switch_us * self.mean_hops()
+
+
+class UniformTopology(Topology):
+    """Every distinct pair is ``hops`` apart (the plain LogGP abstraction)."""
+
+    def __init__(self, num_procs: int, uniform_hops: int = 1):
+        super().__init__(num_procs)
+        if uniform_hops < 1:
+            raise ValueError("uniform_hops must be >= 1")
+        self.uniform_hops = uniform_hops
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        return 0 if src == dst else self.uniform_hops
+
+
+class FatTree(Topology):
+    """A k-ary fat tree (the Meiko CS-2's interconnect shape).
+
+    Leaves are processors; each internal switch has ``arity`` children.
+    A message climbs to the lowest common ancestor and descends:
+    ``hops = 2 * levels_to_lca``.
+    """
+
+    def __init__(self, num_procs: int, arity: int = 4):
+        super().__init__(num_procs)
+        if arity < 2:
+            raise ValueError("arity must be >= 2")
+        self.arity = arity
+        self.levels = max(1, math.ceil(math.log(max(num_procs, 2), arity)))
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        if src == dst:
+            return 0
+        # find the level at which the subtrees of src and dst merge
+        a, b = src, dst
+        level = 0
+        while a != b:
+            a //= self.arity
+            b //= self.arity
+            level += 1
+        return 2 * level
+
+
+class Mesh2D(Topology):
+    """A ``width x height`` mesh with dimension-ordered (Manhattan) routing."""
+
+    def __init__(self, width: int, height: int):
+        super().__init__(width * height)
+        if width < 1 or height < 1:
+            raise ValueError("mesh dimensions must be >= 1")
+        self.width = width
+        self.height = height
+
+    def coords(self, proc: int) -> tuple[int, int]:
+        """``(x, y)`` position of an endpoint."""
+        self._check(proc, proc)
+        return proc % self.width, proc // self.width
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        (x0, y0), (x1, y1) = self.coords(src), self.coords(dst)
+        return abs(x0 - x1) + abs(y0 - y1)
+
+
+class RingTopology(Topology):
+    """A bidirectional ring; messages take the shorter way around."""
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        d = abs(src - dst)
+        return min(d, self.num_procs - d)

@@ -1,0 +1,37 @@
+"""Program-trace representation (oblivious alternating comp/comm steps)."""
+
+from .builder import TraceBuilder
+from .program import ProgramTrace, Step, Work
+from .validation import ClassReport, Finding, classify_trace
+from .serialization import (
+    cost_table_from_json,
+    cost_table_to_json,
+    load_trace,
+    pattern_from_dict,
+    pattern_to_dict,
+    report_to_dict,
+    save_report,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+__all__ = [
+    "ProgramTrace",
+    "Step",
+    "Work",
+    "TraceBuilder",
+    "save_trace",
+    "load_trace",
+    "trace_to_dict",
+    "trace_from_dict",
+    "pattern_to_dict",
+    "pattern_from_dict",
+    "report_to_dict",
+    "save_report",
+    "cost_table_to_json",
+    "cost_table_from_json",
+    "ClassReport",
+    "Finding",
+    "classify_trace",
+]

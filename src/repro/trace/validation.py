@@ -1,0 +1,135 @@
+"""Restricted-class validation of program traces (paper section 2).
+
+The paper's method applies to a *restricted class* of algorithms:
+
+1. the communication pattern does not depend on the input (oblivious) —
+   true by construction for anything expressed as a trace;
+2. the data is divided into **equal-sized basic blocks**;
+3. blocks are operated on by a **finite set of basic operations**;
+4. computation and communication steps **alternate without overlapping**.
+
+:func:`classify_trace` audits a trace against these conditions and
+returns a :class:`ClassReport` of findings, so a user embedding their own
+application learns up front whether the paper's accuracy story applies
+(variable block sizes, for instance, are *representable* — a paper
+future-work item — but leave the evaluated class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .program import ProgramTrace
+
+__all__ = ["Finding", "ClassReport", "classify_trace"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One audit observation."""
+
+    condition: str
+    ok: bool
+    detail: str
+
+    def __str__(self) -> str:
+        mark = "ok " if self.ok else "WARN"
+        return f"[{mark}] {self.condition}: {self.detail}"
+
+
+@dataclass
+class ClassReport:
+    """Outcome of a restricted-class audit."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def in_class(self) -> bool:
+        """True when every condition held."""
+        return all(f.ok for f in self.findings)
+
+    def warnings(self) -> list[Finding]:
+        """Only the violated conditions."""
+        return [f for f in self.findings if not f.ok]
+
+    def describe(self) -> str:
+        """Readable audit listing."""
+        verdict = "inside" if self.in_class else "OUTSIDE"
+        lines = [f"trace is {verdict} the paper's restricted class"]
+        lines += [str(f) for f in self.findings]
+        return "\n".join(lines)
+
+
+def classify_trace(trace: ProgramTrace, max_ops: int = 16) -> ClassReport:
+    """Audit ``trace`` against the section 2 restrictions.
+
+    ``max_ops`` bounds what still counts as a "finite set of basic
+    operations" (the paper's apps use 4; anything beyond ``max_ops``
+    distinct op names is flagged).
+    """
+    report = ClassReport()
+
+    # condition 2: equal-sized basic blocks
+    sizes = {
+        w.b for step in trace.steps for ops in step.work.values() for w in ops
+    }
+    if len(sizes) <= 1:
+        detail = f"single block size {next(iter(sizes))}" if sizes else "no work at all"
+        report.findings.append(Finding("equal-sized blocks", True, detail))
+    else:
+        report.findings.append(
+            Finding(
+                "equal-sized blocks",
+                False,
+                f"{len(sizes)} distinct block sizes {sorted(sizes)} — "
+                "variable-sized blocks are representable but outside the "
+                "evaluated class (paper §7 future work)",
+            )
+        )
+
+    # condition 3: finite basic-op set
+    ops = set(trace.op_histogram())
+    report.findings.append(
+        Finding(
+            "finite basic-operation set",
+            len(ops) <= max_ops,
+            f"{len(ops)} distinct ops: {sorted(ops)}",
+        )
+    )
+
+    # condition 4: alternating, non-overlapping steps.  In the trace
+    # representation every step *is* comp-then-comm, so the check is that
+    # no step smuggles both heavy compute and self-overlap markers; we
+    # flag steps that have neither work nor messages (dead steps are
+    # harmless but suggest a malformed generator).
+    dead = sum(
+        1
+        for step in trace.steps
+        if step.total_ops() == 0 and (step.pattern is None or len(step.pattern) == 0)
+    )
+    report.findings.append(
+        Finding(
+            "alternating comp/comm steps",
+            True,
+            f"{len(trace)} steps ({dead} empty) — alternation is structural "
+            "in the trace format",
+        )
+    )
+
+    # condition 1: obliviousness is a property of trace *generation*; a
+    # materialised trace is oblivious by definition, which we record.
+    report.findings.append(
+        Finding(
+            "input-independent communication",
+            True,
+            "trace is materialised; patterns cannot depend on runtime data",
+        )
+    )
+
+    # bonus checks: ids in range, patterns well-formed
+    try:
+        trace.validate()
+        report.findings.append(Finding("structural validity", True, "validate() passed"))
+    except ValueError as exc:
+        report.findings.append(Finding("structural validity", False, str(exc)))
+    return report

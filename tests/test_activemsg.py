@@ -1,0 +1,126 @@
+"""Tests for the Split-C-style active-message runtime (repro.machine.activemsg)."""
+
+import pytest
+
+from repro.core import LogGPParameters, OpKind
+from repro.machine import SplitCMachine
+
+PARAMS = LogGPParameters(L=10.0, o=2.0, g=5.0, G=0.5, P=8)
+
+
+class TestBasics:
+    def test_single_store_timing(self):
+        received = []
+
+        def program(m):
+            m.on_receive(1, lambda src, payload: received.append((src, payload)))
+            m.port(0).store(1, size=1, payload="hello")
+            m.port(0).finish()
+
+        machine = SplitCMachine(PARAMS)
+        timeline = machine.run(program)
+        assert received == [(0, "hello")]
+        assert timeline.completion_time == pytest.approx(14.0)
+        timeline.validate()
+
+    def test_run_twice_rejected(self):
+        machine = SplitCMachine(PARAMS)
+        machine.run(lambda m: None)
+        with pytest.raises(RuntimeError):
+            machine.run(lambda m: None)
+
+    def test_out_of_range_port_rejected(self):
+        machine = SplitCMachine(PARAMS)
+        with pytest.raises(ValueError):
+            machine.port(8)
+
+    def test_store_after_finish_rejected(self):
+        def program(m):
+            port = m.port(0)
+            port.finish()
+            with pytest.raises(RuntimeError):
+                port.store(1, size=1)
+
+        SplitCMachine(PARAMS).run(program)
+
+
+class TestGapDiscipline:
+    def test_back_to_back_stores_respect_gap(self):
+        def program(m):
+            m.port(0).store(1, size=1)
+            m.port(0).store(2, size=1)
+            m.port(0).finish()
+
+        timeline = SplitCMachine(PARAMS).run(program)
+        s1, s2 = timeline.sends()
+        assert s2.start == pytest.approx(s1.end + PARAMS.g)
+        timeline.validate()
+
+    def test_concurrent_arrivals_gap_separated(self):
+        def program(m):
+            m.port(0).store(2, size=1)
+            m.port(0).finish()
+            m.port(1).store(2, size=1)
+            m.port(1).finish()
+            m.port(2).finish()
+
+        timeline = SplitCMachine(PARAMS).run(program)
+        r1, r2 = timeline.recvs()
+        assert r2.start >= r1.end + PARAMS.g - 1e-9
+        timeline.validate()
+
+
+class TestHandlers:
+    def test_handler_chaining_forwards_message(self):
+        """A handler that issues a store models the wavefront forwarding of
+        the GE implementation (receiver-driven propagation)."""
+        hops = []
+
+        def program(m):
+            def forward(pid, nxt):
+                def handler(src, payload):
+                    hops.append(pid)
+                    if nxt is not None:
+                        m.port(pid).store(nxt, size=1, payload=payload)
+                    m.port(pid).finish()
+
+                return handler
+
+            m.on_receive(1, forward(1, 2))
+            m.on_receive(2, forward(2, 3))
+            m.on_receive(3, forward(3, None))
+            m.port(0).store(1, size=1, payload="wave")
+            m.port(0).finish()
+
+        machine = SplitCMachine(PARAMS)
+        timeline = machine.run(program)
+        assert hops == [1, 2, 3]
+        assert len(timeline.sends()) == 3
+        assert len(timeline.recvs()) == 3
+        timeline.validate()
+
+    def test_receive_priority_over_pending_send(self):
+        """A port with both a queued store and an arrived message performs
+        the receive first when the receive can start no later."""
+
+        def program(m):
+            m.port(0).store(1, size=1)  # arrives at P1 at t=12
+            m.port(0).finish()
+            m.port(1).finish()
+
+            def handler(src, payload):
+                pass
+
+            m.on_receive(1, handler)
+
+        timeline = SplitCMachine(PARAMS).run(program)
+        (recv,) = timeline.recvs()
+        assert recv.start == pytest.approx(12.0)
+
+    def test_no_handler_still_receives(self):
+        def program(m):
+            m.port(0).store(1, size=4)
+            m.port(0).finish()
+
+        timeline = SplitCMachine(PARAMS).run(program)
+        assert len(timeline.recvs()) == 1

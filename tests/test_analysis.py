@@ -1,0 +1,127 @@
+"""Tests for analysis helpers (repro.analysis)."""
+
+import pytest
+
+from repro.analysis import (
+    argmin_key,
+    bracketed_fraction,
+    crossover_points,
+    describe_sequence,
+    format_figure,
+    format_table,
+    has_interior_minimum,
+    is_within_neighbors,
+    relative_gap,
+    render_timeline,
+    sawtooth_score,
+)
+from repro.apps import sample_pattern
+from repro.core import MEIKO_CS2, simulate_standard
+
+
+class TestTimelineRendering:
+    @pytest.fixture(scope="class")
+    def timeline(self):
+        return simulate_standard(MEIKO_CS2, sample_pattern()).timeline
+
+    def test_render_has_lane_per_participant(self, timeline):
+        text = render_timeline(timeline, width=80)
+        for p in timeline.participants():
+            assert f"P{p}" in text
+
+    def test_render_contains_ops_and_axis(self, timeline):
+        text = render_timeline(timeline, width=80)
+        assert "S" in text and "R" in text
+        assert "us" in text
+
+    def test_render_width_validated(self, timeline):
+        with pytest.raises(ValueError):
+            render_timeline(timeline, width=5)
+
+    def test_render_empty_timeline(self):
+        from repro.core import CommPattern
+
+        res = simulate_standard(MEIKO_CS2, CommPattern(2))
+        assert "empty" in render_timeline(res.timeline)
+
+    def test_describe_lists_finish_times(self, timeline):
+        text = describe_sequence(timeline)
+        assert "step completion" in text
+        assert "finishes at" in text
+
+
+class TestStats:
+    def test_argmin_key(self):
+        assert argmin_key({10: 5.0, 20: 1.0, 30: 9.0}) == 20
+        with pytest.raises(ValueError):
+            argmin_key({})
+
+    def test_interior_minimum(self):
+        assert has_interior_minimum({10: 5.0, 20: 1.0, 30: 9.0})
+        assert not has_interior_minimum({10: 1.0, 20: 2.0, 30: 9.0})
+        assert not has_interior_minimum({10: 5.0, 20: 1.0})
+
+    def test_sawtooth_score(self):
+        assert sawtooth_score({1: 1.0, 2: 2.0, 3: 3.0}) == 0
+        assert sawtooth_score({1: 1.0, 2: 3.0, 3: 2.0, 4: 4.0}) == 2
+        assert sawtooth_score({1: 1.0}) == 0
+
+    def test_crossover_points(self):
+        a = {10: 5.0, 20: 3.0, 30: 1.0}
+        b = {10: 1.0, 20: 2.0, 30: 4.0}
+        assert crossover_points(a, b) == [20] or crossover_points(a, b) == [30]
+        assert crossover_points(a, a) == []
+
+    def test_bracketed_fraction(self):
+        measured = {1: 5.0, 2: 9.0}
+        lower = {1: 4.0, 2: 10.0}
+        upper = {1: 6.0, 2: 12.0}
+        assert bracketed_fraction(measured, lower, upper) == 0.5
+        assert bracketed_fraction(measured, lower, upper, slack=0.2) == 1.0
+        with pytest.raises(ValueError):
+            bracketed_fraction({1: 1.0}, {2: 1.0}, {2: 1.0})
+
+    def test_relative_gap(self):
+        assert relative_gap(predicted=90.0, measured=100.0) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            relative_gap(1.0, 0.0)
+
+    def test_is_within_neighbors(self):
+        cands = [10, 20, 40, 80]
+        assert is_within_neighbors(20, 40, cands, hops=1)
+        assert not is_within_neighbors(10, 80, cands, hops=2)
+        with pytest.raises(ValueError):
+            is_within_neighbors(15, 40, cands)
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            [{"b": 10, "t": 1.5}, {"b": 160, "t": 2.25}],
+            columns=["b", "t"],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "1.5000" in text and "2.2500" in text
+
+    def test_format_table_requires_columns(self):
+        with pytest.raises(ValueError):
+            format_table([], columns=[])
+
+    def test_format_figure_converts_to_seconds(self):
+        series = {"pred": {10: 2_000_000.0}}
+        text = format_figure("Fig X", series)
+        assert "[seconds]" in text
+        assert "2.0000" in text
+
+    def test_format_figure_microseconds_mode(self):
+        series = {"pred": {10: 123.0}}
+        text = format_figure("Fig X", series, in_seconds=False)
+        assert "[microseconds]" in text
+        assert "123" in text
+
+    def test_format_figure_missing_points_tolerated(self):
+        series = {"a": {10: 1e6}, "b": {20: 2e6}}
+        text = format_figure("Fig", series)
+        assert "10" in text and "20" in text

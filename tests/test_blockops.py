@@ -1,0 +1,153 @@
+"""Tests for the four GE basic operations (repro.blockops.ops)."""
+
+import numpy as np
+import pytest
+
+from repro.blockops import (
+    OP_NAMES,
+    flop_count,
+    op1_factor,
+    op1_factor_ref,
+    op2_row,
+    op2_row_ref,
+    op3_col,
+    op3_col_ref,
+    op4_update,
+    op4_update_ref,
+)
+
+
+def dominant(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, n)) + n * np.eye(n)
+
+
+class TestOp1:
+    def test_factors_multiply_back(self):
+        a = dominant(12)
+        f = op1_factor(a)
+        assert np.allclose(f.lower @ f.upper, a)
+
+    def test_lower_is_unit_lower_triangular(self):
+        f = op1_factor(dominant(9))
+        assert np.allclose(f.lower, np.tril(f.lower))
+        assert np.allclose(np.diag(f.lower), 1.0)
+
+    def test_upper_is_upper_triangular(self):
+        f = op1_factor(dominant(9))
+        assert np.allclose(f.upper, np.triu(f.upper))
+
+    def test_inverses_are_inverses(self):
+        f = op1_factor(dominant(10))
+        eye = np.eye(10)
+        assert np.allclose(f.lower @ f.lower_inv, eye)
+        assert np.allclose(f.upper @ f.upper_inv, eye)
+
+    def test_inverses_stay_triangular(self):
+        f = op1_factor(dominant(8))
+        assert np.allclose(f.lower_inv, np.tril(f.lower_inv))
+        assert np.allclose(f.upper_inv, np.triu(f.upper_inv))
+
+    def test_1x1_block(self):
+        f = op1_factor(np.array([[4.0]]))
+        assert f.upper[0, 0] == 4.0
+        assert f.upper_inv[0, 0] == pytest.approx(0.25)
+
+    def test_zero_pivot_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            op1_factor(np.array([[0.0, 1.0], [1.0, 0.0]]))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            op1_factor(np.zeros((3, 4)))
+
+    def test_input_not_mutated(self):
+        a = dominant(6)
+        copy = a.copy()
+        op1_factor(a)
+        assert np.array_equal(a, copy)
+
+    def test_matches_scipy_lu_on_dominant_matrix(self):
+        """Without pivoting on a diagonally dominant matrix, L/U must agree
+        with scipy's pivoted LU whose permutation is identity-free only in
+        value: we verify via reconstruction instead."""
+        import scipy.linalg
+
+        a = dominant(16, seed=3)
+        f = op1_factor(a)
+        p, l, u = scipy.linalg.lu(a)
+        assert np.allclose(f.lower @ f.upper, p @ l @ u)
+
+
+class TestOp234:
+    def test_op2_is_left_multiplication(self):
+        rng = np.random.default_rng(1)
+        li = np.tril(rng.standard_normal((6, 6)), -1) + np.eye(6)
+        b = rng.standard_normal((6, 6))
+        assert np.allclose(op2_row(li, b), li @ b)
+
+    def test_op3_is_right_multiplication(self):
+        rng = np.random.default_rng(2)
+        ui = np.triu(rng.standard_normal((6, 6))) + 6 * np.eye(6)
+        b = rng.standard_normal((6, 6))
+        assert np.allclose(op3_col(b, ui), b @ ui)
+
+    def test_op4_is_multiply_subtract(self):
+        rng = np.random.default_rng(3)
+        b, c, r = (rng.standard_normal((5, 5)) for _ in range(3))
+        assert np.allclose(op4_update(b, c, r), b - c @ r)
+
+    def test_op_pipeline_eliminates_block_column(self):
+        """One full elimination iteration at block level zeroes the block
+        below the pivot: Op3's output times the pivot's U gives back the
+        original column block."""
+        a_kk = dominant(8, seed=5)
+        a_ik = np.random.default_rng(6).standard_normal((8, 8))
+        f = op1_factor(a_kk)
+        l_ik = op3_col(a_ik, f.upper_inv)
+        assert np.allclose(l_ik @ f.upper, a_ik)
+
+
+class TestReferencesAgree:
+    """Pure-Python scalar references match the vectorised implementations."""
+
+    def test_op1_ref(self):
+        a = dominant(7, seed=9)
+        fast, ref = op1_factor(a), op1_factor_ref(a)
+        assert np.allclose(fast.lower, ref.lower)
+        assert np.allclose(fast.upper, ref.upper)
+        assert np.allclose(fast.lower_inv, ref.lower_inv)
+        assert np.allclose(fast.upper_inv, ref.upper_inv)
+
+    def test_op2_ref(self):
+        rng = np.random.default_rng(10)
+        li = np.tril(rng.standard_normal((5, 5)), -1) + np.eye(5)
+        b = rng.standard_normal((5, 5))
+        assert np.allclose(op2_row(li, b), op2_row_ref(li, b))
+
+    def test_op3_ref(self):
+        rng = np.random.default_rng(11)
+        ui = np.triu(rng.standard_normal((5, 5))) + 5 * np.eye(5)
+        b = rng.standard_normal((5, 5))
+        assert np.allclose(op3_col(b, ui), op3_col_ref(b, ui))
+
+    def test_op4_ref(self):
+        rng = np.random.default_rng(12)
+        b, c, r = (rng.standard_normal((4, 4)) for _ in range(3))
+        assert np.allclose(op4_update(b, c, r), op4_update_ref(b, c, r))
+
+
+class TestFlopCounts:
+    def test_known_values(self):
+        assert flop_count("op1", 3) == pytest.approx(4 / 3 * 27)
+        assert flop_count("op2", 3) == 27.0
+        assert flop_count("op3", 3) == 27.0
+        assert flop_count("op4", 3) == pytest.approx(2 * 27 + 9)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            flop_count("op5", 3)
+
+    def test_all_named_ops_counted(self):
+        for op in OP_NAMES:
+            assert flop_count(op, 10) > 0

@@ -1,0 +1,76 @@
+"""Tests for timing harness and calibration (repro.blockops)."""
+
+import pytest
+
+from repro.blockops import (
+    OP_NAMES,
+    OpTimer,
+    calibrated_cost,
+    calibrated_table,
+    cold_extra_cost,
+    measure_op_costs,
+    operand_bytes,
+)
+
+
+class TestOpTimer:
+    def test_positive_times(self):
+        timer = OpTimer(repeats=1)
+        for op in OP_NAMES:
+            assert timer.time_op(op, 8) > 0.0
+
+    def test_sweep_structure(self):
+        table = measure_op_costs([4, 8], repeats=1)
+        assert set(table) == set(OP_NAMES)
+        assert set(table["op1"]) == {4, 8}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OpTimer(repeats=0)
+        timer = OpTimer(repeats=1)
+        with pytest.raises(ValueError):
+            timer.time_op("bogus", 8)
+        with pytest.raises(ValueError):
+            timer.time_op("op1", 0)
+
+    def test_larger_blocks_cost_more(self):
+        timer = OpTimer(repeats=3)
+        assert timer.time_op("op4", 128) > timer.time_op("op4", 8)
+
+
+class TestCalibration:
+    def test_positive_and_validated(self):
+        assert calibrated_cost("op1", 10) > 0
+        with pytest.raises(ValueError):
+            calibrated_cost("bogus", 10)
+        with pytest.raises(ValueError):
+            calibrated_cost("op1", 0)
+
+    def test_table_covers_requested_sizes(self):
+        table = calibrated_table([10, 60, 160])
+        assert set(table) == set(OP_NAMES)
+        assert table["op2"][60] == calibrated_cost("op2", 60)
+
+    def test_empty_size_list(self):
+        table = calibrated_table([])
+        assert all(table[op] == {} for op in OP_NAMES)
+
+    def test_near_equal_costs_at_crossover_region(self):
+        """Paper: around the crossover all four ops cost about the same."""
+        costs = [calibrated_cost(op, 56) for op in OP_NAMES]
+        assert max(costs) / min(costs) < 1.6
+
+
+class TestOperandBytesAndColdCost:
+    def test_operand_bytes(self):
+        assert operand_bytes("op1", 10) == 3 * 800
+        assert operand_bytes("op4", 10) == 4 * 800
+
+    def test_cold_cost_positive_and_capped(self):
+        small = cold_extra_cost("op4", 10)
+        assert small > 0
+        capped = cold_extra_cost("op4", 1000, cache_bytes=1024, line_bytes=32)
+        assert capped == pytest.approx((1024 / 32) * 0.35)
+
+    def test_cold_cost_grows_with_block_size_until_cap(self):
+        assert cold_extra_cost("op4", 20) > cold_extra_cost("op4", 10)

@@ -1,0 +1,131 @@
+"""Tests for analytic bounds and the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis import ascii_chart
+from repro.apps import (
+    CannonConfig,
+    GEConfig,
+    StencilConfig,
+    build_cannon_trace,
+    build_ge_trace,
+    build_stencil_trace,
+    stencil_cost_table,
+)
+from repro.core import (
+    MEIKO_CS2,
+    CalibratedCostModel,
+    ProgramSimulator,
+    compute_bounds,
+)
+from repro.core.bounds import RunningTimeBounds
+from repro.layouts import DiagonalLayout, RowStrippedCyclicLayout
+from repro.trace import ProgramTrace
+
+CM = CalibratedCostModel()
+
+
+class TestBoundsBracketSimulation:
+    @pytest.mark.parametrize("layout_cls", [DiagonalLayout, RowStrippedCyclicLayout])
+    @pytest.mark.parametrize("b", [12, 24, 48])
+    def test_ge_inside_bracket(self, layout_cls, b):
+        trace = build_ge_trace(GEConfig(96 if b == 12 else 240, b, layout_cls((96 if b == 12 else 240) // b, 4)))
+        bounds = compute_bounds(trace, MEIKO_CS2, CM)
+        for mode in ("standard", "worstcase"):
+            sim = ProgramSimulator(MEIKO_CS2, CM, mode=mode).run(trace)
+            assert bounds.contains(sim.total_us, slack=1e-9), (mode, sim.total_us, bounds)
+
+    def test_cannon_inside_bracket(self):
+        trace = build_cannon_trace(CannonConfig(n=48, num_procs=16))
+        bounds = compute_bounds(trace, MEIKO_CS2.with_(P=16), CM)
+        sim = ProgramSimulator(MEIKO_CS2.with_(P=16), CM).run(trace)
+        assert bounds.contains(sim.total_us)
+
+    def test_stencil_inside_bracket(self):
+        cfg = StencilConfig(n=64, num_procs=4, iterations=5)
+        cm = stencil_cost_table(64, [cfg.rows_per_proc])
+        trace = build_stencil_trace(cfg)
+        bounds = compute_bounds(trace, MEIKO_CS2.with_(P=4), cm)
+        sim = ProgramSimulator(MEIKO_CS2.with_(P=4), cm).run(trace)
+        assert bounds.contains(sim.total_us)
+
+    def test_simulation_adds_value_over_bracket(self):
+        """The bracket is loose (that's the point of simulating)."""
+        trace = build_ge_trace(GEConfig(240, 24, DiagonalLayout(10, 8)))
+        bounds = compute_bounds(trace, MEIKO_CS2, CM)
+        assert bounds.spread > 2.0
+
+    def test_empty_trace(self):
+        bounds = compute_bounds(ProgramTrace(num_procs=4), MEIKO_CS2, CM)
+        assert bounds.lower_us == 0.0
+        assert bounds.upper_us == 0.0
+
+    def test_components_consistent(self):
+        trace = build_ge_trace(GEConfig(96, 24, DiagonalLayout(4, 4)))
+        bounds = compute_bounds(trace, MEIKO_CS2, CM)
+        assert bounds.lower_us == max(bounds.work_bound_us, bounds.average_bound_us)
+        assert bounds.work_bound_us >= bounds.average_bound_us - 1e-9  # max >= mean
+
+    def test_bsp_reference_between_reasonable_limits(self):
+        """Barrier execution costs at least the per-step maxima and the
+        LogGP simulation (no barriers) should not exceed it by much —
+        here it is strictly cheaper."""
+        trace = build_ge_trace(GEConfig(240, 24, DiagonalLayout(10, 8)))
+        bounds = compute_bounds(trace, MEIKO_CS2, CM)
+        sim = ProgramSimulator(MEIKO_CS2, CM).run(trace)
+        assert bounds.bsp_reference_us > 0
+        # barrier-free execution exploits step overlap the BSP figure cannot
+        assert sim.total_us < bounds.bsp_reference_us * 2.0
+
+    def test_invalid_bracket_rejected(self):
+        with pytest.raises(ValueError):
+            RunningTimeBounds(
+                lower_us=2.0,
+                upper_us=1.0,
+                work_bound_us=2.0,
+                average_bound_us=1.0,
+                bsp_reference_us=0.0,
+            )
+
+
+class TestAsciiChart:
+    SERIES = {
+        "pred": {10: 5.0, 20: 2.0, 40: 3.0},
+        "meas": {10: 6.0, 20: 2.5, 40: 3.5},
+    }
+
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(self.SERIES)
+        assert "o pred" in chart and "* meas" in chart
+        assert chart.count("o") >= 3
+
+    def test_y_range_labels(self):
+        chart = ascii_chart(self.SERIES)
+        assert "6" in chart and "2" in chart
+
+    def test_x_ticks_present(self):
+        chart = ascii_chart(self.SERIES)
+        assert "10" in chart and "40" in chart
+
+    def test_y_scale(self):
+        chart = ascii_chart({"s": {1: 2_000_000.0}}, y_scale=1e6)
+        assert "2" in chart
+
+    def test_single_point(self):
+        chart = ascii_chart({"s": {10: 1.0}})
+        assert "s" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart(self.SERIES, width=5)
+        with pytest.raises(ValueError):
+            ascii_chart({f"s{i}": {1: 1.0} for i in range(20)})
+        with pytest.raises(ValueError):
+            ascii_chart({"s": {}})
+
+    def test_dimensions(self):
+        chart = ascii_chart(self.SERIES, width=40, height=8)
+        lines = chart.splitlines()
+        assert len(lines) == 8 + 3  # grid + axis + ticks + legend

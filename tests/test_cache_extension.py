@@ -1,0 +1,50 @@
+"""Tests for the cache-aware prediction extension (repro.core.cache_extension)."""
+
+import pytest
+
+from repro.core import CachePredictionModel
+
+
+class TestMissFraction:
+    model = CachePredictionModel(cache_bytes=1000, line_bytes=32, miss_penalty_us=1.0)
+
+    def test_zero_when_fits(self):
+        assert self.model.miss_fraction(500) == 0.0
+        assert self.model.miss_fraction(1000) == 0.0
+
+    def test_grows_with_overflow(self):
+        small = self.model.miss_fraction(1100)
+        large = self.model.miss_fraction(5000)
+        assert 0 < small < large <= 1.0
+
+    def test_saturates_at_one(self):
+        assert self.model.miss_fraction(10**9) == 1.0
+
+
+class TestExtraCost:
+    model = CachePredictionModel(cache_bytes=10_000, line_bytes=32, miss_penalty_us=1.0)
+
+    def test_zero_without_overflow(self):
+        assert self.model.extra_cost("op4", 8, resident_bytes=100) == 0.0
+
+    def test_positive_with_overflow(self):
+        assert self.model.extra_cost("op4", 8, resident_bytes=10**6) > 0.0
+
+    def test_zero_for_uncacheable_footprint(self):
+        """Ops whose operands exceed the cache stream regardless — their
+        cost is in the warm table already (matches the emulator CPU)."""
+        tiny = CachePredictionModel(cache_bytes=512, line_bytes=32, miss_penalty_us=1.0)
+        assert tiny.extra_cost("op4", 64, resident_bytes=10**6) == 0.0
+
+    def test_monotone_in_resident_set(self):
+        costs = [
+            self.model.extra_cost("op4", 8, resident_bytes=r)
+            for r in (10_000, 12_000, 20_000, 10**6)
+        ]
+        assert costs == sorted(costs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CachePredictionModel(cache_bytes=0)
+        with pytest.raises(ValueError):
+            CachePredictionModel(miss_penalty_us=-1.0)

@@ -1,0 +1,95 @@
+"""Tests for Cannon's algorithm (repro.apps.cannon)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import CannonConfig, build_cannon_trace, cannon_grid_side, execute_cannon
+
+
+class TestConfig:
+    def test_grid_side(self):
+        assert cannon_grid_side(9) == 3
+        assert cannon_grid_side(16) == 4
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            cannon_grid_side(8)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            CannonConfig(n=10, num_procs=9)
+
+    def test_derived_sizes(self):
+        cfg = CannonConfig(n=12, num_procs=9)
+        assert cfg.q == 3
+        assert cfg.b == 4
+
+
+class TestTrace:
+    def test_step_count_is_skew_plus_q_rounds(self):
+        trace = build_cannon_trace(CannonConfig(n=12, num_procs=9))
+        assert len(trace) == 1 + 3
+
+    def test_every_round_all_processors_multiply(self):
+        trace = build_cannon_trace(CannonConfig(n=12, num_procs=9))
+        for step in trace.steps[1:]:
+            assert set(step.work) == set(range(9))
+            for ops in step.work.values():
+                assert len(ops) == 1
+                assert ops[0].op == "op4"
+
+    def test_skew_step_has_no_work(self):
+        trace = build_cannon_trace(CannonConfig(n=12, num_procs=9))
+        assert trace.steps[0].total_ops() == 0
+        assert len(trace.steps[0].pattern) == 2 * 9
+
+    def test_last_round_no_rotation(self):
+        trace = build_cannon_trace(CannonConfig(n=12, num_procs=9))
+        assert len(trace.steps[-1].pattern) == 0
+        for step in trace.steps[1:-1]:
+            assert len(step.pattern) == 2 * 9
+
+    def test_rotations_are_unit_shifts(self):
+        q = 3
+        trace = build_cannon_trace(CannonConfig(n=12, num_procs=9))
+        step = trace.steps[1]
+        for m in step.pattern.remote_messages():
+            sr, sc = divmod(m.src, q)
+            dr, dc = divmod(m.dst, q)
+            left = (dr == sr and dc == (sc - 1) % q)
+            up = (dc == sc and dr == (sr - 1) % q)
+            assert left or up
+
+    def test_block_bytes(self):
+        cfg = CannonConfig(n=12, num_procs=9)
+        trace = build_cannon_trace(cfg)
+        assert all(
+            m.size == cfg.b * cfg.b * 8 for s in trace.steps for m in (s.pattern or ())
+        )
+
+    def test_meta(self):
+        trace = build_cannon_trace(CannonConfig(n=12, num_procs=4))
+        assert trace.meta["app"] == "cannon"
+        assert trace.meta["q"] == 2
+
+
+class TestNumericalExecution:
+    @pytest.mark.parametrize("num_procs", [1, 4, 9, 16])
+    def test_matches_numpy_matmul(self, num_procs):
+        n = 12
+        rng = np.random.default_rng(num_procs)
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        assert np.allclose(execute_cannon(a, b, num_procs), a @ b)
+
+    def test_identity(self):
+        a = np.random.default_rng(0).standard_normal((8, 8))
+        assert np.allclose(execute_cannon(a, np.eye(8), 4), a)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            execute_cannon(np.zeros((4, 4)), np.zeros((6, 6)), 4)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            execute_cannon(np.zeros((5, 5)), np.zeros((5, 5)), 4)

@@ -1,0 +1,67 @@
+"""Tests for the extended CLI subcommands (profile / fit / svg)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.cli import main
+
+
+class TestProfileCommand:
+    def test_profile_prints_buckets(self, capsys):
+        assert main(["profile", "-n", "120", "-b", "24", "--procs", "4"]) == 0
+        out = capsys.readouterr().out
+        for bucket in ("compute", "send", "recv", "wait", "idle"):
+            assert bucket in out
+        assert "utilization" in out
+
+    def test_profile_worstcase_mode(self, capsys):
+        assert main(
+            ["profile", "-n", "120", "-b", "24", "--procs", "4", "--mode", "worstcase"]
+        ) == 0
+        assert "makespan" in capsys.readouterr().out
+
+    def test_profile_bad_block_reported(self, capsys):
+        assert main(["profile", "-n", "100", "-b", "7"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestFitCommand:
+    def test_clean_fit_exact(self, capsys):
+        assert main(["fit"]) == 0
+        out = capsys.readouterr().out
+        assert "fitted:" in out
+        assert "L=0.00%" in out
+
+    def test_jittered_fit(self, capsys):
+        assert main(["fit", "--jitter", "--repeats", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "o=0.00%" in out  # sender-side params stay exact
+
+    def test_custom_machine(self, capsys):
+        assert main(["fit", "--L", "25", "--o", "3", "--g", "8", "--G", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "L=25" in out
+
+
+class TestSvgCommand:
+    def test_writes_valid_svg(self, tmp_path, capsys):
+        out_file = tmp_path / "step.svg"
+        assert main(["svg", "--pattern", "sample", "-o", str(out_file)]) == 0
+        svg = out_file.read_text()
+        ET.fromstring(svg)
+        assert "wrote" in capsys.readouterr().out
+
+    def test_worstcase_variant(self, tmp_path):
+        out_file = tmp_path / "wc.svg"
+        assert main(
+            ["svg", "--pattern", "sample", "--algorithm", "worstcase", "-o", str(out_file)]
+        ) == 0
+        assert "worstcase" in out_file.read_text()
+
+    def test_ring_pattern(self, tmp_path):
+        out_file = tmp_path / "ring.svg"
+        assert main(
+            ["svg", "--pattern", "ring", "--procs", "4", "--size", "64", "-o", str(out_file)]
+        ) == 0
+        assert out_file.exists()

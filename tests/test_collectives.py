@@ -1,0 +1,168 @@
+"""Tests for LogGP collectives (repro.core.collectives)."""
+
+import pytest
+
+from repro.core import (
+    LogGPParameters,
+    binomial_broadcast_pattern,
+    binomial_broadcast_time,
+    gather_pattern,
+    gather_time,
+    linear_broadcast_pattern,
+    linear_broadcast_time,
+    optimal_broadcast_schedule,
+    reduction_pattern,
+    ring_allgather_round,
+    scatter_pattern,
+    simulate_standard,
+    simulate_tree_broadcast,
+)
+
+PARAMS = LogGPParameters(L=10.0, o=2.0, g=5.0, G=0.5, P=16)
+
+
+class TestPatternShapes:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_linear_broadcast_edges(self, n):
+        pat = linear_broadcast_pattern(n, size=4)
+        assert len(pat) == n - 1
+        assert pat.out_degree(0) == n - 1
+        assert all(pat.in_degree(p) == 1 for p in range(1, n))
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 8, 13])
+    def test_binomial_broadcast_is_spanning_tree(self, n):
+        pat = binomial_broadcast_pattern(n, size=4)
+        assert len(pat) == n - 1
+        receivers = [m.dst for m in pat]
+        assert sorted(receivers + [0]) == list(range(n))
+        assert not pat.has_cycle()
+
+    def test_binomial_rounds_double(self):
+        pat = binomial_broadcast_pattern(8)
+        # the root's sends go to distances 1, 2, 4
+        assert [m.dst for m in pat.sends_of(0)] == [1, 2, 4]
+
+    def test_gather_edges(self):
+        pat = gather_pattern(5, size=4, root=2)
+        assert pat.in_degree(2) == 4
+        assert all(pat.out_degree(p) == 1 for p in range(5) if p != 2)
+
+    def test_scatter_matches_linear(self):
+        assert len(scatter_pattern(6)) == 5
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 8])
+    def test_reduction_everyone_contributes(self, n):
+        pat = reduction_pattern(n)
+        assert len(pat) == n - 1
+        senders = {m.src for m in pat}
+        assert senders == set(range(1, n))  # everyone but the root sends once
+
+    def test_reduction_rooted_elsewhere(self):
+        pat = reduction_pattern(4, root=3)
+        # the final message lands at the root
+        assert pat.messages[-1].dst in {3}
+
+    def test_ring_round(self):
+        pat = ring_allgather_round(4, size=9)
+        assert len(pat) == 4
+        assert pat.has_cycle()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_broadcast_pattern(3, root=3)
+        with pytest.raises(ValueError):
+            ring_allgather_round(1)
+
+
+class TestClosedFormsAgainstSimulation:
+    """Where formulas exist, the simulators must match them exactly."""
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 11])
+    @pytest.mark.parametrize("size", [1, 100])
+    def test_linear_broadcast(self, n, size):
+        pat = linear_broadcast_pattern(n, size=size)
+        sim = simulate_standard(PARAMS.with_(P=n), pat).completion_time
+        assert sim == pytest.approx(linear_broadcast_time(PARAMS, n, size))
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 8, 13])
+    def test_gather(self, n):
+        pat = gather_pattern(n, size=50)
+        sim = simulate_standard(PARAMS.with_(P=n), pat).completion_time
+        assert sim == pytest.approx(gather_time(PARAMS, n, 50))
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 8, 13, 16])
+    def test_binomial_broadcast_data_dependent(self, n):
+        """The binomial formula describes the data-dependent execution,
+        provided by the active-message runtime."""
+        pat = binomial_broadcast_pattern(n, size=20)
+        timeline = simulate_tree_broadcast(PARAMS.with_(P=n), pat)
+        assert timeline.completion_time == pytest.approx(
+            binomial_broadcast_time(PARAMS, n, 20)
+        )
+
+    def test_single_step_simulation_underestimates_trees(self):
+        """A single-step pattern has every message ready at step start, so
+        simulating a tree broadcast that way ignores data dependencies and
+        under-estimates — the documented semantic boundary."""
+        pat = binomial_broadcast_pattern(8, size=20)
+        one_step = simulate_standard(PARAMS.with_(P=8), pat).completion_time
+        dependent = simulate_tree_broadcast(PARAMS.with_(P=8), pat).completion_time
+        assert one_step < dependent
+
+    def test_trivial_sizes(self):
+        assert linear_broadcast_time(PARAMS, 1) == 0.0
+        assert binomial_broadcast_time(PARAMS, 1) == 0.0
+        assert gather_time(PARAMS, 1) == 0.0
+
+
+class TestOptimalBroadcast:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 23])
+    def test_schedule_matches_execution(self, n):
+        sched = optimal_broadcast_schedule(PARAMS, n, size=20)
+        pat = sched.to_pattern(size=20, num_procs=n)
+        timeline = simulate_tree_broadcast(PARAMS.with_(P=n), pat)
+        assert timeline.completion_time == pytest.approx(sched.completion_time)
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 23, 32])
+    def test_never_worse_than_binomial_or_linear(self, n):
+        sched = optimal_broadcast_schedule(PARAMS, n, size=20)
+        assert sched.completion_time <= binomial_broadcast_time(PARAMS, n, 20) + 1e-9
+        assert sched.completion_time <= linear_broadcast_time(PARAMS, n, 20) + 1e-9
+
+    def test_everyone_informed_exactly_once(self):
+        sched = optimal_broadcast_schedule(PARAMS, 12)
+        assert set(sched.informed_at) == set(range(12))
+        assert len(sched.sends) == 11
+
+    def test_greedy_prefers_earliest_informer(self):
+        # with a huge gap, the root alone is slow; recruits must help
+        slow_gap = LogGPParameters(L=1.0, o=1.0, g=50.0, G=0.0, P=8)
+        sched = optimal_broadcast_schedule(slow_gap, 4)
+        senders = {src for src, _, _ in sched.sends}
+        assert len(senders) > 1, "recruits must transmit when the root is gap-bound"
+
+    def test_single_processor(self):
+        sched = optimal_broadcast_schedule(PARAMS, 1)
+        assert sched.completion_time == 0.0
+        assert sched.sends == ()
+
+
+class TestTreeBroadcastValidation:
+    def test_rejects_non_tree(self):
+        from repro.core import CommPattern
+
+        pat = CommPattern(3, edges=[(0, 1), (2, 1)])  # P1 receives twice
+        with pytest.raises(ValueError, match="receives twice"):
+            simulate_tree_broadcast(PARAMS, pat)
+
+    def test_rejects_root_receiving(self):
+        from repro.core import CommPattern
+
+        pat = CommPattern(3, edges=[(1, 0)])
+        with pytest.raises(ValueError, match="root receives"):
+            simulate_tree_broadcast(PARAMS, pat, root=0)
+
+    def test_timeline_is_valid(self):
+        pat = binomial_broadcast_pattern(8, size=64)
+        timeline = simulate_tree_broadcast(PARAMS.with_(P=8), pat)
+        timeline.validate()

@@ -1,0 +1,157 @@
+"""Tests for the basic-operation cost models (repro.core.costmodel)."""
+
+import pytest
+
+from repro.blockops import OP_NAMES, calibrated_cost, flop_count
+from repro.core import (
+    CalibratedCostModel,
+    CostModel,
+    FlopCostModel,
+    MeasuredCostModel,
+    TableCostModel,
+)
+
+TABLE = {
+    op: {10: 100.0 * (i + 1), 20: 800.0 * (i + 1), 40: 6400.0 * (i + 1)}
+    for i, op in enumerate(OP_NAMES)
+}
+
+
+class TestTableCostModel:
+    def test_exact_lookup(self):
+        cm = TableCostModel(TABLE)
+        assert cm.cost("op1", 10) == 100.0
+        assert cm.cost("op4", 40) == 6400.0 * 4
+
+    def test_cubic_interpolation_between_nodes(self):
+        """op1 entries lie exactly on 0.1*b^3, so interpolation in the
+        cubic domain must reproduce the cubic at every point."""
+        cm = TableCostModel(TABLE)
+        assert cm.cost("op1", 15) == pytest.approx(0.1 * 15**3)
+        assert cm.cost("op1", 30) == pytest.approx(0.1 * 30**3)
+
+    def test_extrapolation_above(self):
+        cm = TableCostModel(TABLE)
+        assert cm.cost("op1", 80) == pytest.approx(0.1 * 80**3)
+
+    def test_extrapolation_below_clamped_nonnegative(self):
+        cm = TableCostModel({"op1": {10: 5.0, 20: 1000.0}})
+        assert cm.cost("op1", 2) >= 0.0
+
+    def test_single_entry_scales_cubically(self):
+        cm = TableCostModel({"op1": {10: 100.0}})
+        assert cm.cost("op1", 20) == pytest.approx(800.0)
+
+    def test_unknown_op_rejected(self):
+        cm = TableCostModel(TABLE)
+        with pytest.raises(ValueError, match="not in cost table"):
+            cm.cost("nonsense", 10)
+
+    def test_custom_op_sets_allowed(self):
+        cm = TableCostModel({"jacobi": {8: 50.0}})
+        assert cm.cost("jacobi", 8) == 50.0
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            TableCostModel({})
+
+    def test_empty_op_entries_rejected(self):
+        with pytest.raises(ValueError):
+            TableCostModel({"op1": {}})
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            TableCostModel({"op1": {10: -1.0}})
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            TableCostModel({"op1": {0: 1.0}})
+        cm = TableCostModel(TABLE)
+        with pytest.raises(ValueError):
+            cm.cost("op1", 0)
+
+    def test_block_sizes_property(self):
+        cm = TableCostModel(TABLE)
+        assert cm.block_sizes["op1"] == [10, 20, 40]
+
+    def test_satisfies_protocol(self):
+        assert isinstance(TableCostModel(TABLE), CostModel)
+
+
+class TestCalibratedCostModel:
+    """The Figure 6 shape claims (see DESIGN.md)."""
+
+    cm = CalibratedCostModel()
+
+    def test_matches_calibration_function(self):
+        assert self.cm.cost("op2", 48) == calibrated_cost("op2", 48)
+
+    def test_op1_most_expensive_for_small_blocks(self):
+        costs = {op: self.cm.cost(op, 10) for op in OP_NAMES}
+        assert max(costs, key=costs.get) == "op1"
+
+    def test_op4_most_expensive_for_large_blocks(self):
+        costs = {op: self.cm.cost(op, 160) for op in OP_NAMES}
+        assert max(costs, key=costs.get) == "op4"
+
+    def test_crossover_happens_mid_range(self):
+        """The paper: the most expensive op *changes* with the block size,
+        with the changeover near b ~ 60."""
+        diffs = {b: self.cm.cost("op1", b) - self.cm.cost("op4", b) for b in range(10, 161)}
+        crossings = [
+            b for b in range(11, 161) if (diffs[b - 1] > 0) != (diffs[b] > 0)
+        ]
+        assert len(crossings) == 1
+        assert 40 <= crossings[0] <= 80
+
+    def test_large_block_ratio_about_two(self):
+        ratio = self.cm.cost("op4", 160) / self.cm.cost("op1", 160)
+        assert 1.5 <= ratio <= 2.2
+
+    def test_monotone_in_block_size(self):
+        for op in OP_NAMES:
+            costs = [self.cm.cost(op, b) for b in (10, 20, 40, 80, 160)]
+            assert costs == sorted(costs)
+
+    def test_table_materialisation(self):
+        table = self.cm.table([10, 20])
+        assert table["op3"][20] == self.cm.cost("op3", 20)
+
+
+class TestFlopCostModel:
+    def test_linear_in_flops(self):
+        cm = FlopCostModel(us_per_flop=0.5)
+        assert cm.cost("op4", 10) == pytest.approx(0.5 * flop_count("op4", 10))
+
+    def test_no_crossover_ever(self):
+        """Ablation: a pure-flop model cannot reproduce the Figure 6
+        crossover; Op4 dominates Op1 at every size."""
+        cm = FlopCostModel()
+        for b in (5, 10, 50, 100, 200):
+            assert cm.cost("op4", b) > cm.cost("op1", b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlopCostModel(us_per_flop=0.0)
+        with pytest.raises(ValueError):
+            FlopCostModel().cost("op1", 0)
+        with pytest.raises(ValueError):
+            FlopCostModel().cost("bogus", 10)
+
+
+class TestMeasuredCostModel:
+    def test_positive_and_memoised(self):
+        cm = MeasuredCostModel(repeats=1)
+        first = cm.cost("op4", 16)
+        second = cm.cost("op4", 16)
+        assert first > 0
+        assert first == second  # memoised, not re-measured
+
+    def test_to_table_freezes_measurements(self):
+        cm = MeasuredCostModel(repeats=1)
+        table = cm.to_table([8, 16])
+        assert table.cost("op1", 8) == cm.cost("op1", 8)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            MeasuredCostModel(repeats=1).cost("bogus", 8)

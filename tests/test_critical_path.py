@@ -1,0 +1,99 @@
+"""Tests for critical-path analysis (repro.analysis.critical_path)."""
+
+import pytest
+
+from repro.analysis import critical_path, operation_slack
+from repro.apps import sample_pattern
+from repro.core import (
+    MEIKO_CS2,
+    CommPattern,
+    LogGPParameters,
+    OpKind,
+    simulate_standard,
+    simulate_worstcase,
+)
+
+PARAMS = LogGPParameters(L=10.0, o=2.0, g=5.0, G=0.5, P=8)
+
+
+class TestCriticalPath:
+    def test_single_message_path(self):
+        pat = CommPattern(2, edges=[(0, 1, 1)])
+        res = simulate_standard(PARAMS, pat)
+        path = critical_path(res.timeline)
+        assert len(path) == 2  # the send and its receive
+        assert path.operations[0].kind is OpKind.SEND
+        assert path.operations[-1].kind is OpKind.RECV
+        assert path.wire_hops == 1
+        assert path.completion_time == res.completion_time
+
+    def test_chain_path_spans_all_hops(self):
+        pat = CommPattern(4, edges=[(0, 1, 1), (1, 2, 1), (2, 3, 1)])
+        res = simulate_worstcase(PARAMS, pat)  # fully serialised
+        path = critical_path(res.timeline)
+        assert path.wire_hops == 3
+        assert path.processors == (0, 1, 2, 3)
+
+    def test_path_ends_at_last_operation(self):
+        pat = sample_pattern()
+        res = simulate_standard(MEIKO_CS2, pat)
+        path = critical_path(res.timeline)
+        assert path.operations[-1].end == pytest.approx(res.completion_time)
+
+    def test_path_edges_are_tight(self):
+        """Consecutive path ops must be separated by exactly a binding
+        constraint (port gap or message arrival)."""
+        pat = sample_pattern()
+        res = simulate_standard(MEIKO_CS2, pat)
+        path = critical_path(res.timeline)
+        params = res.timeline.params
+        for a, b in zip(path.operations, path.operations[1:]):
+            if a.proc == b.proc:
+                allowed = params.earliest_start(a.kind, a.end, b.kind)
+                assert b.start == pytest.approx(allowed)
+            else:
+                assert a.kind is OpKind.SEND and b.kind is OpKind.RECV
+                assert a.message.uid == b.message.uid
+                assert b.start == pytest.approx(b.arrival)
+
+    def test_empty_timeline(self):
+        res = simulate_standard(PARAMS, CommPattern(2))
+        path = critical_path(res.timeline)
+        assert len(path) == 0
+        assert path.processors == ()
+
+    def test_describe(self):
+        pat = CommPattern(2, edges=[(0, 1, 1)])
+        res = simulate_standard(PARAMS, pat)
+        text = critical_path(res.timeline).describe()
+        assert "critical path" in text
+        assert "P0" in text and "P1" in text
+
+
+class TestSlack:
+    def test_critical_ops_have_zero_slack(self):
+        pat = sample_pattern()
+        res = simulate_standard(MEIKO_CS2, pat)
+        path = critical_path(res.timeline)
+        slack = operation_slack(res.timeline)
+        for e in path.operations:
+            key = e.message.uid * 2 + (1 if e.kind is OpKind.RECV else 0)
+            assert slack[key] == pytest.approx(0.0, abs=1e-6)
+
+    def test_slack_nonnegative(self):
+        pat = sample_pattern()
+        res = simulate_standard(MEIKO_CS2, pat)
+        assert all(s >= 0 for s in operation_slack(res.timeline).values())
+
+    def test_parallel_branch_has_slack(self):
+        # 0 -> 1 (short) and 0 -> 2 -> ... : the early independent receive
+        # can slip
+        pat = CommPattern(3, edges=[(0, 1, 1), (0, 2, 500)])
+        res = simulate_standard(PARAMS, pat)
+        slack = operation_slack(res.timeline)
+        recv_fast = slack[0 * 2 + 1]  # uid 0's receive at P1
+        assert recv_fast > 0
+
+    def test_empty(self):
+        res = simulate_standard(PARAMS, CommPattern(2))
+        assert operation_slack(res.timeline) == {}

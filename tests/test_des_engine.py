@@ -1,0 +1,345 @@
+"""Tests for the discrete-event simulation kernel (repro.des.engine)."""
+
+import pytest
+
+from repro.des import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestEnvironmentBasics:
+    def test_clock_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_clock_starts_at_initial_time(self):
+        assert Environment(initial_time=5.0).now == 5.0
+
+    def test_peek_empty_is_inf(self):
+        assert Environment().peek() == float("inf")
+
+    def test_step_empty_raises(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+    def test_run_until_past_raises(self):
+        env = Environment(initial_time=10.0)
+        with pytest.raises(ValueError):
+            env.run(until=5.0)
+
+    def test_run_until_time_advances_clock(self):
+        env = Environment()
+        env.run(until=42.0)
+        assert env.now == 42.0
+
+
+class TestTimeout:
+    def test_timeout_fires_at_delay(self):
+        env = Environment()
+        fired = []
+
+        def proc(env):
+            yield env.timeout(3.5)
+            fired.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert fired == [3.5]
+
+    def test_timeout_carries_value(self):
+        env = Environment()
+        got = []
+
+        def proc(env):
+            got.append((yield env.timeout(1.0, value="payload")))
+
+        env.process(proc(env))
+        env.run()
+        assert got == ["payload"]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_timeouts_execute_in_time_order(self):
+        env = Environment()
+        order = []
+
+        def proc(env, name, delay):
+            yield env.timeout(delay)
+            order.append(name)
+
+        env.process(proc(env, "late", 5.0))
+        env.process(proc(env, "early", 1.0))
+        env.process(proc(env, "mid", 3.0))
+        env.run()
+        assert order == ["early", "mid", "late"]
+
+    def test_equal_time_fifo_order(self):
+        env = Environment()
+        order = []
+
+        def proc(env, name):
+            yield env.timeout(1.0)
+            order.append(name)
+
+        for name in "abc":
+            env.process(proc(env, name))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self):
+        env = Environment()
+        ev = env.event()
+        got = []
+
+        def waiter(env):
+            got.append((yield ev))
+
+        env.process(waiter(env))
+        ev.succeed(99)
+        env.run()
+        assert got == [99]
+
+    def test_double_trigger_raises(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            _ = env.event().value
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_fail_propagates_into_waiting_process(self):
+        env = Environment()
+        caught = []
+
+        def waiter(env, ev):
+            try:
+                yield ev
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        ev = env.event()
+        env.process(waiter(env, ev))
+        ev.fail(RuntimeError("boom"))
+        env.run()
+        assert caught == ["boom"]
+
+    def test_unhandled_failure_escapes_run(self):
+        env = Environment()
+        env.event().fail(RuntimeError("unhandled"))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            env.run()
+
+    def test_yield_already_processed_event_resumes_immediately(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed("early")
+        times = []
+
+        def late_waiter(env):
+            yield env.timeout(5.0)
+            value = yield ev  # processed long ago
+            times.append((env.now, value))
+
+        env.process(late_waiter(env))
+        env.run()
+        assert times == [(5.0, "early")]
+
+
+class TestProcess:
+    def test_process_return_value_is_event_value(self):
+        env = Environment()
+
+        def child(env):
+            yield env.timeout(2.0)
+            return "result"
+
+        def parent(env, results):
+            results.append((yield env.process(child(env))))
+
+        results = []
+        env.process(parent(env, results))
+        env.run()
+        assert results == ["result"]
+
+    def test_yield_non_event_raises(self):
+        env = Environment()
+
+        def bad(env):
+            yield 42
+
+        env.process(bad(env))
+        with pytest.raises(SimulationError, match="non-event"):
+            env.run()
+
+    def test_process_requires_generator(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)
+
+    def test_exception_in_process_escapes_run(self):
+        env = Environment()
+
+        def bad(env):
+            yield env.timeout(1.0)
+            raise ValueError("inner")
+
+        env.process(bad(env))
+        with pytest.raises(ValueError, match="inner"):
+            env.run()
+
+    def test_is_alive_transitions(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+
+        p = env.process(proc(env))
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_cross_environment_event_rejected(self):
+        env1, env2 = Environment(), Environment()
+        t2 = env2.timeout(1.0)
+
+        def proc(env):
+            yield t2
+
+        env1.process(proc(env1))
+        with pytest.raises(SimulationError, match="different environment"):
+            env1.run()
+
+    def test_interrupt_delivers_cause(self):
+        env = Environment()
+        log = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as i:
+                log.append((env.now, i.cause))
+
+        def interrupter(env, victim):
+            yield env.timeout(3.0)
+            victim.interrupt("wake up")
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert log == [(3.0, "wake up")]
+
+    def test_interrupt_finished_process_raises(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1.0)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+
+class TestConditions:
+    def test_all_of_waits_for_everything(self):
+        env = Environment()
+        done = []
+
+        def proc(env):
+            yield AllOf(env, [env.timeout(1.0), env.timeout(4.0), env.timeout(2.0)])
+            done.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert done == [4.0]
+
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+        done = []
+
+        def proc(env):
+            yield AnyOf(env, [env.timeout(9.0), env.timeout(2.0)])
+            done.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert done == [2.0]
+
+    def test_empty_all_of_fires_immediately(self):
+        env = Environment()
+        done = []
+
+        def proc(env):
+            yield env.all_of([])
+            done.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert done == [0.0]
+
+    def test_all_of_collects_values(self):
+        env = Environment()
+        values = []
+
+        def proc(env):
+            t1 = env.timeout(1.0, value="a")
+            t2 = env.timeout(2.0, value="b")
+            result = yield env.all_of([t1, t2])
+            values.append(sorted(result.values()))
+
+        env.process(proc(env))
+        env.run()
+        assert values == [["a", "b"]]
+
+
+class TestRunUntil:
+    def test_run_until_event_returns_value(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(2.0)
+            return "finished"
+
+        p = env.process(proc(env))
+        assert env.run(until=p) == "finished"
+        assert env.now == 2.0
+
+    def test_run_until_never_firing_event_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError, match="ran dry"):
+            env.run(until=env.event())
+
+    def test_run_until_time_stops_midway(self):
+        env = Environment()
+        fired = []
+
+        def proc(env, delay):
+            yield env.timeout(delay)
+            fired.append(delay)
+
+        env.process(proc(env, 1.0))
+        env.process(proc(env, 10.0))
+        env.run(until=5.0)
+        assert fired == [1.0]
+        assert env.now == 5.0
+        env.run()
+        assert fired == [1.0, 10.0]

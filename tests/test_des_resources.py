@@ -1,0 +1,188 @@
+"""Tests for DES resources and stores (repro.des.resources)."""
+
+import pytest
+
+from repro.des import Environment, PriorityStore, Resource, SimulationError, Store
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Resource(Environment(), capacity=0)
+
+    def test_grant_within_capacity_is_immediate(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        log = []
+
+        def user(env, name):
+            req = res.request()
+            yield req
+            log.append((env.now, name, "got"))
+            yield env.timeout(5.0)
+            res.release(req)
+
+        env.process(user(env, "a"))
+        env.process(user(env, "b"))
+        env.run()
+        assert [(t, n) for t, n, _ in log] == [(0.0, "a"), (0.0, "b")]
+
+    def test_queueing_beyond_capacity(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def user(env, name, hold):
+            with res.request() as req:
+                yield req
+                log.append((env.now, name))
+                yield env.timeout(hold)
+
+        env.process(user(env, "first", 3.0))
+        env.process(user(env, "second", 1.0))
+        env.run()
+        assert log == [(0.0, "first"), (3.0, "second")]
+
+    def test_count_and_queue_length(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        r1, r2 = res.request(), res.request()
+        assert res.count == 1
+        assert res.queue_length == 1
+        res.release(r1)
+        assert res.count == 1  # r2 promoted
+        assert res.queue_length == 0
+        res.release(r2)
+        assert res.count == 0
+
+    def test_cancel_queued_request(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        res.release(r2)  # cancel while still queued
+        assert res.queue_length == 0
+        assert res.count == 1
+        res.release(r1)
+        assert res.count == 0
+
+
+class TestStore:
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        def producer(env):
+            for item in ("x", "y", "z"):
+                yield store.put(item)
+                yield env.timeout(1.0)
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == ["x", "y", "z"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            got.append(((yield store.get()), env.now))
+
+        def producer(env):
+            yield env.timeout(7.0)
+            yield store.put("late")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [("late", 7.0)]
+
+    def test_capacity_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer(env):
+            yield store.put(1)
+            times.append(env.now)
+            yield store.put(2)  # blocked until consumer frees a slot
+            times.append(env.now)
+
+        def consumer(env):
+            yield env.timeout(4.0)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert times == [0.0, 4.0]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Store(Environment(), capacity=0)
+
+    def test_len_tracks_items(self):
+        env = Environment()
+        store = Store(env)
+        store.put("a")
+        store.put("b")
+        env.run()
+        assert len(store) == 2
+
+
+class TestPriorityStore:
+    def test_yields_smallest_first(self):
+        env = Environment()
+        store = PriorityStore(env)
+        for item in (3, 1, 2):
+            store.put(item)
+        got = []
+
+        def consumer(env):
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        env.process(consumer(env))
+        env.run()
+        assert got == [1, 2, 3]
+
+    def test_peek_returns_min_without_removal(self):
+        env = Environment()
+        store = PriorityStore(env)
+        store.put((5.0, "late"))
+        store.put((1.0, "early"))
+        env.run()
+        assert store.peek() == (1.0, "early")
+        assert len(store) == 2
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(SimulationError):
+            PriorityStore(Environment()).peek()
+
+    def test_arrival_ordered_delivery(self):
+        """The receive-queue shape of the Figure 2 algorithm: messages are
+        consumed in arrival-time order regardless of insertion order."""
+        env = Environment()
+        store = PriorityStore(env)
+        got = []
+
+        def producer(env):
+            yield store.put((12.0, 1, "second-arrival"))
+            yield store.put((7.0, 0, "first-arrival"))
+
+        def consumer(env):
+            yield env.timeout(1.0)
+            for _ in range(2):
+                got.append((yield store.get())[2])
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == ["first-arrival", "second-arrival"]

@@ -1,0 +1,168 @@
+"""Tests for timelines and their invariant checks (repro.core.events)."""
+
+import pytest
+
+from repro.core import CommPattern, LogGPParameters, Message, OpKind, StepTimeline
+from repro.core.events import CommEvent
+
+PARAMS = LogGPParameters(L=10.0, o=2.0, g=5.0, G=0.5, P=4)
+
+
+def msg(src=0, dst=1, size=1, uid=0, seq=0):
+    return Message(src=src, dst=dst, size=size, uid=uid, seq=seq)
+
+
+def send(proc, start, message, params=PARAMS):
+    return CommEvent(proc, OpKind.SEND, start, params.send_duration(message.size), message)
+
+
+def recv(proc, start, message, arrival, params=PARAMS):
+    return CommEvent(
+        proc, OpKind.RECV, start, params.recv_duration(message.size), message, arrival=arrival
+    )
+
+
+def valid_single_message_timeline():
+    """P0 sends one 1-byte message to P1 under PARAMS."""
+    m = msg()
+    tl = StepTimeline(params=PARAMS)
+    tl.add(send(0, 0.0, m))
+    tl.add(recv(1, 12.0, m, arrival=12.0))
+    return tl, m
+
+
+class TestCommEvent:
+    def test_end(self):
+        m = msg(size=10)
+        e = send(0, 3.0, m)
+        assert e.end == pytest.approx(3.0 + 6.5)
+
+    def test_str_contains_direction(self):
+        m = msg()
+        assert "->" in str(send(0, 0.0, m))
+        assert "<-" in str(recv(1, 12.0, m, 12.0))
+
+
+class TestTimelineQueries:
+    def test_completion_time(self):
+        tl, _ = valid_single_message_timeline()
+        assert tl.completion_time == pytest.approx(14.0)
+
+    def test_completion_of_empty_timeline_is_start_clock(self):
+        tl = StepTimeline(params=PARAMS, start_times={0: 5.0, 1: 9.0})
+        assert tl.completion_time == 9.0
+
+    def test_finish_time_per_proc(self):
+        tl, _ = valid_single_message_timeline()
+        assert tl.finish_time(0) == pytest.approx(2.0)
+        assert tl.finish_time(1) == pytest.approx(14.0)
+
+    def test_finish_time_of_idle_proc_is_clock(self):
+        tl = StepTimeline(params=PARAMS, start_times={3: 7.0})
+        assert tl.finish_time(3) == 7.0
+
+    def test_busy_time(self):
+        tl, _ = valid_single_message_timeline()
+        assert tl.busy_time(0) == pytest.approx(2.0)
+        assert tl.busy_time(1) == pytest.approx(2.0)
+
+    def test_sends_recvs_participants(self):
+        tl, _ = valid_single_message_timeline()
+        assert len(tl.sends()) == 1
+        assert len(tl.recvs()) == 1
+        assert tl.participants() == [0, 1]
+
+    def test_per_proc_finish_includes_clock_only_procs(self):
+        tl, _ = valid_single_message_timeline()
+        tl.start_times = {0: 0.0, 1: 0.0, 2: 3.0}
+        finishes = tl.per_proc_finish()
+        assert finishes[2] == 3.0
+
+
+class TestValidation:
+    def test_valid_timeline_passes(self):
+        tl, m = valid_single_message_timeline()
+        tl.validate([m])
+
+    def test_overlapping_ops_rejected(self):
+        m1, m2 = msg(uid=0, seq=0), msg(uid=1, seq=1)
+        tl = StepTimeline(params=PARAMS)
+        tl.add(send(0, 0.0, m1))
+        tl.add(send(0, 1.0, m2))  # overlaps [0, 2)
+        with pytest.raises(AssertionError):
+            tl.validate()
+
+    def test_gap_violation_rejected(self):
+        m1, m2 = msg(uid=0, seq=0), msg(uid=1, seq=1)
+        tl = StepTimeline(params=PARAMS)
+        tl.add(send(0, 0.0, m1))
+        tl.add(send(0, 4.0, m2))  # needs end(2.0) + g(5) = 7.0
+        with pytest.raises(AssertionError, match="gap violation"):
+            tl.validate()
+
+    def test_receive_before_arrival_rejected(self):
+        m = msg()
+        tl = StepTimeline(params=PARAMS)
+        tl.add(send(0, 0.0, m))
+        tl.add(recv(1, 11.0, m, arrival=11.0))  # true arrival is 12.0
+        with pytest.raises(AssertionError):
+            tl.validate()
+
+    def test_duplicate_receive_rejected(self):
+        m = msg()
+        tl = StepTimeline(params=PARAMS)
+        tl.add(send(0, 0.0, m))
+        tl.add(recv(1, 12.0, m, arrival=12.0))
+        tl.add(recv(1, 19.0, m, arrival=12.0))
+        with pytest.raises(AssertionError, match="duplicate"):
+            tl.validate()
+
+    def test_receive_without_send_rejected(self):
+        m = msg()
+        tl = StepTimeline(params=PARAMS)
+        tl.add(recv(1, 12.0, m, arrival=12.0))
+        with pytest.raises(AssertionError, match="without send"):
+            tl.validate()
+
+    def test_message_set_mismatch_rejected(self):
+        tl, m = valid_single_message_timeline()
+        extra = msg(uid=99)
+        with pytest.raises(AssertionError, match="set mismatch"):
+            tl.validate([m, extra])
+
+    def test_local_messages_excluded_from_expected_set(self):
+        tl, m = valid_single_message_timeline()
+        local = Message(src=2, dst=2, size=4, uid=50)
+        tl.validate([m, local])  # local messages are not simulated
+
+    def test_program_order_violation_rejected(self):
+        m1, m2 = msg(uid=0, seq=1), msg(uid=1, seq=0)
+        tl = StepTimeline(params=PARAMS)
+        tl.add(send(0, 0.0, m1))
+        tl.add(send(0, 7.0, m2))  # seq 0 sent after seq 1
+        with pytest.raises(AssertionError, match="program order"):
+            tl.validate()
+
+    def test_op_before_start_clock_rejected(self):
+        m = msg()
+        tl = StepTimeline(params=PARAMS, start_times={0: 5.0})
+        tl.add(send(0, 0.0, m))
+        with pytest.raises(AssertionError, match="predates"):
+            tl.validate()
+
+    def test_strict_latency_flags_jitter(self):
+        m = msg()
+        tl = StepTimeline(params=PARAMS)
+        tl.add(send(0, 0.0, m))
+        tl.add(recv(1, 13.0, m, arrival=13.0))  # jittered: arrival != 12.0
+        with pytest.raises(AssertionError, match="arrival mismatch"):
+            tl.validate()
+        tl.validate(strict_latency=False)  # jitter allowed
+
+    def test_non_strict_still_rejects_arrival_before_send_end(self):
+        m = msg()
+        tl = StepTimeline(params=PARAMS)
+        tl.add(send(0, 0.0, m))
+        tl.add(recv(1, 1.0, m, arrival=1.0))  # "arrives" mid-send
+        with pytest.raises(AssertionError):
+            tl.validate(strict_latency=False)

@@ -1,0 +1,54 @@
+"""Smoke tests: the fast example scripts must run to completion.
+
+Each example is executed in-process (``runpy``) with its module-level
+``main()`` guarded by ``__main__``, so this is equivalent to
+``python examples/<name>.py`` — a regression net for the documented
+entry points.  Only the quick examples run here; the sweep-heavy ones
+are covered by the benchmark suite.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "variable_blocks.py",
+    "broadcast_study.py",
+    "stencil_prediction.py",
+    "cannon_matmul.py",
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [name])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100, f"{name} produced almost no output"
+
+
+def test_examples_directory_complete():
+    """Every example promised by the README exists and is executable text."""
+    expected = {
+        "quickstart.py",
+        "gauss_blocksize_sweep.py",
+        "layout_comparison.py",
+        "cannon_matmul.py",
+        "stencil_prediction.py",
+        "irregular_pattern.py",
+        "variable_blocks.py",
+        "broadcast_study.py",
+        "machine_calibration.py",
+        "lost_cycles.py",
+    }
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    missing = expected - present
+    assert not missing, f"examples missing: {sorted(missing)}"
+    for name in expected:
+        text = (EXAMPLES / name).read_text()
+        assert '__main__' in text, f"{name} lacks a __main__ guard"
+        assert text.startswith("#!/usr/bin/env python"), f"{name} lacks a shebang"

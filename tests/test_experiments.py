@@ -1,0 +1,90 @@
+"""Tests for the experiment store (repro.experiments)."""
+
+import pytest
+
+from repro.core import MEIKO_CS2, CalibratedCostModel, FlopCostModel
+from repro.experiments import ExperimentStore, PointSummary
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ExperimentStore(tmp_path, MEIKO_CS2, CalibratedCostModel())
+
+
+class TestStore:
+    def test_miss_computes_then_hit_reads(self, store, tmp_path):
+        first = store.point(120, 24, "diagonal", with_measured=False)
+        assert store.cached_count() == 1
+        # mutate nothing; second call must come from disk with equal values
+        second = store.point(120, 24, "diagonal", with_measured=False)
+        assert first == second
+
+    def test_hit_is_fast(self, store):
+        import time
+
+        store.point(120, 24, "diagonal", with_measured=False)
+        t0 = time.perf_counter()
+        store.point(120, 24, "diagonal", with_measured=False)
+        assert time.perf_counter() - t0 < 0.05  # pure JSON read
+
+    def test_summary_values_match_live_run(self, store):
+        from repro.core import run_ge_point
+
+        summary = store.point(120, 24, "diagonal", seed=3)
+        row = run_ge_point(
+            120, 24, "diagonal", MEIKO_CS2, CalibratedCostModel(), seed=3
+        )
+        assert summary.pred_standard_total == pytest.approx(row.pred_standard.total_us)
+        assert summary.measured_total == pytest.approx(row.measured.total_us)
+
+    def test_series_shape(self, store):
+        with_m = store.point(120, 24, "diagonal")
+        without = store.point(120, 24, "diagonal", with_measured=False)
+        assert "measured_with_caching" in with_m.series()
+        assert "measured_with_caching" not in without.series()
+
+    def test_sweep_resumable(self, store):
+        store.point(120, 24, "diagonal", with_measured=False)
+        rows = store.sweep(120, [24, 40], ["diagonal"], with_measured=False)
+        assert len(rows) == 2
+        assert store.cached_count() == 2
+
+    def test_distinct_configs_distinct_entries(self, store):
+        store.point(120, 24, "diagonal", with_measured=False)
+        store.point(120, 24, "stripped", with_measured=False)
+        store.point(120, 24, "diagonal", seed=1, with_measured=False)
+        assert store.cached_count() == 3
+
+    def test_clear(self, store):
+        store.point(120, 24, "diagonal", with_measured=False)
+        assert store.clear() == 1
+        assert store.cached_count() == 0
+
+    def test_cost_model_change_invalidates(self, tmp_path):
+        a = ExperimentStore(tmp_path, MEIKO_CS2, CalibratedCostModel())
+        a.point(120, 24, "diagonal", with_measured=False)
+        b = ExperimentStore(tmp_path, MEIKO_CS2, FlopCostModel())
+        assert b.cached_count() == 0  # different fingerprint, cache miss
+
+    def test_machine_change_invalidates(self, tmp_path):
+        a = ExperimentStore(tmp_path, MEIKO_CS2, CalibratedCostModel())
+        a.point(120, 24, "diagonal", with_measured=False)
+        b = ExperimentStore(tmp_path, MEIKO_CS2.with_(L=99.0), CalibratedCostModel())
+        assert b.cached_count() == 0
+
+    def test_empty_store_counts_zero(self, tmp_path):
+        store = ExperimentStore(tmp_path / "nowhere", MEIKO_CS2, CalibratedCostModel())
+        assert store.cached_count() == 0
+        assert store.clear() == 0
+
+
+class TestPointSummary:
+    def test_frozen(self):
+        s = PointSummary(
+            n=1, b=1, layout="diagonal", seed=0,
+            pred_standard_total=1.0, pred_standard_comp=0.5,
+            pred_standard_comm=0.5, pred_worstcase_total=2.0,
+            pred_worstcase_comm=1.0,
+        )
+        with pytest.raises(AttributeError):
+            s.n = 2

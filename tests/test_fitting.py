@@ -1,0 +1,95 @@
+"""Tests for LogGP parameter estimation (repro.core.fitting)."""
+
+import pytest
+
+from repro.core import (
+    ETHERNET_CLUSTER,
+    LOW_OVERHEAD_NIC,
+    MEIKO_CS2,
+    LogGPParameters,
+    assess_fit,
+    emulator_runner,
+    fit_loggp,
+)
+from repro.core.fitting import run_microbenchmarks
+from repro.machine import JitteredNetwork
+
+
+class TestExactRecovery:
+    @pytest.mark.parametrize(
+        "truth", [MEIKO_CS2, ETHERNET_CLUSTER, LOW_OVERHEAD_NIC]
+    )
+    def test_recovers_presets_exactly(self, truth):
+        fitted = fit_loggp(emulator_runner(truth), num_procs=truth.P)
+        errors = assess_fit(fitted, truth)
+        for name, err in errors.items():
+            assert err < 1e-9, f"{name} off by {err:.2e}"
+
+    def test_recovers_arbitrary_parameters(self):
+        truth = LogGPParameters(L=33.0, o=1.25, g=6.5, G=0.0875, P=4)
+        fitted = fit_loggp(emulator_runner(truth), num_procs=4)
+        assert max(assess_fit(fitted, truth).values()) < 1e-9
+
+    def test_zero_G_machine(self):
+        truth = LogGPParameters(L=10.0, o=2.0, g=5.0, G=0.0, P=4)
+        fitted = fit_loggp(emulator_runner(truth))
+        assert fitted.G == pytest.approx(0.0)
+
+    def test_o_greater_than_g(self):
+        truth = LogGPParameters(L=10.0, o=8.0, g=2.0, G=0.1, P=4)
+        fitted = fit_loggp(emulator_runner(truth))
+        assert max(assess_fit(fitted, truth).values()) < 1e-9
+
+
+class TestNoisyRecovery:
+    def test_jittered_latency_recovered_within_tolerance(self):
+        """The only jittered quantity is L; o/g/G come from sender-side
+        timings and stay exact."""
+        net = JitteredNetwork(params=MEIKO_CS2, seed=3)
+        runner = emulator_runner(MEIKO_CS2, latency_of=net.latency_of)
+        fitted = fit_loggp(runner, repeats=15)
+        errors = assess_fit(fitted, MEIKO_CS2)
+        assert errors["o"] < 1e-9
+        assert errors["g"] < 1e-9
+        assert errors["G"] < 1e-9
+        assert errors["L"] < 0.15  # median over 15 jittered round trips
+
+
+class TestMicrobenchmarks:
+    def test_raw_observations(self):
+        bench = run_microbenchmarks(emulator_runner(MEIKO_CS2))
+        assert bench.send_small == pytest.approx(MEIKO_CS2.o)
+        assert bench.send_large == pytest.approx(
+            MEIKO_CS2.send_duration(bench.large_bytes)
+        )
+        m = bench.burst_count
+        assert bench.burst == pytest.approx(m * MEIKO_CS2.o + (m - 1) * MEIKO_CS2.g)
+        assert bench.one_way == pytest.approx(MEIKO_CS2.end_to_end(1))
+
+    def test_validation(self):
+        runner = emulator_runner(MEIKO_CS2)
+        with pytest.raises(ValueError):
+            run_microbenchmarks(runner, large_bytes=1)
+        with pytest.raises(ValueError):
+            run_microbenchmarks(runner, burst_count=1)
+
+
+class TestAssessFit:
+    def test_relative_errors(self):
+        a = LogGPParameters(L=10.0, o=2.0, g=5.0, G=0.5, P=2)
+        b = a.with_(L=11.0)
+        errors = assess_fit(b, a)
+        assert errors["L"] == pytest.approx(0.1)
+        assert errors["o"] == 0.0
+
+    def test_fitted_parameters_predict_like_truth(self):
+        """End-to-end: parameters fitted from micro-benchmarks reproduce
+        the truth machine's predictions on an unrelated pattern."""
+        from repro.apps import sample_pattern
+        from repro.core import simulate_standard
+
+        fitted = fit_loggp(emulator_runner(MEIKO_CS2), num_procs=MEIKO_CS2.P)
+        pat = sample_pattern()
+        t_true = simulate_standard(MEIKO_CS2, pat).completion_time
+        t_fit = simulate_standard(fitted, pat).completion_time
+        assert t_fit == pytest.approx(t_true)

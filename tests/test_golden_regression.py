@@ -1,0 +1,86 @@
+"""Golden-value regression pins for the reproduction's key quantities.
+
+These values are *our* reproduction's outputs, not the paper's numbers
+(see EXPERIMENTS.md for the paper-vs-reproduction accounting).  They are
+pinned so that any future change to the timing semantics — gap rules,
+cost calibration, emulator effects — is caught deliberately rather than
+silently shifting every figure.  If a change is intentional, update the
+constants here and re-derive EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro import (
+    MEIKO_CS2,
+    CalibratedCostModel,
+    GEConfig,
+    MachineEmulator,
+    ProgramSimulator,
+    build_ge_trace,
+    sample_pattern,
+    simulate_standard,
+    simulate_worstcase,
+)
+from repro.layouts import DiagonalLayout
+
+CM = CalibratedCostModel()
+
+
+class TestSamplePatternGoldenValues:
+    """Figures 4/5 on the reconstructed Meiko parameters."""
+
+    def test_standard_completion(self):
+        res = simulate_standard(MEIKO_CS2, sample_pattern(), seed=0)
+        assert res.completion_time == pytest.approx(110.314, abs=1e-3)
+
+    def test_worstcase_completion(self):
+        res = simulate_worstcase(MEIKO_CS2, sample_pattern(), seed=0)
+        assert res.completion_time == pytest.approx(284.285, abs=1e-3)
+
+    def test_overestimation_factor(self):
+        std = simulate_standard(MEIKO_CS2, sample_pattern(), seed=0)
+        wc = simulate_worstcase(MEIKO_CS2, sample_pattern(), seed=0)
+        assert wc.completion_time / std.completion_time == pytest.approx(2.577, abs=0.01)
+
+
+class TestCostModelGoldenValues:
+    """Figure 6 calibration anchors."""
+
+    def test_op1_at_48(self):
+        assert CM.cost("op1", 48) == pytest.approx(2745.92, rel=1e-9)
+
+    def test_op4_at_160(self):
+        assert CM.cost("op4", 160) == pytest.approx(82441.0, rel=1e-9)
+
+    def test_crossover_ordering(self):
+        assert CM.cost("op1", 10) > CM.cost("op4", 10)
+        assert CM.cost("op1", 160) < CM.cost("op4", 160)
+
+
+class TestGEGoldenValues:
+    """One GE configuration (n=240, b=24, diagonal, P=8), all engines."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return build_ge_trace(GEConfig(240, 24, DiagonalLayout(10, 8)))
+
+    def test_standard_prediction(self, trace):
+        report = ProgramSimulator(MEIKO_CS2, CM).run(trace)
+        assert report.total_us == pytest.approx(45386.914, abs=0.01)
+        assert report.comp_us == pytest.approx(21845.880, abs=0.01)
+        assert report.comm_us == pytest.approx(28085.029, abs=0.01)
+
+    def test_worstcase_prediction(self, trace):
+        report = ProgramSimulator(MEIKO_CS2, CM, mode="worstcase").run(trace)
+        assert report.total_us == pytest.approx(59394.802, abs=0.01)
+
+    def test_emulated_measurement(self, trace):
+        measured = MachineEmulator(MEIKO_CS2, CM, seed=0).run(trace)
+        assert measured.total_us == pytest.approx(50025.063, abs=0.01)
+        assert measured.total_without_cache_us == pytest.approx(46092.855, abs=0.01)
+
+    def test_engine_ordering_preserved(self, trace):
+        std = ProgramSimulator(MEIKO_CS2, CM).run(trace)
+        wc = ProgramSimulator(MEIKO_CS2, CM, mode="worstcase").run(trace)
+        measured = MachineEmulator(MEIKO_CS2, CM, seed=0).run(trace)
+        assert std.total_us < measured.total_us < wc.total_us

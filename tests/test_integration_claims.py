@@ -1,0 +1,138 @@
+"""Integration tests: the paper's qualitative claims at reduced scale.
+
+DESIGN.md section 4 lists the reproduced claims; the benchmarks check them
+at the paper's full scale (960x960).  These tests re-check them at 480x480
+(same block-size granularity, ~8x fewer operations) so the suite stays
+fast while still exercising the full prediction + emulation pipeline.
+"""
+
+import pytest
+
+from repro.analysis import (
+    argmin_key,
+    bracketed_fraction,
+    has_interior_minimum,
+    is_within_neighbors,
+    relative_gap,
+)
+from repro.core import MEIKO_CS2, CalibratedCostModel, run_ge_sweep
+
+N = 480
+BLOCK_SIZES = [12, 20, 30, 40, 60, 96, 160]
+LAYOUTS = ["diagonal", "stripped"]
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_ge_sweep(
+        N, BLOCK_SIZES, LAYOUTS, MEIKO_CS2, CalibratedCostModel(), with_measured=True
+    )
+
+
+def series(rows, layout, getter):
+    return {r.b: getter(r) for r in rows if r.layout == layout}
+
+
+class TestOrderingClaims:
+    def test_worstcase_bounds_standard_everywhere(self, rows):
+        for r in rows:
+            assert r.pred_worstcase.total_us >= r.pred_standard.total_us - 1e-6
+
+    def test_measured_above_standard_prediction(self, rows):
+        """The simple prediction omits cache, iteration and local-copy
+        effects, so the emulated measurement exceeds it (paper §6.3)."""
+        for r in rows:
+            assert r.measured.total_us >= r.pred_standard.total_us * 0.97
+
+    def test_without_caching_closer_to_prediction(self, rows):
+        for r in rows:
+            if r.measured.cache_us < 0.01 * r.measured.total_us:
+                continue  # cache effects immaterial at this block size
+            gap_with = abs(r.measured.total_us - r.pred_standard.total_us)
+            gap_without = abs(
+                r.measured.total_without_cache_us - r.pred_standard.total_us
+            )
+            assert gap_without <= gap_with + 1e-6
+
+
+class TestFigure7Shapes:
+    def test_total_time_has_interior_minimum(self, rows):
+        """The running time is nonlinear in the block size with an optimum
+        strictly inside the candidate range."""
+        for layout in LAYOUTS:
+            measured = series(rows, layout, lambda r: r.measured.total_us)
+            predicted = series(rows, layout, lambda r: r.pred_standard.total_us)
+            assert has_interior_minimum(measured), layout
+            assert has_interior_minimum(predicted), layout
+
+    def test_diagonal_beats_stripped_at_large_blocks(self, rows):
+        """Paper §6.3: the diagonal mapping works better, especially for
+        large block sizes — in both prediction and measurement."""
+        diag_m = series(rows, "diagonal", lambda r: r.measured.total_us)
+        str_m = series(rows, "stripped", lambda r: r.measured.total_us)
+        diag_p = series(rows, "diagonal", lambda r: r.pred_standard.total_us)
+        str_p = series(rows, "stripped", lambda r: r.pred_standard.total_us)
+        for b in (96, 160):
+            assert diag_m[b] < str_m[b]
+            assert diag_p[b] < str_p[b]
+
+    def test_prediction_identifies_better_layout_at_large_blocks(self, rows):
+        """The simulation's layout comparison agrees with measurement
+        (the paper's second stated purpose)."""
+        for b in (96, 160):
+            pred_winner = min(
+                LAYOUTS,
+                key=lambda l: series(rows, l, lambda r: r.pred_standard.total_us)[b],
+            )
+            meas_winner = min(
+                LAYOUTS,
+                key=lambda l: series(rows, l, lambda r: r.measured.total_us)[b],
+            )
+            assert pred_winner == meas_winner
+
+    def test_predicted_optimum_near_measured_optimum(self, rows):
+        """Paper: the predicted best block size differs from the measured
+        one by at most neighbouring grid entries, and its real running
+        time is not far from the real minimum."""
+        for layout in LAYOUTS:
+            pred = series(rows, layout, lambda r: r.pred_standard.total_us)
+            meas = series(rows, layout, lambda r: r.measured.total_us)
+            b_pred, b_meas = argmin_key(pred), argmin_key(meas)
+            assert is_within_neighbors(b_pred, b_meas, BLOCK_SIZES, hops=2)
+            # running the predicted-best block size costs at most 15% more
+            # than the true measured minimum
+            assert meas[b_pred] <= 1.15 * meas[b_meas]
+
+
+class TestFigure8CommunicationBracket:
+    def test_measured_comm_mostly_bracketed(self, rows):
+        for layout in LAYOUTS:
+            measured = series(rows, layout, lambda r: r.measured.comm_us)
+            lower = series(rows, layout, lambda r: r.pred_standard.comm_us)
+            upper = series(rows, layout, lambda r: r.pred_worstcase.comm_us)
+            assert bracketed_fraction(measured, lower, upper, slack=0.03) >= 0.8, layout
+
+    def test_standard_under_predicts_comm(self, rows):
+        """Expected under-prediction: local transfers are not modelled."""
+        ok = sum(
+            1 for r in rows if r.measured.comm_us >= r.pred_standard.comm_us * 0.99
+        )
+        assert ok / len(rows) >= 0.9
+
+
+class TestFigure9Computation:
+    def test_computation_predicted_closely(self, rows):
+        for r in rows:
+            gap = abs(relative_gap(r.pred_standard.comp_us, r.measured.comp_us))
+            assert gap < 0.25, (r.layout, r.b, gap)
+
+    def test_under_prediction_worst_at_small_blocks(self, rows):
+        """Iteration overhead grows with the number of blocks per
+        processor, so the computation gap shrinks as blocks grow."""
+        for layout in LAYOUTS:
+            gaps = {
+                r.b: relative_gap(r.pred_standard.comp_us, r.measured.comp_us)
+                for r in rows
+                if r.layout == layout
+            }
+            assert gaps[min(BLOCK_SIZES)] > gaps[max(BLOCK_SIZES)] - 0.02

@@ -1,0 +1,168 @@
+"""Tests for data layouts (repro.layouts)."""
+
+import numpy as np
+import pytest
+
+from repro.layouts import (
+    LAYOUTS,
+    BlockCyclic2DLayout,
+    ColumnCyclicLayout,
+    DiagonalLayout,
+    RowStrippedCyclicLayout,
+    adjacency_conflicts,
+    load_imbalance,
+)
+
+ALL_LAYOUT_CLASSES = [
+    RowStrippedCyclicLayout,
+    DiagonalLayout,
+    ColumnCyclicLayout,
+    BlockCyclic2DLayout,
+]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("cls", ALL_LAYOUT_CLASSES)
+    def test_owners_in_range(self, cls):
+        layout = cls(nb=12, num_procs=4)
+        for i in range(12):
+            for j in range(12):
+                assert 0 <= layout.owner(i, j) < 4
+
+    @pytest.mark.parametrize("cls", ALL_LAYOUT_CLASSES)
+    def test_blocks_partitioned(self, cls):
+        layout = cls(nb=10, num_procs=5)
+        counts = layout.block_counts()
+        assert sum(counts.values()) == 100
+
+    @pytest.mark.parametrize("cls", ALL_LAYOUT_CLASSES)
+    def test_out_of_grid_rejected(self, cls):
+        layout = cls(nb=4, num_procs=2)
+        with pytest.raises(IndexError):
+            layout.owner(4, 0)
+        with pytest.raises(IndexError):
+            layout.owner(0, -1)
+
+    @pytest.mark.parametrize("cls", ALL_LAYOUT_CLASSES)
+    def test_owner_matrix_matches_owner(self, cls):
+        layout = cls(nb=6, num_procs=3)
+        mat = layout.owner_matrix()
+        for i in range(6):
+            for j in range(6):
+                assert mat[i, j] == layout.owner(i, j)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            RowStrippedCyclicLayout(nb=0, num_procs=2)
+        with pytest.raises(ValueError):
+            RowStrippedCyclicLayout(nb=2, num_procs=0)
+
+    def test_registry_complete(self):
+        assert set(LAYOUTS) == {"stripped", "diagonal", "column", "block2d"}
+
+
+class TestStripped:
+    def test_rows_are_local(self):
+        """Row-wise propagation involves no message transfer (paper §6.2)."""
+        layout = RowStrippedCyclicLayout(nb=16, num_procs=8)
+        for i in range(16):
+            owners = {layout.owner(i, j) for j in range(16)}
+            assert len(owners) == 1
+
+    def test_cyclic_assignment(self):
+        layout = RowStrippedCyclicLayout(nb=16, num_procs=8)
+        assert layout.owner(0, 3) == 0
+        assert layout.owner(9, 3) == 1
+
+    def test_wavefront_load_is_uneven(self):
+        """Only ~half the processors are active on an anti-diagonal whose
+        length is P, when nb is a multiple of P... (actually stripped puts
+        each diagonal's blocks on consecutive rows, so a diagonal shorter
+        than P misses processors entirely)."""
+        layout = RowStrippedCyclicLayout(nb=16, num_procs=8)
+        diag = layout.antidiagonal(4)  # 5 blocks on rows 0..4
+        owners = {layout.owner(i, j) for i, j in diag}
+        assert owners == {0, 1, 2, 3, 4}  # procs 5..7 idle
+
+
+class TestDiagonal:
+    def test_diagonal_blocks_spread_across_processors(self):
+        """Paper: the diagonal mapping assigns the blocks of each diagonal
+        to different processors."""
+        layout = DiagonalLayout(nb=16, num_procs=8)
+        for d in range(31):
+            blocks = layout.antidiagonal(d)
+            owners = [layout.owner(i, j) for i, j in blocks]
+            expected_distinct = min(len(blocks), 8)
+            assert len(set(owners)) == expected_distinct
+
+    def test_globally_balanced(self):
+        layout = DiagonalLayout(nb=16, num_procs=8)
+        assert load_imbalance(layout) == pytest.approx(1.0)
+
+    def test_adjacency_conflicts_possible_but_rare(self):
+        """Paper: small probability that row- or column-adjacent blocks
+        land on one processor (unlike stripped rows, where it is certain)."""
+        layout = DiagonalLayout(nb=16, num_procs=8)
+        conflicts = adjacency_conflicts(layout)
+        total_pairs = 2 * 16 * 15
+        assert 0 <= conflicts < total_pairs * 0.25
+
+
+class TestColumnAndBlock2D:
+    def test_columns_are_local(self):
+        layout = ColumnCyclicLayout(nb=8, num_procs=4)
+        for j in range(8):
+            owners = {layout.owner(i, j) for i in range(8)}
+            assert len(owners) == 1
+
+    def test_block2d_grid(self):
+        layout = BlockCyclic2DLayout(nb=8, num_procs=4)
+        assert (layout.pr, layout.pc) == (2, 2)
+        assert layout.owner(0, 0) == 0
+        assert layout.owner(1, 1) == 3
+
+    def test_block2d_explicit_grid(self):
+        layout = BlockCyclic2DLayout(nb=8, num_procs=6, grid=(2, 3))
+        assert layout.owner(1, 2) == 1 * 3 + 2
+
+    def test_block2d_bad_grid_rejected(self):
+        with pytest.raises(ValueError):
+            BlockCyclic2DLayout(nb=8, num_procs=6, grid=(2, 2))
+
+    def test_block2d_balanced_when_divisible(self):
+        layout = BlockCyclic2DLayout(nb=8, num_procs=4)
+        assert load_imbalance(layout) == pytest.approx(1.0)
+
+
+class TestMetricsAndHelpers:
+    def test_antidiagonal_enumeration(self):
+        layout = RowStrippedCyclicLayout(nb=4, num_procs=2)
+        assert layout.antidiagonal(0) == [(0, 0)]
+        assert layout.antidiagonal(3) == [(0, 3), (1, 2), (2, 1), (3, 0)]
+        assert layout.antidiagonal(6) == [(3, 3)]
+        with pytest.raises(IndexError):
+            layout.antidiagonal(7)
+
+    def test_stripped_rows_conflict_everywhere(self):
+        layout = RowStrippedCyclicLayout(nb=4, num_procs=4)
+        # every horizontal neighbour pair is a conflict: 4 rows * 3 pairs
+        assert adjacency_conflicts(layout) == 12
+
+    def test_blocks_of(self):
+        layout = RowStrippedCyclicLayout(nb=4, num_procs=2)
+        blocks = layout.blocks_of(1)
+        assert blocks == [(1, 0), (1, 1), (1, 2), (1, 3), (3, 0), (3, 1), (3, 2), (3, 3)]
+
+    def test_iter_blocks_row_major(self):
+        layout = RowStrippedCyclicLayout(nb=2, num_procs=2)
+        assert list(layout.iter_blocks()) == [
+            (0, 0, 0),
+            (0, 1, 0),
+            (1, 0, 1),
+            (1, 1, 1),
+        ]
+
+    def test_load_imbalance_single_proc(self):
+        layout = RowStrippedCyclicLayout(nb=4, num_procs=1)
+        assert load_imbalance(layout) == 1.0

@@ -1,0 +1,104 @@
+"""Tests for the LogGP machine model (repro.core.loggp)."""
+
+import pytest
+
+from repro.core import ETHERNET_CLUSTER, LOW_OVERHEAD_NIC, MEIKO_CS2, LogGPParameters, OpKind
+
+SIMPLE = LogGPParameters(L=10.0, o=2.0, g=5.0, G=0.5, P=4, name="simple")
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", ["L", "o", "g", "G"])
+    def test_negative_parameter_rejected(self, field):
+        kwargs = dict(L=1.0, o=1.0, g=1.0, G=0.1, P=2)
+        kwargs[field] = -0.5
+        with pytest.raises(ValueError):
+            LogGPParameters(**kwargs)
+
+    def test_zero_processors_rejected(self):
+        with pytest.raises(ValueError):
+            LogGPParameters(L=1, o=1, g=1, G=0.1, P=0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            LogGPParameters(L=float("inf"), o=1, g=1, G=0.1, P=2)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SIMPLE.L = 99.0
+
+
+class TestDurations:
+    def test_send_duration_one_byte_is_overhead(self):
+        assert SIMPLE.send_duration(1) == 2.0
+
+    def test_send_duration_long_message(self):
+        # o + (k-1) G = 2 + 9*0.5
+        assert SIMPLE.send_duration(10) == pytest.approx(6.5)
+
+    def test_recv_duration_is_overhead_regardless_of_length(self):
+        assert SIMPLE.recv_duration(1) == 2.0
+        assert SIMPLE.recv_duration(10_000) == 2.0
+
+    def test_wire_time(self):
+        assert SIMPLE.wire_time(1) == pytest.approx(12.0)
+
+    def test_end_to_end(self):
+        # o + (k-1)G + L + o
+        assert SIMPLE.end_to_end(10) == pytest.approx(6.5 + 10.0 + 2.0)
+
+    @pytest.mark.parametrize("method", ["send_duration", "recv_duration", "wire_time"])
+    def test_zero_size_rejected(self, method):
+        with pytest.raises(ValueError):
+            getattr(SIMPLE, method)(0)
+
+
+class TestGapRules:
+    """The Figure 1 gap rules."""
+
+    def test_send_then_send(self):
+        assert SIMPLE.gap_after(OpKind.SEND, OpKind.SEND) == 5.0
+
+    def test_send_then_recv(self):
+        assert SIMPLE.gap_after(OpKind.SEND, OpKind.RECV) == 5.0
+
+    def test_recv_then_recv(self):
+        assert SIMPLE.gap_after(OpKind.RECV, OpKind.RECV) == 5.0
+
+    def test_recv_then_send_is_max_og_minus_o(self):
+        assert SIMPLE.gap_after(OpKind.RECV, OpKind.SEND) == pytest.approx(3.0)
+
+    def test_recv_then_send_with_large_overhead(self):
+        params = LogGPParameters(L=10, o=8.0, g=5.0, G=0.5, P=2)
+        # max(o, g) - o = 0 when o >= g: the gap elapsed during the receive
+        assert params.gap_after(OpKind.RECV, OpKind.SEND) == 0.0
+
+    def test_earliest_start_no_history(self):
+        assert SIMPLE.earliest_start(None, 7.0, OpKind.SEND) == 7.0
+
+    def test_earliest_start_applies_gap(self):
+        assert SIMPLE.earliest_start(OpKind.SEND, 7.0, OpKind.SEND) == 12.0
+        assert SIMPLE.earliest_start(OpKind.RECV, 7.0, OpKind.SEND) == 10.0
+
+
+class TestPresets:
+    def test_meiko_reconstruction(self):
+        assert MEIKO_CS2.L == 9.0
+        assert MEIKO_CS2.P == 8
+        assert MEIKO_CS2.name == "meiko-cs2"
+
+    @pytest.mark.parametrize("preset", [MEIKO_CS2, ETHERNET_CLUSTER, LOW_OVERHEAD_NIC])
+    def test_presets_are_valid(self, preset):
+        assert preset.send_duration(1) > 0
+        assert preset.P >= 1
+
+    def test_with_replaces_fields(self):
+        p16 = MEIKO_CS2.with_(P=16)
+        assert p16.P == 16
+        assert p16.L == MEIKO_CS2.L
+        assert MEIKO_CS2.P == 8  # original untouched
+
+    def test_describe_mentions_all_parameters(self):
+        text = SIMPLE.describe()
+        for token in ("L=10", "o=2", "g=5", "G=0.5", "P=4"):
+            assert token in text

@@ -1,0 +1,125 @@
+"""Tests for the cache models (repro.machine.cache)."""
+
+import pytest
+
+from repro.machine import BlockCache, LineCache
+
+
+class TestLineCache:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            LineCache(size_bytes=0)
+        with pytest.raises(ValueError):
+            LineCache(size_bytes=1000, line_bytes=32, ways=4)  # not a multiple
+
+    def test_cold_miss_then_hit(self):
+        cache = LineCache(size_bytes=1024, line_bytes=32, ways=4)
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.access(31) is True  # same line
+        assert cache.access(32) is False  # next line
+
+    def test_associativity_eviction(self):
+        # 2 sets, 2 ways, 32B lines: lines 0,2,4 map to set 0
+        cache = LineCache(size_bytes=128, line_bytes=32, ways=2)
+        cache.access(0 * 32)
+        cache.access(2 * 32)
+        cache.access(4 * 32)  # evicts line 0 (LRU)
+        assert cache.access(2 * 32) is True
+        assert cache.access(0 * 32) is False
+
+    def test_lru_order_updated_on_hit(self):
+        cache = LineCache(size_bytes=128, line_bytes=32, ways=2)
+        cache.access(0 * 32)
+        cache.access(2 * 32)
+        cache.access(0 * 32)  # refresh line 0
+        cache.access(4 * 32)  # evicts line 2 now
+        assert cache.access(0 * 32) is True
+        assert cache.access(2 * 32) is False
+
+    def test_access_range_counts_misses(self):
+        cache = LineCache(size_bytes=1024, line_bytes=32, ways=4)
+        assert cache.access_range(0, 64) == 2
+        assert cache.access_range(0, 64) == 0
+
+    def test_stats(self):
+        cache = LineCache(size_bytes=1024, line_bytes=32, ways=4)
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.miss_rate == 0.5
+
+    def test_flush(self):
+        cache = LineCache(size_bytes=1024, line_bytes=32, ways=4)
+        cache.access(0)
+        cache.flush()
+        assert cache.access(0) is False
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            LineCache(size_bytes=1024).access(-1)
+
+    def test_zero_range_rejected(self):
+        with pytest.raises(ValueError):
+            LineCache(size_bytes=1024).access_range(0, 0)
+
+
+class TestBlockCache:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BlockCache(0)
+
+    def test_miss_then_hit(self):
+        cache = BlockCache(1000)
+        assert cache.touch("a", 100) is False
+        assert cache.touch("a", 100) is True
+
+    def test_lru_eviction_by_bytes(self):
+        cache = BlockCache(250)
+        cache.touch("a", 100)
+        cache.touch("b", 100)
+        cache.touch("c", 100)  # evicts "a"
+        assert cache.touch("b", 100) is True
+        assert cache.touch("a", 100) is False
+
+    def test_oversized_block_streams_through(self):
+        cache = BlockCache(100)
+        cache.touch("small", 50)
+        assert cache.touch("huge", 500) is False
+        assert cache.used_bytes == 0  # everything flushed, nothing kept
+        assert cache.touch("huge", 500) is False  # never resident
+
+    def test_used_bytes_accounting(self):
+        cache = BlockCache(1000)
+        cache.touch("a", 300)
+        cache.touch("b", 200)
+        assert cache.used_bytes == 500
+
+    def test_invalidate(self):
+        cache = BlockCache(1000)
+        cache.touch("a", 300)
+        cache.invalidate("a")
+        assert cache.used_bytes == 0
+        assert cache.touch("a", 300) is False
+        cache.invalidate("missing")  # no-op
+
+    def test_flush_keeps_stats(self):
+        cache = BlockCache(1000)
+        cache.touch("a", 10)
+        cache.flush()
+        assert cache.stats.misses == 1
+        assert cache.touch("a", 10) is False
+
+    def test_zero_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            BlockCache(100).touch("a", 0)
+
+    def test_hit_refreshes_lru_position(self):
+        cache = BlockCache(200)
+        cache.touch("a", 100)
+        cache.touch("b", 100)
+        cache.touch("a", 100)  # refresh
+        cache.touch("c", 100)  # evicts "b"
+        assert cache.touch("a", 100) is True
+        assert cache.touch("b", 100) is False

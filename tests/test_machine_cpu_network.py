@@ -1,0 +1,129 @@
+"""Tests for the emulated node CPU and jittered network."""
+
+import numpy as np
+import pytest
+
+from repro.core import MEIKO_CS2, Message, TableCostModel
+from repro.machine import BlockCache, JitteredNetwork, NodeCPU, touched_blocks
+from repro.trace import Work
+
+COSTS = TableCostModel({"op1": {8: 100.0}, "op4": {8: 40.0}, "op2": {8: 60.0}, "op3": {8: 60.0}})
+
+
+class TestTouchedBlocks:
+    def test_op1_touches_own_block(self):
+        keys = [k for k, _ in touched_blocks(Work(op="op1", b=8, block=(2, 2), iteration=2))]
+        assert keys == [("blk", 2, 2)]
+
+    def test_op2_touches_factor(self):
+        keys = [k for k, _ in touched_blocks(Work(op="op2", b=8, block=(2, 5), iteration=2))]
+        assert ("factL", 2) in keys
+
+    def test_op3_touches_factor(self):
+        keys = [k for k, _ in touched_blocks(Work(op="op3", b=8, block=(5, 2), iteration=2))]
+        assert ("factU", 2) in keys
+
+    def test_op4_touches_three_blocks(self):
+        touched = touched_blocks(Work(op="op4", b=8, block=(5, 6), iteration=2))
+        keys = [k for k, _ in touched]
+        assert keys == [("blk", 5, 6), ("col", 5, 2), ("row", 2, 6)]
+        assert all(nbytes == 8 * 8 * 8 for _, nbytes in touched)
+
+    def test_custom_op_touches_own_block(self):
+        keys = [k for k, _ in touched_blocks(Work(op="jacobi", b=8, block=(1, 0)))]
+        assert keys == [("blk", 1, 0)]
+
+
+class TestNodeCPU:
+    def test_warm_cost_without_cache(self):
+        cpu = NodeCPU(COSTS, cache=None, noise_sigma=0.0)
+        result = cpu.run_phase([Work(op="op1", b=8), Work(op="op4", b=8)])
+        assert result.total_us == pytest.approx(140.0)
+        assert result.cache_us == 0.0
+        assert result.scan_us == 0.0
+
+    def test_cold_cache_charges_misses(self):
+        cache = BlockCache(10**6)
+        cpu = NodeCPU(COSTS, cache=cache, noise_sigma=0.0, miss_penalty_us=1.0, line_bytes=32)
+        w = Work(op="op1", b=8, block=(0, 0))
+        first = cpu.run_phase([w])
+        second = cpu.run_phase([w])
+        assert first.cache_us > 0
+        assert second.cache_us == 0.0  # warm now
+
+    def test_uncacheable_footprint_costs_nothing_extra(self):
+        """Ops whose operands exceed the cache stream through: the miss
+        penalty is scaled away (see cpu.run_phase docstring)."""
+        cache = BlockCache(100)  # tiny: op1 footprint 512B > 100B
+        cpu = NodeCPU(COSTS, cache=cache, noise_sigma=0.0)
+        result = cpu.run_phase([Work(op="op1", b=8, block=(0, 0))])
+        assert result.cache_us == 0.0
+
+    def test_scan_overhead_proportional_to_assigned_blocks(self):
+        cpu = NodeCPU(COSTS, assigned_blocks=50, scan_us_per_block=2.0, noise_sigma=0.0)
+        result = cpu.run_phase([Work(op="op4", b=8)])
+        assert result.scan_us == pytest.approx(100.0)
+        idle = cpu.run_phase([])
+        assert idle.scan_us == 0.0  # no work, no scan
+
+    def test_noise_deterministic_per_seed(self):
+        mk = lambda: NodeCPU(
+            COSTS, noise_sigma=0.1, rng=np.random.default_rng(5)
+        ).run_phase([Work(op="op1", b=8)])
+        assert mk().total_us == mk().total_us
+
+    def test_noise_perturbs_but_stays_positive(self):
+        cpu = NodeCPU(COSTS, noise_sigma=0.1, rng=np.random.default_rng(1))
+        result = cpu.run_phase([Work(op="op1", b=8)])
+        assert result.warm_us > 0
+        assert result.warm_us != 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeCPU(COSTS, assigned_blocks=-1)
+        with pytest.raises(ValueError):
+            NodeCPU(COSTS, noise_sigma=-0.1)
+
+
+class TestJitteredNetwork:
+    def msg(self, src=0, dst=1, size=100):
+        return Message(src=src, dst=dst, size=size, uid=0)
+
+    def test_deterministic_per_seed(self):
+        a = JitteredNetwork(params=MEIKO_CS2, seed=3)
+        b = JitteredNetwork(params=MEIKO_CS2, seed=3)
+        assert [a.latency_of(self.msg()) for _ in range(5)] == [
+            b.latency_of(self.msg()) for _ in range(5)
+        ]
+
+    def test_zero_jitter_is_exact(self):
+        net = JitteredNetwork(params=MEIKO_CS2, jitter_sigma=0.0, straggler_prob=0.0)
+        assert net.latency_of(self.msg()) == MEIKO_CS2.L
+
+    def test_mean_close_to_L(self):
+        """Mean-preserving jitter: LogGP's L is the average latency."""
+        net = JitteredNetwork(params=MEIKO_CS2, seed=0)
+        samples = [net.latency_of(self.msg()) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(MEIKO_CS2.L, rel=0.02)
+
+    def test_latencies_positive(self):
+        net = JitteredNetwork(params=MEIKO_CS2, seed=1)
+        assert all(net.latency_of(self.msg()) > 0 for _ in range(100))
+
+    def test_local_copy_cost(self):
+        net = JitteredNetwork(params=MEIKO_CS2, local_copy_us_per_byte=0.01)
+        local = Message(src=2, dst=2, size=1000, uid=0)
+        assert net.local_copy_us(local) == pytest.approx(10.0)
+
+    def test_local_copy_rejects_remote(self):
+        net = JitteredNetwork(params=MEIKO_CS2)
+        with pytest.raises(ValueError):
+            net.local_copy_us(self.msg())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JitteredNetwork(params=MEIKO_CS2, jitter_sigma=-1.0)
+        with pytest.raises(ValueError):
+            JitteredNetwork(params=MEIKO_CS2, straggler_prob=1.5)
+        with pytest.raises(ValueError):
+            JitteredNetwork(params=MEIKO_CS2, straggler_factor=0.5)

@@ -1,0 +1,120 @@
+"""Tests for the machine emulator (repro.machine.emulator)."""
+
+import pytest
+
+from repro.apps import GEConfig, build_ge_trace
+from repro.core import MEIKO_CS2, CalibratedCostModel, ProgramSimulator
+from repro.layouts import DiagonalLayout
+from repro.machine import JitteredNetwork, MachineEmulator
+
+COSTS = CalibratedCostModel()
+
+
+def small_trace(n=120, b=24, P=4):
+    layout = DiagonalLayout(n // b, P)
+    return build_ge_trace(GEConfig(n=n, b=b, layout=layout))
+
+
+def make_emulator(**kw):
+    defaults = dict(params=MEIKO_CS2, cost_model=COSTS, seed=0)
+    defaults.update(kw)
+    return MachineEmulator(**defaults)
+
+
+class TestDeterminism:
+    def test_same_seed_same_measurement(self):
+        trace = small_trace()
+        a = make_emulator().run(trace)
+        b = make_emulator().run(trace)
+        assert a.total_us == b.total_us
+        assert a.per_proc_total_us == b.per_proc_total_us
+
+    def test_different_seeds_differ(self):
+        trace = small_trace()
+        a = make_emulator(seed=0).run(trace)
+        b = make_emulator(seed=99).run(trace)
+        assert a.total_us != b.total_us
+
+
+class TestRelationsToPrediction:
+    """The qualitative relationships of Figures 7-9 at small scale."""
+
+    @pytest.fixture(scope="class")
+    def data(self):
+        trace = small_trace()
+        measured = make_emulator().run(trace)
+        std = ProgramSimulator(MEIKO_CS2, COSTS, mode="standard").run(trace)
+        wc = ProgramSimulator(MEIKO_CS2, COSTS, mode="worstcase").run(trace)
+        return measured, std, wc
+
+    def test_measured_total_exceeds_standard_prediction(self, data):
+        measured, std, _ = data
+        assert measured.total_us > std.total_us
+
+    def test_without_cache_closer_to_prediction(self, data):
+        measured, std, _ = data
+        with_gap = measured.total_us - std.total_us
+        without_gap = measured.total_without_cache_us - std.total_us
+        assert without_gap < with_gap
+
+    def test_measured_comm_between_standard_and_worstcase(self, data):
+        measured, std, wc = data
+        assert std.comm_us * 0.98 <= measured.comm_us <= wc.comm_us * 1.02
+
+    def test_measured_comp_at_least_predicted(self, data):
+        measured, std, _ = data
+        assert measured.comp_us >= std.comp_us * 0.97
+
+    def test_breakdown_keys(self, data):
+        measured, _, _ = data
+        assert set(measured.breakdown()) == {
+            "total",
+            "total_wo_cache",
+            "comp",
+            "comm",
+            "cache",
+        }
+
+
+class TestEffectToggles:
+    def test_no_cache_means_no_cache_bucket(self):
+        trace = small_trace()
+        report = make_emulator(cache_bytes=None).run(trace)
+        assert report.cache_us == 0.0
+        assert report.total_without_cache_us == pytest.approx(report.total_us)
+
+    def test_cache_bucket_positive_with_small_cache(self):
+        trace = small_trace()
+        report = make_emulator(cache_bytes=32 * 1024).run(trace)
+        assert report.cache_us > 0.0
+
+    def test_scan_overhead_raises_comp(self):
+        trace = small_trace()
+        without = make_emulator(scan_us_per_block=0.0).run(trace)
+        with_scan = make_emulator(scan_us_per_block=5.0).run(trace)
+        assert with_scan.comp_us > without.comp_us
+
+    def test_local_copies_accounted(self):
+        trace = small_trace()
+        report = make_emulator().run(trace)
+        total_local = sum(report.per_proc_local_us.values())
+        local_msgs = sum(
+            len(s.pattern.local_messages()) for s in trace.steps if s.pattern
+        )
+        assert (total_local > 0) == (local_msgs > 0)
+
+    def test_custom_network_injected(self):
+        trace = small_trace()
+        net = JitteredNetwork(params=MEIKO_CS2, jitter_sigma=0.0, straggler_prob=0.0, seed=0)
+        report = make_emulator(network=net, noise_sigma=0.0, cache_bytes=None,
+                               scan_us_per_block=0.0).run(trace)
+        std = ProgramSimulator(MEIKO_CS2, COSTS, mode="causal").run(trace)
+        # all effects off: the emulator collapses onto the causal
+        # prediction plus local copies
+        local = sum(report.per_proc_local_us.values())
+        assert report.total_us <= std.total_us + local + 1e-6
+
+    def test_meta_propagated(self):
+        trace = small_trace()
+        report = make_emulator().run(trace)
+        assert report.meta["app"] == "gauss"

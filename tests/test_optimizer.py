@@ -1,0 +1,129 @@
+"""Tests for the optimum search heuristics (repro.core.optimizer)."""
+
+import pytest
+
+from repro.core import (
+    exhaustive_search,
+    local_descent,
+    search_block_size_and_layout,
+    ternary_search,
+)
+
+CANDIDATES = [10, 12, 15, 20, 24, 30, 40, 48, 60, 64, 80, 96, 120, 160]
+
+
+def unimodal(b):
+    """Smooth bowl with minimum at 48."""
+    return (b - 48) ** 2 + 5.0
+
+
+def sawtooth(b):
+    """Bowl plus parity wiggle: local minima away from the global one."""
+    return (b - 48) ** 2 + 400.0 * (CANDIDATES.index(b) % 2)
+
+
+class TestExhaustive:
+    def test_finds_global_minimum(self):
+        result = exhaustive_search(unimodal, CANDIDATES)
+        assert result.best == 48
+        assert result.value == 5.0
+        assert result.evaluations == len(CANDIDATES)
+
+    def test_history_records_all(self):
+        result = exhaustive_search(unimodal, CANDIDATES)
+        assert len(result.history) == len(CANDIDATES)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            exhaustive_search(unimodal, [])
+
+    def test_duplicates_collapsed(self):
+        result = exhaustive_search(unimodal, [10, 10, 48, 48])
+        assert result.evaluations == 2
+
+
+class TestLocalDescent:
+    def test_unimodal_finds_global(self):
+        result = local_descent(unimodal, CANDIDATES)
+        assert result.best == 48
+
+    def test_start_point_respected(self):
+        result = local_descent(unimodal, CANDIDATES, start=160)
+        assert result.best == 48
+
+    def test_invalid_start_rejected(self):
+        with pytest.raises(ValueError):
+            local_descent(unimodal, CANDIDATES, start=47)
+
+    def test_cheaper_than_exhaustive(self):
+        result = local_descent(unimodal, CANDIDATES, start=60)
+        assert result.evaluations < len(CANDIDATES)
+
+    def test_sawtooth_lands_on_local_minimum(self):
+        """On a sawtoothed curve descent may stop at a local optimum — the
+        paper's 'locally optimal value' notion — but it must be one."""
+        result = local_descent(sawtooth, CANDIDATES, start=120)
+        idx = CANDIDATES.index(result.best)
+        here = sawtooth(result.best)
+        if idx > 0:
+            assert sawtooth(CANDIDATES[idx - 1]) >= here
+        if idx < len(CANDIDATES) - 1:
+            assert sawtooth(CANDIDATES[idx + 1]) >= here
+
+    def test_memoisation_no_repeat_evaluations(self):
+        calls = []
+
+        def counted(b):
+            calls.append(b)
+            return unimodal(b)
+
+        local_descent(counted, CANDIDATES)
+        assert len(calls) == len(set(calls))
+
+
+class TestTernary:
+    def test_unimodal_finds_global(self):
+        result = ternary_search(unimodal, CANDIDATES)
+        assert result.best == 48
+
+    def test_logarithmic_evaluations(self):
+        result = ternary_search(unimodal, list(range(1, 1025)))
+        assert result.best == 48
+        assert result.evaluations < 60
+
+    def test_small_candidate_sets(self):
+        assert ternary_search(unimodal, [20]).best == 20
+        assert ternary_search(unimodal, [20, 48]).best == 48
+        assert ternary_search(unimodal, [20, 48, 60]).best == 48
+
+
+class TestJointSearch:
+    def test_layout_and_block_size(self):
+        def evaluate(layout, b):
+            penalty = 0.0 if layout == "diagonal" else 1000.0
+            return unimodal(b) + penalty
+
+        best_layout, best, per_layout = search_block_size_and_layout(
+            evaluate, ["stripped", "diagonal"], CANDIDATES
+        )
+        assert best_layout == "diagonal"
+        assert best.best == 48
+        assert set(per_layout) == {"stripped", "diagonal"}
+
+    def test_methods_selectable(self):
+        def evaluate(layout, b):
+            return unimodal(b)
+
+        for method in ("exhaustive", "descent", "ternary"):
+            _, best, _ = search_block_size_and_layout(
+                evaluate, ["diagonal"], CANDIDATES, method=method
+            )
+            assert best.best == 48
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            search_block_size_and_layout(lambda l, b: 0.0, ["x"], [1], method="magic")
+
+    def test_no_layouts_rejected(self):
+        with pytest.raises(ValueError):
+            search_block_size_and_layout(lambda l, b: 0.0, [], [1])

@@ -1,0 +1,118 @@
+"""Tests for the high-level prediction API (repro.core.predictor)."""
+
+import pytest
+
+from repro.apps import GEConfig, build_ge_trace
+from repro.core import (
+    MEIKO_CS2,
+    CachePredictionModel,
+    CalibratedCostModel,
+    RunningTimePredictor,
+    predicted_optimum,
+    run_ge_point,
+    run_ge_sweep,
+)
+from repro.layouts import DiagonalLayout
+
+COSTS = CalibratedCostModel()
+
+
+class TestRunningTimePredictor:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return build_ge_trace(GEConfig(n=120, b=24, layout=DiagonalLayout(5, 4)))
+
+    def test_predict_standard(self, trace):
+        pred = RunningTimePredictor(MEIKO_CS2, COSTS)
+        report = pred.predict(trace)
+        assert report.total_us > 0
+        assert report.comp_us > 0
+        assert report.comm_us > 0
+
+    def test_predict_both_ordering(self, trace):
+        pred = RunningTimePredictor(MEIKO_CS2, COSTS)
+        std, wc = pred.predict_both(trace)
+        assert wc.total_us >= std.total_us
+
+    def test_extensions_accepted(self, trace):
+        pred = RunningTimePredictor(MEIKO_CS2, COSTS)
+        overlap = pred.predict(trace, overlap=True)
+        assert overlap.total_us <= pred.predict(trace).total_us + 1e-6
+        cached = pred.predict(trace, cache_model=CachePredictionModel(cache_bytes=16 * 1024))
+        assert cached.total_us >= pred.predict(trace).total_us
+
+
+class TestRunGEPoint:
+    def test_returns_complete_row(self):
+        row = run_ge_point(120, 24, "diagonal", MEIKO_CS2, COSTS)
+        assert row.b == 24
+        assert row.layout == "diagonal"
+        assert row.measured is not None
+        series = row.series()
+        assert set(series) == {
+            "simulated_standard",
+            "simulated_worstcase",
+            "measured_with_caching",
+            "measured_without_caching",
+        }
+
+    def test_without_measured(self):
+        row = run_ge_point(120, 24, "diagonal", MEIKO_CS2, COSTS, with_measured=False)
+        assert row.measured is None
+        assert set(row.series()) == {"simulated_standard", "simulated_worstcase"}
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError, match="unknown layout"):
+            run_ge_point(120, 24, "bogus", MEIKO_CS2, COSTS)
+
+    def test_deterministic(self):
+        a = run_ge_point(120, 24, "stripped", MEIKO_CS2, COSTS, seed=1)
+        b = run_ge_point(120, 24, "stripped", MEIKO_CS2, COSTS, seed=1)
+        assert a.measured.total_us == b.measured.total_us
+        assert a.pred_standard.total_us == b.pred_standard.total_us
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_ge_sweep(
+            120,
+            [12, 20, 24, 40],
+            ["diagonal", "stripped"],
+            MEIKO_CS2,
+            COSTS,
+            with_measured=False,
+        )
+
+    def test_all_points_present(self, rows):
+        assert len(rows) == 8
+        assert {(r.layout, r.b) for r in rows} == {
+            (lay, b) for lay in ("diagonal", "stripped") for b in (12, 20, 24, 40)
+        }
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            run_ge_sweep(120, [7], ["diagonal"], MEIKO_CS2, COSTS)
+
+    def test_progress_callback_invoked(self):
+        seen = []
+        run_ge_sweep(
+            120,
+            [24],
+            ["diagonal"],
+            MEIKO_CS2,
+            COSTS,
+            with_measured=False,
+            progress=lambda lay, b: seen.append((lay, b)),
+        )
+        assert seen == [("diagonal", 24)]
+
+    def test_predicted_optimum(self, rows):
+        best = predicted_optimum(rows, "diagonal")
+        assert best in (12, 20, 24, 40)
+        diag = {r.b: r.pred_standard.total_us for r in rows if r.layout == "diagonal"}
+        assert diag[best] == min(diag.values())
+
+    def test_predicted_optimum_unknown_layout(self, rows):
+        with pytest.raises(ValueError):
+            predicted_optimum(rows, "column")

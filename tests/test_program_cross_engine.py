@@ -1,0 +1,87 @@
+"""Whole-program cross-engine consistency checks.
+
+The step-level tests show the standard queue-based algorithm and the
+causal DES implementation agree per communication step; these tests close
+the loop at *program* level across the three applications, and pin the
+monotonicity relations every engine must respect end to end.
+"""
+
+import pytest
+
+from repro.apps import (
+    CannonConfig,
+    GEConfig,
+    StencilConfig,
+    build_cannon_trace,
+    build_ge_trace,
+    build_stencil_trace,
+    stencil_cost_table,
+)
+from repro.core import MEIKO_CS2, CalibratedCostModel, ProgramSimulator
+from repro.layouts import DiagonalLayout, RowStrippedCyclicLayout
+
+CM = CalibratedCostModel()
+
+
+def ge_trace(n=240, b=24, P=8, layout_cls=DiagonalLayout):
+    return build_ge_trace(GEConfig(n, b, layout_cls(n // b, P)))
+
+
+class TestCausalMatchesStandardAtProgramLevel:
+    @pytest.mark.parametrize("layout_cls", [DiagonalLayout, RowStrippedCyclicLayout])
+    def test_ge(self, layout_cls):
+        trace = ge_trace(layout_cls=layout_cls)
+        std = ProgramSimulator(MEIKO_CS2, CM, mode="standard").run(trace)
+        causal = ProgramSimulator(MEIKO_CS2, CM, mode="causal").run(trace)
+        assert causal.total_us == pytest.approx(std.total_us, rel=1e-9)
+        assert causal.per_proc_total_us == pytest.approx(std.per_proc_total_us)
+
+    def test_cannon(self):
+        trace = build_cannon_trace(CannonConfig(n=96, num_procs=16))
+        params = MEIKO_CS2.with_(P=16)
+        std = ProgramSimulator(params, CM, mode="standard").run(trace)
+        causal = ProgramSimulator(params, CM, mode="causal").run(trace)
+        assert causal.total_us == pytest.approx(std.total_us, rel=1e-9)
+
+    def test_stencil(self):
+        cfg = StencilConfig(n=128, num_procs=8, iterations=6)
+        cm = stencil_cost_table(128, [cfg.rows_per_proc])
+        trace = build_stencil_trace(cfg)
+        std = ProgramSimulator(MEIKO_CS2, cm, mode="standard").run(trace)
+        causal = ProgramSimulator(MEIKO_CS2, cm, mode="causal").run(trace)
+        assert causal.total_us == pytest.approx(std.total_us, rel=1e-9)
+
+
+class TestProgramLevelMonotonicity:
+    def test_worstcase_dominates_standard_for_every_processor(self):
+        trace = ge_trace()
+        std = ProgramSimulator(MEIKO_CS2, CM, mode="standard").run(trace)
+        wc = ProgramSimulator(MEIKO_CS2, CM, mode="worstcase").run(trace)
+        for p in std.per_proc_total_us:
+            assert wc.per_proc_total_us[p] >= std.per_proc_total_us[p] - 1e-6
+
+    def test_slower_network_never_helps(self):
+        trace = ge_trace()
+        fast = ProgramSimulator(MEIKO_CS2, CM).run(trace)
+        slow = ProgramSimulator(MEIKO_CS2.with_(L=MEIKO_CS2.L * 4), CM).run(trace)
+        assert slow.total_us >= fast.total_us
+
+    def test_higher_bandwidth_cost_never_helps(self):
+        trace = ge_trace()
+        fast = ProgramSimulator(MEIKO_CS2, CM).run(trace)
+        slow = ProgramSimulator(MEIKO_CS2.with_(G=MEIKO_CS2.G * 3), CM).run(trace)
+        assert slow.total_us > fast.total_us
+
+    def test_comp_time_independent_of_network(self):
+        trace = ge_trace()
+        a = ProgramSimulator(MEIKO_CS2, CM).run(trace)
+        b = ProgramSimulator(MEIKO_CS2.with_(L=99.0, g=40.0), CM).run(trace)
+        assert a.comp_us == pytest.approx(b.comp_us)
+
+    def test_repeatability_across_instances(self):
+        trace = ge_trace()
+        runs = [
+            ProgramSimulator(MEIKO_CS2, CM, mode="worstcase", seed=5).run(trace).total_us
+            for _ in range(3)
+        ]
+        assert runs[0] == runs[1] == runs[2]

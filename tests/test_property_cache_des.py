@@ -1,0 +1,163 @@
+"""Property-based tests for the cache models and the DES engine.
+
+The caches are checked against brute-force reference models under random
+access sequences; the DES engine is stressed with randomly-structured
+process graphs whose outcome is compared to an analytically computed
+schedule.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import Environment
+from repro.machine import BlockCache, LineCache
+
+
+# --------------------------------------------------------------------------
+# BlockCache vs a reference LRU-by-bytes model
+# --------------------------------------------------------------------------
+
+class _ReferenceBlockCache:
+    """Straight-line reimplementation of the BlockCache contract."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.resident: OrderedDict = OrderedDict()
+        self.used = 0
+
+    def touch(self, key, nbytes) -> bool:
+        if key in self.resident:
+            self.resident.move_to_end(key)
+            return True
+        if nbytes > self.capacity:
+            self.resident.clear()
+            self.used = 0
+            return False
+        while self.used + nbytes > self.capacity and self.resident:
+            _, size = self.resident.popitem(last=False)
+            self.used -= size
+        self.resident[key] = nbytes
+        self.used += nbytes
+        return False
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    capacity=st.integers(min_value=16, max_value=4096),
+    accesses=st.lists(
+        st.tuples(st.integers(0, 12), st.integers(1, 1024)), max_size=120
+    ),
+)
+def test_block_cache_matches_reference(capacity, accesses):
+    cache = BlockCache(capacity)
+    ref = _ReferenceBlockCache(capacity)
+    for key, nbytes in accesses:
+        assert cache.touch(key, nbytes) == ref.touch(key, nbytes)
+        assert cache.used_bytes == ref.used
+        assert cache.used_bytes <= capacity
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    accesses=st.lists(st.integers(0, 2**14), min_size=1, max_size=200),
+    ways=st.sampled_from([1, 2, 4]),
+)
+def test_line_cache_fully_associative_slice_is_lru(accesses, ways):
+    """With a single set, the line cache must behave as plain LRU over
+    line tags — checked against an OrderedDict reference."""
+    line = 32
+    cache = LineCache(size_bytes=line * ways, line_bytes=line, ways=ways)
+    ref: OrderedDict = OrderedDict()
+    for addr in accesses:
+        tag = addr // line
+        hit_ref = tag in ref
+        if hit_ref:
+            ref.move_to_end(tag)
+        else:
+            if len(ref) >= ways:
+                ref.popitem(last=False)
+            ref[tag] = None
+        assert cache.access(addr) == hit_ref
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 2**10), st.integers(1, 256)), min_size=1, max_size=60)
+)
+def test_line_cache_range_miss_count_bounded(ranges):
+    cache = LineCache(size_bytes=1024, line_bytes=32, ways=4)
+    for addr, nbytes in ranges:
+        lines = (addr + nbytes - 1) // 32 - addr // 32 + 1
+        misses = cache.access_range(addr, nbytes)
+        assert 0 <= misses <= lines
+
+
+# --------------------------------------------------------------------------
+# DES engine: random fork/join graphs complete at the analytic makespan
+# --------------------------------------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(
+    delays=st.lists(
+        st.lists(st.floats(0.0, 10.0, allow_nan=False), min_size=1, max_size=5),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_des_sequential_chains_finish_at_sum(delays):
+    """N independent chains of timeouts: the clock ends at the longest
+    chain's total delay."""
+    env = Environment()
+
+    def chain(env, ds):
+        for d in ds:
+            yield env.timeout(d)
+
+    for ds in delays:
+        env.process(chain(env, ds))
+    env.run()
+    assert abs(env.now - max(sum(ds) for ds in delays)) < 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    stage_delays=st.lists(st.floats(0.1, 5.0, allow_nan=False), min_size=1, max_size=6),
+    width=st.integers(1, 5),
+)
+def test_des_fork_join_stages(stage_delays, width):
+    """Fork-join pipeline: each stage runs `width` parallel timeouts and
+    joins; makespan is the sum of stage delays (parallel copies are
+    identical)."""
+    env = Environment()
+    finished = []
+
+    def worker(env, d):
+        yield env.timeout(d)
+        return d
+
+    def driver(env):
+        for d in stage_delays:
+            workers = [env.process(worker(env, d)) for _ in range(width)]
+            yield env.all_of(workers)
+        finished.append(env.now)
+
+    env.process(driver(env))
+    env.run()
+    assert abs(finished[0] - sum(stage_delays)) < 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(0.0, 20.0, allow_nan=False), min_size=2, max_size=10))
+def test_des_any_of_fires_at_minimum(delays):
+    env = Environment()
+    got = []
+
+    def waiter(env):
+        yield env.any_of([env.timeout(d) for d in delays])
+        got.append(env.now)
+
+    env.process(waiter(env))
+    env.run()
+    assert abs(got[0] - min(delays)) < 1e-9

@@ -1,0 +1,186 @@
+"""Property-based tests (hypothesis) for the simulation algorithms.
+
+These are the heavy-duty invariant checks of the paper's two algorithms
+plus the causal model: for arbitrary LogGP parameters and arbitrary
+communication patterns, every produced timeline must satisfy the
+single-port, gap, arrival, program-order and conservation invariants, and
+the worst-case algorithm must upper-bound the standard one.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CommPattern,
+    LogGPParameters,
+    simulate_causal,
+    simulate_standard,
+    simulate_worstcase,
+)
+
+# -- strategies ----------------------------------------------------------------
+
+params_st = st.builds(
+    LogGPParameters,
+    L=st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    o=st.floats(min_value=0.1, max_value=8.0, allow_nan=False),
+    g=st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+    G=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    P=st.integers(min_value=2, max_value=8),
+)
+
+
+@st.composite
+def pattern_st(draw, max_procs=8, max_msgs=20, allow_local=True):
+    num_procs = draw(st.integers(min_value=2, max_value=max_procs))
+    n_msgs = draw(st.integers(min_value=0, max_value=max_msgs))
+    pat = CommPattern(num_procs)
+    for _ in range(n_msgs):
+        src = draw(st.integers(min_value=0, max_value=num_procs - 1))
+        if allow_local:
+            dst = draw(st.integers(min_value=0, max_value=num_procs - 1))
+        else:
+            dst = (src + draw(st.integers(min_value=1, max_value=num_procs - 1))) % num_procs
+        size = draw(st.integers(min_value=1, max_value=5000))
+        pat.add(src, dst, size)
+    return pat
+
+
+@st.composite
+def case_st(draw):
+    pat = draw(pattern_st())
+    params = draw(params_st).with_(P=pat.num_procs)
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return params, pat, seed
+
+
+# -- properties ------------------------------------------------------------------
+
+
+@settings(max_examples=120, deadline=None)
+@given(case_st())
+def test_standard_invariants(case):
+    params, pat, seed = case
+    res = simulate_standard(params, pat, seed=seed)
+    res.timeline.validate(pat.messages)
+
+
+@settings(max_examples=120, deadline=None)
+@given(case_st())
+def test_worstcase_invariants(case):
+    params, pat, seed = case
+    res = simulate_worstcase(params, pat, seed=seed)
+    res.timeline.validate(pat.messages)
+
+
+@settings(max_examples=80, deadline=None)
+@given(case_st())
+def test_causal_invariants(case):
+    params, pat, _seed = case
+    res = simulate_causal(params, pat)
+    res.timeline.validate(pat.messages)
+
+
+@settings(max_examples=120, deadline=None)
+@given(case_st())
+def test_worstcase_upper_bounds_standard_on_dags(case):
+    """The section 4.2 algorithm is an overestimation of the standard one.
+
+    Restricted to acyclic patterns: the wait-for-all-receives discipline
+    only defines a schedule on DAGs.  On cyclic patterns the paper's
+    deadlock-breaking rule performs *random* forced transmissions, which
+    can occasionally luck into a schedule faster than the standard one —
+    see ``test_cyclic_pattern_can_undercut_standard`` for a concrete
+    witness.
+    """
+    params, pat, seed = case
+    if pat.has_cycle():
+        return
+    std = simulate_standard(params, pat, seed=seed)
+    wc = simulate_worstcase(params, pat, seed=seed)
+    assert wc.completion_time >= std.completion_time - 1e-9
+
+
+def test_cyclic_pattern_can_undercut_standard():
+    """Regression witness (found by hypothesis): on a *cyclic* pattern
+    with extreme parameters (L=0, g=0) the forced-transmission deadlock
+    break can complete faster than the standard schedule.  This documents
+    the boundary of the paper's informal upper-bound claim."""
+    params = LogGPParameters(L=0.0, o=1.0, g=0.0, G=1.0, P=4)
+    pat = CommPattern(
+        4, edges=[(2, 0, 1), (1, 3, 3), (0, 0, 1), (1, 3, 1), (0, 2, 1), (0, 0, 1), (0, 1, 1)]
+    )
+    assert pat.has_cycle()
+    std = simulate_standard(params, pat, seed=1)
+    wc = simulate_worstcase(params, pat, seed=1)
+    assert wc.completion_time < std.completion_time
+    # both schedules are nonetheless valid LogGP timelines
+    std.timeline.validate(pat.messages)
+    wc.timeline.validate(pat.messages)
+
+
+@settings(max_examples=80, deadline=None)
+@given(case_st())
+def test_completion_at_least_best_case_message_time(case):
+    """No schedule beats physics: completion >= max end-to-end time."""
+    params, pat, seed = case
+    remote = pat.remote_messages()
+    res = simulate_standard(params, pat, seed=seed)
+    if remote:
+        floor = max(params.end_to_end(m.size) for m in remote)
+        assert res.completion_time >= floor - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(case_st(), st.floats(min_value=0.0, max_value=1e4, allow_nan=False))
+def test_time_shift_invariance(case, shift):
+    """Shifting every start clock by c shifts the completion by exactly c."""
+    params, pat, seed = case
+    base = simulate_standard(params, pat, seed=seed)
+    shifted = simulate_standard(
+        params,
+        pat,
+        start_times={p: shift for p in range(pat.num_procs)},
+        seed=seed,
+    )
+    if pat.remote_messages():
+        assert shifted.completion_time == np.float64(base.completion_time + shift) or (
+            abs(shifted.completion_time - base.completion_time - shift) < 1e-6
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(case_st())
+def test_busy_conservation(case):
+    """Total engaged time equals the sum of op durations implied by sizes."""
+    params, pat, seed = case
+    res = simulate_standard(params, pat, seed=seed)
+    remote = pat.remote_messages()
+    expected = sum(
+        params.send_duration(m.size) + params.recv_duration(m.size) for m in remote
+    )
+    total_busy = sum(res.timeline.busy_time(p) for p in res.timeline.participants())
+    assert abs(total_busy - expected) < 1e-6 * max(1.0, expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(case_st())
+def test_determinism(case):
+    params, pat, seed = case
+    a = simulate_standard(params, pat, seed=seed)
+    b = simulate_standard(params, pat, seed=seed)
+    assert a.completion_time == b.completion_time
+    assert a.ctimes == b.ctimes
+
+
+@settings(max_examples=60, deadline=None)
+@given(pattern_st(allow_local=False))
+def test_causal_agrees_with_standard_from_cold_start(pat):
+    """With all clocks at zero the two implementations of the
+    receive-priority policy produce identical completions (fuzz-verified
+    design property; see des_check module docstring)."""
+    params = LogGPParameters(L=9.0, o=5.0, g=14.0, G=0.023, P=pat.num_procs)
+    std = simulate_standard(params, pat, seed=0)
+    ca = simulate_causal(params, pat)
+    assert abs(std.completion_time - ca.completion_time) < 1e-6

@@ -1,0 +1,143 @@
+"""Tests for sensitivity analysis, SVG export and trace classification."""
+
+import pytest
+
+from repro.analysis import (
+    dominant_parameter,
+    parameter_elasticities,
+    save_timeline_svg,
+    timeline_to_svg,
+)
+from repro.apps import GEConfig, build_ge_trace, sample_pattern
+from repro.core import (
+    MEIKO_CS2,
+    CalibratedCostModel,
+    CommPattern,
+    ProgramSimulator,
+    simulate_standard,
+)
+from repro.layouts import DiagonalLayout
+from repro.trace import ProgramTrace, Step, Work, classify_trace
+
+
+class TestSensitivity:
+    def test_linear_in_L_for_single_message(self):
+        """One message's completion is o + L + o: elasticity of L is
+        L / total exactly."""
+        pat = CommPattern(2, edges=[(0, 1, 1)])
+        predict = lambda p: simulate_standard(p, pat).completion_time
+        res = parameter_elasticities(predict, MEIKO_CS2)
+        expected = MEIKO_CS2.L / MEIKO_CS2.end_to_end(1)
+        assert res.elasticity["L"] == pytest.approx(expected, rel=1e-6)
+        assert res.elasticity["g"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_bandwidth_dominates_midsize_blocks(self):
+        """GE communication in the mid-block regime is bandwidth-bound: G
+        has the largest elasticity; at the smallest blocks the per-message
+        gap g competes (many small messages), but latency L never wins."""
+        cm = CalibratedCostModel()
+        trace = build_ge_trace(GEConfig(240, 24, DiagonalLayout(10, 8)))
+        predict = lambda p: ProgramSimulator(p, cm).run(trace).comm_us
+        assert dominant_parameter(predict, MEIKO_CS2) == "G"
+
+        tiny = build_ge_trace(GEConfig(240, 10, DiagonalLayout(24, 8)))
+        predict_tiny = lambda p: ProgramSimulator(p, cm).run(tiny).comm_us
+        res = parameter_elasticities(predict_tiny, MEIKO_CS2)
+        assert res.dominant() in ("G", "g")
+        assert res.elasticity["L"] < 0.05
+
+    def test_elasticities_nonnegative_for_ge(self):
+        cm = CalibratedCostModel()
+        trace = build_ge_trace(GEConfig(240, 24, DiagonalLayout(10, 8)))
+        predict = lambda p: ProgramSimulator(p, cm).run(trace).total_us
+        res = parameter_elasticities(predict, MEIKO_CS2)
+        assert all(v >= -1e-6 for v in res.elasticity.values())
+
+    def test_zero_parameter_gets_zero_elasticity(self):
+        pat = CommPattern(2, edges=[(0, 1, 100)])
+        params = MEIKO_CS2.with_(G=0.0)
+        predict = lambda p: simulate_standard(p, pat).completion_time
+        res = parameter_elasticities(predict, params)
+        assert res.elasticity["G"] == 0.0
+
+    def test_validation(self):
+        pat = CommPattern(2, edges=[(0, 1, 1)])
+        predict = lambda p: simulate_standard(p, pat).completion_time
+        with pytest.raises(ValueError):
+            parameter_elasticities(predict, MEIKO_CS2, rel_step=0.0)
+        with pytest.raises(ValueError):
+            parameter_elasticities(predict, MEIKO_CS2, parameters=["P"])
+        with pytest.raises(ValueError):
+            parameter_elasticities(lambda p: 0.0, MEIKO_CS2)
+
+    def test_describe(self):
+        pat = CommPattern(2, edges=[(0, 1, 1)])
+        res = parameter_elasticities(
+            lambda p: simulate_standard(p, pat).completion_time, MEIKO_CS2
+        )
+        assert "elasticities" in res.describe()
+
+
+class TestSvgExport:
+    @pytest.fixture(scope="class")
+    def timeline(self):
+        return simulate_standard(MEIKO_CS2, sample_pattern()).timeline
+
+    def test_valid_svg_document(self, timeline):
+        svg = timeline_to_svg(timeline, title="Figure 4")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "Figure 4" in svg
+
+    def test_one_rect_per_operation(self, timeline):
+        svg = timeline_to_svg(timeline)
+        # operation bars carry <title> tooltips; background rect does not
+        assert svg.count("<title>") == len(timeline.events)
+
+    def test_lane_labels(self, timeline):
+        svg = timeline_to_svg(timeline)
+        for p in timeline.participants():
+            assert f">P{p}</text>" in svg
+
+    def test_parses_as_xml(self, timeline):
+        import xml.etree.ElementTree as ET
+
+        ET.fromstring(timeline_to_svg(timeline))
+
+    def test_save(self, timeline, tmp_path):
+        path = tmp_path / "fig4.svg"
+        save_timeline_svg(timeline, path, title="t")
+        assert path.read_text().startswith("<svg")
+
+    def test_width_validated(self, timeline):
+        with pytest.raises(ValueError):
+            timeline_to_svg(timeline, width=50)
+
+
+class TestClassification:
+    def test_ge_trace_in_class(self):
+        trace = build_ge_trace(GEConfig(96, 24, DiagonalLayout(4, 4)))
+        report = classify_trace(trace)
+        assert report.in_class
+        assert report.warnings() == []
+        assert "inside" in report.describe()
+
+    def test_variable_blocks_flagged(self):
+        trace = ProgramTrace(num_procs=2)
+        trace.add_step(Step(work={0: [Work(op="op1", b=8), Work(op="op1", b=16)]}))
+        report = classify_trace(trace)
+        assert not report.in_class
+        warned = report.warnings()
+        assert len(warned) == 1
+        assert warned[0].condition == "equal-sized blocks"
+
+    def test_huge_op_set_flagged(self):
+        trace = ProgramTrace(num_procs=1)
+        trace.add_step(
+            Step(work={0: [Work(op=f"op_{i}", b=8) for i in range(20)]})
+        )
+        report = classify_trace(trace, max_ops=16)
+        assert not report.in_class
+
+    def test_empty_trace_in_class(self):
+        assert classify_trace(ProgramTrace(num_procs=1)).in_class

@@ -1,0 +1,141 @@
+"""Tests for trace/pattern/report serialization (repro.trace.serialization)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import GEConfig, build_ge_trace, sample_pattern
+from repro.core import MEIKO_CS2, CalibratedCostModel, ProgramSimulator
+from repro.layouts import DiagonalLayout
+from repro.trace import (
+    ProgramTrace,
+    Step,
+    Work,
+    cost_table_from_json,
+    cost_table_to_json,
+    load_trace,
+    pattern_from_dict,
+    pattern_to_dict,
+    report_to_dict,
+    save_report,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.core.message import CommPattern
+
+
+class TestPatternRoundTrip:
+    def test_sample_pattern(self):
+        pat = sample_pattern()
+        clone = pattern_from_dict(pattern_to_dict(pat))
+        assert clone.num_procs == pat.num_procs
+        assert [(m.src, m.dst, m.size) for m in clone] == [
+            (m.src, m.dst, m.size) for m in pat
+        ]
+
+    def test_program_order_preserved(self):
+        pat = CommPattern(4, edges=[(0, 3, 1), (0, 1, 2), (2, 0, 3)])
+        clone = pattern_from_dict(pattern_to_dict(pat))
+        assert [m.seq for m in clone.sends_of(0)] == [0, 1]
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="expected a"):
+            pattern_from_dict({"kind": "trace", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        doc = pattern_to_dict(CommPattern(2))
+        doc["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            pattern_from_dict(doc)
+
+
+class TestTraceRoundTrip:
+    def test_ge_trace(self, tmp_path):
+        trace = build_ge_trace(GEConfig(96, 24, DiagonalLayout(4, 4)))
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        clone = load_trace(path)
+        assert clone.num_procs == trace.num_procs
+        assert len(clone) == len(trace)
+        assert clone.meta == trace.meta
+        assert clone.total_ops() == trace.total_ops()
+        assert clone.total_messages() == trace.total_messages()
+        assert clone.op_histogram() == trace.op_histogram()
+
+    def test_prediction_unaffected_by_round_trip(self, tmp_path):
+        trace = build_ge_trace(GEConfig(96, 24, DiagonalLayout(4, 4)))
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        clone = load_trace(path)
+        sim = ProgramSimulator(MEIKO_CS2, CalibratedCostModel())
+        assert sim.run(clone).total_us == pytest.approx(sim.run(trace).total_us)
+
+    def test_json_is_plain(self, tmp_path):
+        trace = build_ge_trace(GEConfig(48, 24, DiagonalLayout(2, 2)))
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        doc = json.loads(path.read_text())
+        assert doc["kind"] == "program_trace"
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_random_traces_round_trip(self, data):
+        num_procs = data.draw(st.integers(2, 5))
+        trace = ProgramTrace(num_procs=num_procs)
+        for _ in range(data.draw(st.integers(0, 4))):
+            work = {}
+            for proc in range(num_procs):
+                n_ops = data.draw(st.integers(0, 3))
+                if n_ops:
+                    work[proc] = [
+                        Work(
+                            op=data.draw(st.sampled_from(["op1", "op4", "jacobi"])),
+                            b=data.draw(st.integers(1, 64)),
+                            block=(data.draw(st.integers(0, 9)), data.draw(st.integers(0, 9))),
+                            iteration=data.draw(st.integers(-1, 5)),
+                        )
+                        for _ in range(n_ops)
+                    ]
+            pattern = None
+            if data.draw(st.booleans()):
+                pattern = CommPattern(num_procs)
+                for _ in range(data.draw(st.integers(0, 5))):
+                    pattern.add(
+                        data.draw(st.integers(0, num_procs - 1)),
+                        data.draw(st.integers(0, num_procs - 1)),
+                        data.draw(st.integers(1, 1000)),
+                    )
+            trace.add_step(Step(work=work, pattern=pattern))
+        clone = trace_from_dict(trace_to_dict(trace))
+        assert clone.total_ops() == trace.total_ops()
+        assert clone.total_messages() == trace.total_messages()
+        assert clone.total_bytes() == trace.total_bytes()
+        for a, b in zip(trace.steps, clone.steps):
+            assert {p: [(w.op, w.b, w.block, w.iteration) for w in ops] for p, ops in a.work.items()} == {
+                p: [(w.op, w.b, w.block, w.iteration) for w in ops] for p, ops in b.work.items()
+            }
+
+
+class TestReportAndCostTable:
+    def test_report_to_dict(self, tmp_path):
+        trace = build_ge_trace(GEConfig(48, 24, DiagonalLayout(2, 2)))
+        report = ProgramSimulator(MEIKO_CS2, CalibratedCostModel()).run(trace)
+        doc = report_to_dict(report)
+        assert doc["total_us"] == report.total_us
+        assert doc["meta"]["app"] == "gauss"
+        path = tmp_path / "report.json"
+        save_report(report, path)
+        assert json.loads(path.read_text())["comp_us"] == pytest.approx(report.comp_us)
+
+    def test_cost_table_round_trip(self):
+        table = {"op1": {10: 1.5, 20: 9.0}, "op4": {10: 0.5}}
+        clone = cost_table_from_json(cost_table_to_json(table))
+        assert clone == table
+        assert isinstance(next(iter(clone["op1"])), int)
+
+    def test_cost_table_wrong_kind(self):
+        with pytest.raises(ValueError):
+            cost_table_from_json(json.dumps({"kind": "nope", "version": 1}))

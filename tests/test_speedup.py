@@ -1,0 +1,87 @@
+"""Tests for scalability analysis (repro.analysis.speedup)."""
+
+import pytest
+
+from repro.analysis import ScalingPoint, karp_flatt, saturation_point, scaling_study
+from repro.apps import StencilConfig, build_stencil_trace, stencil_cost_table
+from repro.core import MEIKO_CS2, ProgramSimulator
+
+
+class TestScalingStudy:
+    def test_ideal_scaling(self):
+        points = scaling_study(lambda p: 1000.0 / p, [1, 2, 4, 8])
+        for pt in points:
+            assert pt.speedup == pytest.approx(pt.procs)
+            assert pt.efficiency == pytest.approx(1.0)
+
+    def test_flat_scaling(self):
+        points = scaling_study(lambda p: 1000.0, [1, 2, 4])
+        assert all(pt.speedup == pytest.approx(1.0) for pt in points)
+        assert points[-1].efficiency == pytest.approx(0.25)
+
+    def test_relative_baseline(self):
+        points = scaling_study(lambda p: 1000.0 / p, [2, 4])
+        assert points[0].speedup == pytest.approx(1.0)
+        assert points[1].speedup == pytest.approx(2.0)
+        assert points[1].efficiency == pytest.approx(1.0)  # relative to P=2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scaling_study(lambda p: 1.0, [])
+        with pytest.raises(ValueError):
+            scaling_study(lambda p: 0.0, [1, 2])
+        with pytest.raises(ValueError):
+            ScalingPoint(procs=0, total_us=1.0, speedup=1.0, efficiency=1.0)
+
+
+class TestKarpFlatt:
+    def test_pure_serial_fraction(self):
+        """Amdahl with serial fraction f: T(p) = f + (1-f)/p; Karp-Flatt
+        recovers f exactly."""
+        f = 0.2
+        t = lambda p: f + (1 - f) / p
+        base = ScalingPoint(procs=1, total_us=t(1), speedup=1.0, efficiency=1.0)
+        for p in (2, 4, 8, 16):
+            pt = ScalingPoint(procs=p, total_us=t(p), speedup=0.0, efficiency=0.0)
+            assert karp_flatt(pt, base) == pytest.approx(f)
+
+    def test_requires_more_processors(self):
+        base = ScalingPoint(procs=4, total_us=10.0, speedup=1.0, efficiency=1.0)
+        with pytest.raises(ValueError):
+            karp_flatt(base, base)
+
+
+class TestSaturation:
+    def test_detects_floor_crossing(self):
+        points = scaling_study(lambda p: 1000.0 / min(p, 4), [1, 2, 4, 8, 16])
+        assert saturation_point(points, efficiency_floor=0.9) == 8
+
+    def test_none_when_scaling_holds(self):
+        points = scaling_study(lambda p: 1000.0 / p, [1, 2, 4])
+        assert saturation_point(points) is None
+
+    def test_floor_validation(self):
+        with pytest.raises(ValueError):
+            saturation_point([], efficiency_floor=0.0)
+
+
+class TestEndToEnd:
+    def test_stencil_scaling_saturates(self):
+        """The paper's intro use case: predicted scaling behaviour.  The
+        halo-bound stencil must show sub-linear predicted speedup."""
+        n, iters = 256, 6
+
+        def predict(P: int) -> float:
+            cfg = StencilConfig(n=n, num_procs=P, iterations=iters)
+            cm = stencil_cost_table(n, [cfg.rows_per_proc])
+            trace = build_stencil_trace(cfg)
+            return ProgramSimulator(MEIKO_CS2.with_(P=P), cm).run(trace).total_us
+
+        points = scaling_study(predict, [1, 2, 4, 8, 16, 32])
+        speedups = {pt.procs: pt.speedup for pt in points}
+        assert speedups[4] > 2.0  # real speedup at small P
+        assert speedups[32] < 32 * 0.8  # but clearly sub-linear at 32
+        assert all(
+            a.total_us >= b.total_us * 0.999
+            for a, b in zip(points, points[1:])
+        ), "more processors never predicted slower for this stencil"

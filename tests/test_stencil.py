@@ -1,0 +1,103 @@
+"""Tests for the Jacobi stencil application (repro.apps.stencil)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import StencilConfig, build_stencil_trace, execute_jacobi, stencil_cost_table
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StencilConfig(n=8, num_procs=16, iterations=1)
+        with pytest.raises(ValueError):
+            StencilConfig(n=10, num_procs=4, iterations=1)
+        with pytest.raises(ValueError):
+            StencilConfig(n=8, num_procs=4, iterations=0)
+
+    def test_rows_per_proc(self):
+        assert StencilConfig(n=16, num_procs=4, iterations=2).rows_per_proc == 4
+
+
+class TestTrace:
+    def test_step_count(self):
+        trace = build_stencil_trace(StencilConfig(n=16, num_procs=4, iterations=5))
+        assert len(trace) == 5
+
+    def test_every_sweep_all_procs_work(self):
+        trace = build_stencil_trace(StencilConfig(n=16, num_procs=4, iterations=3))
+        for step in trace.steps:
+            assert set(step.work) == {0, 1, 2, 3}
+            for ops in step.work.values():
+                assert ops[0].op == "jacobi"
+                assert ops[0].b == 4
+
+    def test_halo_exchange_with_neighbors_only(self):
+        trace = build_stencil_trace(StencilConfig(n=16, num_procs=4, iterations=2))
+        step = trace.steps[0]
+        for m in step.pattern.messages:
+            assert abs(m.src - m.dst) == 1
+            assert m.size == 16 * 8
+
+    def test_edge_strips_send_one_halo(self):
+        trace = build_stencil_trace(StencilConfig(n=16, num_procs=4, iterations=2))
+        pat = trace.steps[0].pattern
+        assert pat.out_degree(0) == 1
+        assert pat.out_degree(1) == 2
+        assert pat.out_degree(3) == 1
+
+    def test_last_sweep_no_exchange(self):
+        trace = build_stencil_trace(StencilConfig(n=16, num_procs=4, iterations=2))
+        assert len(trace.steps[-1].pattern) == 0
+
+
+class TestCostTable:
+    def test_prices_jacobi_op(self):
+        cm = stencil_cost_table(n=64, strip_heights=[8, 16])
+        assert cm.cost("jacobi", 16) > cm.cost("jacobi", 8) > 0
+
+    def test_rejects_ge_ops(self):
+        cm = stencil_cost_table(n=64, strip_heights=[8])
+        with pytest.raises(ValueError):
+            cm.cost("op1", 8)
+
+
+class TestNumericalExecution:
+    def test_matches_reference_loop(self):
+        rng = np.random.default_rng(0)
+        grid = rng.standard_normal((8, 8))
+        out = execute_jacobi(grid, iterations=3)
+        ref = grid.copy()
+        for _ in range(3):
+            nxt = ref.copy()
+            for i in range(1, 7):
+                for j in range(1, 7):
+                    nxt[i, j] = 0.25 * (
+                        ref[i - 1, j] + ref[i + 1, j] + ref[i, j - 1] + ref[i, j + 1]
+                    )
+            ref = nxt
+        assert np.allclose(out, ref)
+
+    def test_boundary_held_fixed(self):
+        grid = np.random.default_rng(1).standard_normal((6, 6))
+        out = execute_jacobi(grid, iterations=4)
+        assert np.array_equal(out[0, :], grid[0, :])
+        assert np.array_equal(out[:, -1], grid[:, -1])
+
+    def test_zero_iterations_is_identity(self):
+        grid = np.random.default_rng(2).standard_normal((5, 5))
+        assert np.array_equal(execute_jacobi(grid, 0), grid)
+
+    def test_converges_toward_harmonic(self):
+        """Long relaxation of a hot-edge plate smooths the interior."""
+        grid = np.zeros((10, 10))
+        grid[0, :] = 1.0
+        out = execute_jacobi(grid, iterations=500)
+        assert np.all(out[1:-1, 1:-1] > 0)
+        assert np.all(np.diff(out[1:-1, 5]) < 0)  # monotone away from hot edge
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            execute_jacobi(np.zeros(5), 1)
+        with pytest.raises(ValueError):
+            execute_jacobi(np.zeros((5, 5)), -1)

@@ -1,0 +1,131 @@
+"""Tests for program traces (repro.trace)."""
+
+import pytest
+
+from repro.core import CommPattern
+from repro.trace import ProgramTrace, Step, TraceBuilder, Work
+
+
+class TestWork:
+    def test_fields(self):
+        w = Work(op="op1", b=16, block=(2, 3), iteration=1)
+        assert (w.op, w.b, w.block, w.iteration) == ("op1", 16, (2, 3), 1)
+
+    def test_empty_op_rejected(self):
+        with pytest.raises(ValueError):
+            Work(op="", b=16)
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            Work(op="op1", b=0)
+
+    def test_custom_op_names_allowed(self):
+        Work(op="jacobi", b=8)  # any finite op set is legal (paper §2)
+
+
+class TestStep:
+    def test_ops_of_missing_proc_is_empty(self):
+        step = Step(work={0: [Work(op="op1", b=4)]})
+        assert step.ops_of(0)
+        assert step.ops_of(1) == ()
+
+    def test_total_ops(self):
+        step = Step(work={0: [Work(op="op1", b=4)], 1: [Work(op="op2", b=4)] * 3})
+        assert step.total_ops() == 4
+
+    def test_participants_include_communicators(self):
+        pat = CommPattern(4, edges=[(2, 3, 1)])
+        step = Step(work={0: [Work(op="op1", b=4)]}, pattern=pat)
+        assert step.participants() == {0, 2, 3}
+
+
+class TestProgramTrace:
+    def test_add_step_validates_proc_range(self):
+        trace = ProgramTrace(num_procs=2)
+        with pytest.raises(ValueError):
+            trace.add_step(Step(work={5: [Work(op="op1", b=4)]}))
+
+    def test_add_step_validates_pattern_size(self):
+        trace = ProgramTrace(num_procs=2)
+        with pytest.raises(ValueError):
+            trace.add_step(Step(pattern=CommPattern(3)))
+
+    def test_aggregates(self):
+        trace = ProgramTrace(num_procs=2)
+        trace.add_step(
+            Step(
+                work={0: [Work(op="op1", b=4), Work(op="op4", b=4)]},
+                pattern=CommPattern(2, edges=[(0, 1, 10), (1, 1, 20)]),
+            )
+        )
+        trace.add_step(Step(work={1: [Work(op="op4", b=4)]}))
+        assert trace.total_ops() == 3
+        assert trace.total_messages() == 2
+        assert trace.total_messages(include_local=False) == 1
+        assert trace.total_bytes() == 30
+        assert trace.op_histogram() == {"op1": 1, "op4": 2}
+
+    def test_blocks_by_proc(self):
+        trace = ProgramTrace(num_procs=2)
+        trace.add_step(
+            Step(work={0: [Work(op="op1", b=4, block=(0, 0)), Work(op="op4", b=4, block=(1, 1))]})
+        )
+        trace.add_step(Step(work={0: [Work(op="op4", b=4, block=(0, 0))]}))
+        blocks = trace.blocks_by_proc()
+        assert blocks[0] == {(0, 0): 4, (1, 1): 4}
+
+    def test_anonymous_blocks_ignored_in_footprint(self):
+        trace = ProgramTrace(num_procs=1)
+        trace.add_step(Step(work={0: [Work(op="op1", b=4)]}))
+        assert trace.blocks_by_proc().get(0, {}) == {}
+
+    def test_validate_passes_on_well_formed(self):
+        trace = ProgramTrace(num_procs=2)
+        trace.add_step(Step(work={0: [Work(op="op1", b=4)]}, pattern=CommPattern(2)))
+        trace.validate()
+
+    def test_zero_procs_rejected(self):
+        with pytest.raises(ValueError):
+            ProgramTrace(num_procs=0)
+
+    def test_iteration_and_len(self):
+        trace = ProgramTrace(num_procs=1)
+        trace.add_step(Step())
+        trace.add_step(Step())
+        assert len(trace) == 2
+        assert len(list(trace)) == 2
+
+
+class TestTraceBuilder:
+    def test_basic_flow(self):
+        tb = TraceBuilder(num_procs=3)
+        tb.work(0, "op1", 8, block=(0, 0), iteration=0)
+        tb.message(0, 1, 512)
+        tb.end_step(label="first")
+        tb.work(1, "op2", 8)
+        trace = tb.build(meta={"app": "test"})
+        assert len(trace) == 2  # trailing step flushed
+        assert trace.steps[0].label == "first"
+        assert trace.meta["app"] == "test"
+        assert trace.total_messages() == 1
+
+    def test_send_resolves_owners(self):
+        tb = TraceBuilder(num_procs=4)
+        owner = lambda i, j: (i + j) % 4
+        tb.send((0, 0), (0, 1), owner, size=64)
+        trace = tb.build()
+        (msg,) = trace.steps[0].pattern.messages
+        assert (msg.src, msg.dst, msg.size) == (0, 1, 64)
+
+    def test_double_build_rejected(self):
+        tb = TraceBuilder(num_procs=1)
+        tb.work(0, "op1", 4)
+        tb.build()
+        with pytest.raises(RuntimeError):
+            tb.build()
+
+    def test_empty_steps_preserved(self):
+        tb = TraceBuilder(num_procs=1)
+        tb.end_step()
+        tb.end_step()
+        assert len(tb.build()) == 2

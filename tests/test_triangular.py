@@ -1,0 +1,114 @@
+"""Tests for the parallel triangular solve (repro.apps.triangular)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    TriangularConfig,
+    build_trsv_trace,
+    execute_trsv,
+    trsv_cost_table,
+)
+from repro.core import MEIKO_CS2, ProgramSimulator
+from repro.layouts import DiagonalLayout, RowStrippedCyclicLayout
+
+
+def unit_lower(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.tril(rng.standard_normal((n, n)), -1) + np.eye(n)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TriangularConfig(n=10, b=3, layout=DiagonalLayout(3, 2))
+        with pytest.raises(ValueError):
+            TriangularConfig(n=12, b=3, layout=DiagonalLayout(3, 2))
+
+    def test_nb(self):
+        cfg = TriangularConfig(n=12, b=3, layout=DiagonalLayout(4, 2))
+        assert cfg.nb == 4
+
+
+class TestTrace:
+    def cfg(self, nb=4, b=4, P=4, layout_cls=RowStrippedCyclicLayout):
+        return TriangularConfig(n=nb * b, b=b, layout=layout_cls(nb, P))
+
+    def test_step_count(self):
+        trace = build_trsv_trace(self.cfg(nb=5))
+        assert len(trace) == 2 * 5 - 1  # solve+update pairs, last solve alone
+
+    def test_solve_steps_have_one_op(self):
+        trace = build_trsv_trace(self.cfg())
+        solves = [s for s in trace.steps if s.label.startswith("solve")]
+        assert all(s.total_ops() == 1 for s in solves)
+        assert all(
+            ops[0].op == "trsolve" for s in solves for ops in s.work.values()
+        )
+
+    def test_update_counts_shrink(self):
+        trace = build_trsv_trace(self.cfg(nb=4))
+        updates = [s for s in trace.steps if s.label.startswith("update")]
+        counts = [s.total_ops() for s in updates]
+        assert counts == [3, 2, 1]
+
+    def test_broadcast_targets_distinct_processors(self):
+        cfg = self.cfg(nb=6, P=3)
+        trace = build_trsv_trace(cfg)
+        first = trace.steps[0]
+        dests = [m.dst for m in first.pattern.messages]
+        assert len(dests) == len(set(dests))
+
+    def test_prediction_runs(self):
+        cfg = self.cfg(nb=6, b=8, P=4)
+        cm = trsv_cost_table([8])
+        report = ProgramSimulator(MEIKO_CS2, cm).run(build_trsv_trace(cfg))
+        assert report.total_us > 0
+        assert report.comp_us > 0
+
+    def test_pipeline_has_limited_parallelism(self):
+        """The substitution's predicted speedup saturates early: doubling
+        P beyond the pipeline depth barely helps (contrast with GE)."""
+        b = 8
+        cm = trsv_cost_table([b])
+        totals = {}
+        for P in (1, 2, 4, 8):
+            cfg = TriangularConfig(n=16 * b, b=b, layout=RowStrippedCyclicLayout(16, P))
+            trace = build_trsv_trace(cfg)
+            totals[P] = ProgramSimulator(MEIKO_CS2.with_(P=P), cm).run(trace).total_us
+        assert totals[2] < totals[1]  # some speedup exists
+        assert totals[8] > totals[1] / 8 * 2  # but far from linear
+
+
+class TestNumericalExecution:
+    @pytest.mark.parametrize("b", [1, 4, 8, 16])
+    def test_matches_numpy_solve(self, b):
+        n = 16
+        lower = unit_lower(n, seed=b)
+        rhs = np.random.default_rng(b + 100).standard_normal(n)
+        x = execute_trsv(lower, rhs, b)
+        assert np.allclose(x, np.linalg.solve(lower, rhs))
+
+    def test_residual_is_small(self):
+        lower = unit_lower(32, seed=3)
+        rhs = np.random.default_rng(4).standard_normal(32)
+        x = execute_trsv(lower, rhs, 8)
+        assert np.allclose(lower @ x, rhs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            execute_trsv(np.zeros((3, 4)), np.zeros(3), 1)
+        with pytest.raises(ValueError):
+            execute_trsv(unit_lower(4), np.zeros(3), 2)
+        with pytest.raises(ValueError):
+            execute_trsv(unit_lower(4), np.zeros(4), 3)
+        with pytest.raises(ValueError):
+            execute_trsv(np.eye(4) * 2.0, np.zeros(4), 2)  # not unit diagonal
+
+
+class TestCostTable:
+    def test_two_ops_priced(self):
+        cm = trsv_cost_table([4, 8])
+        assert cm.cost("update", 8) > cm.cost("trsolve", 8) / 2
+        with pytest.raises(ValueError):
+            cm.cost("op1", 8)

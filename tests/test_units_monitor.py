@@ -1,0 +1,59 @@
+"""Tests for unit helpers and the DES monitor."""
+
+import pytest
+
+from repro.core.units import approx_ge, approx_le, ms_to_us, s_to_us, us_to_ms, us_to_s
+from repro.des import Environment, Monitor
+
+
+class TestUnits:
+    def test_roundtrips(self):
+        assert us_to_s(s_to_us(1.5)) == pytest.approx(1.5)
+        assert us_to_ms(ms_to_us(2.5)) == pytest.approx(2.5)
+
+    def test_known_values(self):
+        assert us_to_s(1_000_000.0) == 1.0
+        assert ms_to_us(1.0) == 1000.0
+
+    def test_approx_comparisons(self):
+        assert approx_le(1.0, 1.0)
+        assert approx_le(1.0 + 1e-12, 1.0)
+        assert not approx_le(1.1, 1.0)
+        assert approx_ge(1.0, 1.0 + 1e-12)
+        assert not approx_ge(0.9, 1.0)
+
+
+class TestMonitor:
+    def test_records_stamped_with_sim_time(self):
+        env = Environment()
+        mon = Monitor(env)
+
+        def proc(env):
+            yield env.timeout(3.0)
+            mon.record("tick", 1)
+            yield env.timeout(2.0)
+            mon.record("tick", 2)
+
+        env.process(proc(env))
+        env.run()
+        assert [(r.time, r.payload) for r in mon.filter("tick")] == [(3.0, 1), (5.0, 2)]
+
+    def test_filter_by_tag(self):
+        env = Environment()
+        mon = Monitor(env)
+        mon.record("a", 1)
+        mon.record("b", 2)
+        assert len(mon.filter("a")) == 1
+
+    def test_series_extraction(self):
+        env = Environment()
+        mon = Monitor(env)
+        mon.record("x", {"v": 10.0})
+        assert mon.series("x", key=lambda p: p["v"]) == [(0.0, 10.0)]
+
+    def test_clear(self):
+        env = Environment()
+        mon = Monitor(env)
+        mon.record("a")
+        mon.clear()
+        assert mon.records == []
