@@ -22,6 +22,7 @@ from repro.apps import PAPER_BLOCK_SIZES, PAPER_MATRIX_N
 from repro.blockops import CS2_CACHE_BYTES
 from repro.core.predictor import GERow, run_ge_point
 from repro.machine import MachineEmulator
+from repro.obs import RunRecord, loggp_dict
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 
@@ -78,12 +79,26 @@ def rows_for(layout: str) -> list[GERow]:
     return sorted((r for r in ge_sweep() if r.layout == layout), key=lambda r: r.b)
 
 
-def emit(name: str, text: str) -> None:
-    """Print a figure table and persist it under benchmarks/results/."""
+def emit(name: str, text: str, **run_facts) -> None:
+    """Print a figure table and persist it under benchmarks/results/.
+
+    Also writes a :class:`repro.obs.RunRecord` manifest for the bench run
+    (to ``$REPRO_RUNS_DIR`` or ``.repro/runs``), so the benchmark suite
+    leaves the same machine-readable trail the CLI does.  ``run_facts``
+    are merged into the record (e.g. ``makespan_us=...``).
+    """
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    record = RunRecord.begin(f"bench:{name}")
+    record.note(
+        params=loggp_dict(PARAMS),
+        workload={"n": MATRIX_N, "block_sizes": list(BLOCK_SIZES), "fast": FAST},
+        results_txt=str(RESULTS_DIR / f"{name}.txt"),
+        **run_facts,
+    )
+    record.finish().write()
 
 
 def scale_banner() -> str:

@@ -1,0 +1,117 @@
+"""Observability overhead guard.
+
+The tracing hooks threaded through the simulators must be free when
+nobody is listening: the ambient tracer defaults to a ``NullTracer`` and
+every emission site either reads ``get_tracer().enabled`` once per run or
+branches on a local boolean.  This bench quantifies that claim on the
+Figure 7 prediction sweep:
+
+* ``disabled_overhead_pct`` — an upper bound on what the disabled hooks
+  cost, computed as (number of emission-site checks) x (measured cost of
+  one ``get_tracer().enabled`` check) relative to the sweep time.  The
+  check count is bounded by the events an *enabled* run emits, since
+  every disabled site corresponds to at most one suppressed event.
+  Target (asserted): **< 5%**.
+* ``enabled_overhead_pct`` — the honest price of recording: the same
+  sweep under a live tracer, relative to the disabled run.
+* ``events_per_sec`` — simulator throughput with tracing on (the number
+  CI tracks against ``benchmarks/baselines/obs_throughput.json``).
+
+Results are printed and recorded into ``BENCH_obs.json`` at the repo
+root — the first entry of the ``BENCH_*`` perf trajectory.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from _shared import BLOCK_SIZES, COST_MODEL, FAST, MATRIX_N, PARAMS, scale_banner
+
+from repro.core import run_ge_point
+from repro.obs import RunRecord, Tracer, get_tracer, loggp_dict, tracing
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+TARGET_PCT = 5.0
+
+
+def _kernel():
+    """The Fig. 7 kernel: prediction-only sweep over the block grid."""
+    for b in BLOCK_SIZES:
+        run_ge_point(
+            MATRIX_N, b, "diagonal", PARAMS, COST_MODEL, with_measured=False
+        )
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _per_check_cost_s(checks: int = 1_000_000) -> float:
+    """Measured cost of one disabled emission-site check."""
+    t0 = time.perf_counter()
+    for _ in range(checks):
+        get_tracer().enabled  # noqa: B018 - the expression IS the workload
+    return (time.perf_counter() - t0) / checks
+
+
+def test_obs_disabled_overhead(benchmark):
+    _kernel()  # warm calibration tables and trace builders
+
+    disabled_s = _best_of(_kernel, repeats=3)
+
+    tracer = Tracer()
+    with tracing(tracer):
+        enabled_s = _best_of(_kernel, repeats=1)
+    events = len(tracer.events)
+
+    per_check_s = _per_check_cost_s()
+    disabled_overhead_pct = 100.0 * (events * per_check_s) / disabled_s
+    enabled_overhead_pct = 100.0 * (enabled_s - disabled_s) / disabled_s
+
+    benchmark.pedantic(_kernel, rounds=1, iterations=1)
+
+    record = {
+        "bench": "obs_overhead",
+        "scale": scale_banner(),
+        "fast": FAST,
+        "n": MATRIX_N,
+        "block_sizes": list(BLOCK_SIZES),
+        "sweep_disabled_s": disabled_s,
+        "sweep_enabled_s": enabled_s,
+        "events": events,
+        "events_per_sec": events / enabled_s if enabled_s else None,
+        "per_check_ns": per_check_s * 1e9,
+        "disabled_overhead_pct": disabled_overhead_pct,
+        "enabled_overhead_pct": enabled_overhead_pct,
+        "target_disabled_pct": TARGET_PCT,
+    }
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+    manifest = RunRecord.begin("bench:obs_overhead")
+    manifest.note(
+        params=loggp_dict(PARAMS), engine="standard",
+        workload={"n": MATRIX_N, "block_sizes": list(BLOCK_SIZES), "fast": FAST},
+        disabled_overhead_pct=disabled_overhead_pct,
+    ).finish()
+    # the meaningful wall time is the traced sweep, not begin()->finish()
+    manifest.note(
+        wall_s=enabled_s, event_count=events, events_per_sec=events / enabled_s
+    ).write()
+
+    print()
+    print(f"observability overhead — {scale_banner()}")
+    print(f"  sweep, tracing disabled : {disabled_s:8.3f} s")
+    print(f"  sweep, tracing enabled  : {enabled_s:8.3f} s "
+          f"({enabled_overhead_pct:+.1f}%)")
+    print(f"  events recorded         : {events} "
+          f"({events / enabled_s:,.0f} events/s)")
+    print(f"  disabled-site check     : {per_check_s * 1e9:.1f} ns")
+    print(f"  disabled overhead bound : {disabled_overhead_pct:.3f}% "
+          f"(target < {TARGET_PCT}%)")
+    print(f"  recorded -> {BENCH_JSON.name}")
+
+    assert disabled_overhead_pct < TARGET_PCT

@@ -1,0 +1,66 @@
+"""CI guard: fail when simulator throughput regresses against the baseline.
+
+Usage::
+
+    python benchmarks/check_throughput.py MANIFEST [BASELINE]
+
+``MANIFEST`` is a ``RunRecord`` JSON written by ``repro observe``;
+``BASELINE`` defaults to ``benchmarks/baselines/obs_throughput.json``.
+Exits non-zero when the manifest's ``events_per_sec`` is more than the
+baseline's ``tolerance`` (fraction, default 0.30) below the baseline
+value.  ``REPRO_THROUGHPUT_TOLERANCE`` overrides the tolerance, e.g. for
+noisier runners.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baselines" / "obs_throughput.json"
+
+
+def main(argv: list[str]) -> int:
+    if not argv or len(argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    manifest = json.loads(Path(argv[0]).read_text())
+    baseline_path = Path(argv[1]) if len(argv) == 2 else DEFAULT_BASELINE
+    baseline = json.loads(baseline_path.read_text())
+
+    got = manifest.get("events_per_sec")
+    ref = baseline["events_per_sec"]
+    tolerance = float(
+        os.environ.get("REPRO_THROUGHPUT_TOLERANCE", baseline.get("tolerance", 0.30))
+    )
+    floor = ref * (1.0 - tolerance)
+
+    if not got:
+        print(
+            f"FAIL: manifest {argv[0]} has no events_per_sec "
+            f"(event_count={manifest.get('event_count')}, wall_s={manifest.get('wall_s')})"
+        )
+        return 1
+
+    expected = baseline.get("event_count")
+    if expected and manifest.get("event_count") != expected:
+        print(
+            f"note: event count {manifest.get('event_count')} differs from "
+            f"baseline's {expected} — workloads may have diverged"
+        )
+
+    print(
+        f"throughput: {got:,.0f} events/s (baseline {ref:,.0f}, "
+        f"floor {floor:,.0f} at -{tolerance:.0%})"
+    )
+    if got < floor:
+        print(f"FAIL: throughput regressed more than {tolerance:.0%} below baseline")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

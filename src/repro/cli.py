@@ -8,17 +8,26 @@ Subcommands
 ``sweep``      block-size sweep for GE, with optimum report (Figure 7)
 ``ops``        print the basic-operation cost table (Figure 6)
 ``trace``      generate a GE trace and save it as JSON
+``observe``    run one GE configuration under the tracer and export the
+               event stream (Chrome/Perfetto trace, JSONL/CSV, profile)
+
+Every run also writes a machine-readable :class:`repro.obs.RunRecord`
+manifest (``.repro/runs/`` by default, ``--manifest-out`` to choose the
+path, ``--no-manifest`` to skip).  ``predict``/``sweep``/``profile``/
+``observe`` accept ``--json`` for machine-readable stdout output and
+``--trace-out`` to export a Perfetto-loadable trace of the run.
 
 Examples
 --------
 ::
 
     python -m repro timeline --pattern sample --algorithm worstcase
-    python -m repro predict -n 480 -b 48 --layout diagonal
+    python -m repro predict -n 480 -b 48 --layout diagonal --json
     python -m repro sweep -n 480 --layout diagonal stripped
     python -m repro ops -b 10 20 40 80 160 --source calibrated
     python -m repro trace -n 240 -b 24 --layout diagonal -o ge.json
-    python -m repro profile -n 480 -b 48
+    python -m repro profile -n 480 -b 48 --trace-out profile.trace.json
+    python -m repro observe --layout block2d -b 60 -P 8 --trace-out t.json
     python -m repro fit --jitter
     python -m repro svg --pattern sample -o fig4.svg
 """
@@ -26,7 +35,9 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from contextlib import nullcontext
 from typing import Optional, Sequence
 
 from .analysis import format_figure, format_table, render_timeline, series_from_rows
@@ -50,6 +61,16 @@ from .core import (
 )
 from .core.units import us_to_s
 from .layouts import LAYOUTS
+from .obs import (
+    RunRecord,
+    Tracer,
+    bucket_sums,
+    loggp_dict,
+    tracing,
+    write_chrome_trace,
+    write_events_csv,
+    write_events_jsonl,
+)
 from .trace.serialization import save_trace
 
 __all__ = ["main", "build_parser"]
@@ -72,11 +93,63 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--o", type=float, default=MEIKO_CS2.o, help="overhead, us")
     parser.add_argument("--g", type=float, default=MEIKO_CS2.g, help="gap, us")
     parser.add_argument("--G", type=float, default=MEIKO_CS2.G, help="gap per byte, us/B")
-    parser.add_argument("--procs", type=int, default=MEIKO_CS2.P, help="processor count")
+    parser.add_argument(
+        "-P", "--procs", type=int, default=MEIKO_CS2.P, help="processor count"
+    )
+
+
+def _add_obs_args(parser: argparse.ArgumentParser, exports: bool = False) -> None:
+    """Observability flags; ``exports`` adds --json/--trace-out."""
+    grp = parser.add_argument_group("observability")
+    if exports:
+        grp.add_argument(
+            "--json", action="store_true",
+            help="print machine-readable JSON results to stdout",
+        )
+        grp.add_argument(
+            "--trace-out", metavar="PATH",
+            help="write a Chrome/Perfetto trace JSON of the run",
+        )
+    grp.add_argument(
+        "--manifest-out", metavar="PATH",
+        help="run manifest path (default: $REPRO_RUNS_DIR or .repro/runs/)",
+    )
+    grp.add_argument(
+        "--no-manifest", action="store_true",
+        help="skip writing the run manifest",
+    )
 
 
 def _machine(args: argparse.Namespace) -> LogGPParameters:
     return LogGPParameters(L=args.L, o=args.o, g=args.g, G=args.G, P=args.procs, name="cli")
+
+
+def _record(args: argparse.Namespace) -> RunRecord:
+    """The run's manifest record (a detached one if main() didn't attach)."""
+    rec = getattr(args, "run_record", None)
+    if rec is None:
+        rec = RunRecord.begin(getattr(args, "command", "unknown"))
+        args.run_record = rec
+    return rec
+
+
+def _wants_trace(args: argparse.Namespace) -> Optional[Tracer]:
+    """A fresh tracer when ``--trace-out`` asked for one, else ``None``.
+
+    The tracer is stashed on ``args`` so :func:`main` can fold its event
+    count and metrics into the run manifest.
+    """
+    if getattr(args, "trace_out", None):
+        tracer = Tracer()
+        args.obs_tracer = tracer
+        return tracer
+    return None
+
+
+def _export_trace(args: argparse.Namespace, tracer: Optional[Tracer]) -> None:
+    if tracer is not None and getattr(args, "trace_out", None):
+        write_chrome_trace(tracer.events, args.trace_out, metrics=tracer.metrics)
+        print(f"wrote trace {args.trace_out} ({len(tracer.events)} events)", file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -94,6 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--width", type=int, default=100)
     _add_machine_args(p)
+    _add_obs_args(p)
 
     p = sub.add_parser("predict", help="predict one GE configuration")
     p.add_argument("-n", type=int, default=480, help="matrix order")
@@ -102,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-measured", action="store_true", help="skip the emulated run")
     p.add_argument("--seed", type=int, default=0)
     _add_machine_args(p)
+    _add_obs_args(p, exports=True)
 
     p = sub.add_parser("sweep", help="GE block-size sweep (Figure 7)")
     p.add_argument("-n", type=int, default=480)
@@ -111,31 +186,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-measured", action="store_true")
     p.add_argument("--seed", type=int, default=0)
     _add_machine_args(p)
+    _add_obs_args(p, exports=True)
 
     p = sub.add_parser("ops", help="basic-operation cost table (Figure 6)")
     p.add_argument("-b", "--blocks", type=int, nargs="+", default=[10, 20, 40, 60, 80, 160])
     p.add_argument("--source", choices=["calibrated", "measured"], default="calibrated")
     p.add_argument("--repeats", type=int, default=3, help="host-timing repeats")
+    _add_obs_args(p)
 
     p = sub.add_parser("trace", help="generate and save a GE trace as JSON")
     p.add_argument("-n", type=int, default=240)
     p.add_argument("-b", type=int, default=24)
     p.add_argument("--layout", choices=sorted(LAYOUTS), default="diagonal")
     p.add_argument("-o", "--output", required=True, help="output JSON path")
-    p.add_argument("--procs", type=int, default=MEIKO_CS2.P)
+    p.add_argument("-P", "--procs", type=int, default=MEIKO_CS2.P)
+    _add_obs_args(p)
 
     p = sub.add_parser("profile", help="lost-cycles decomposition of a GE run")
     p.add_argument("-n", type=int, default=480)
     p.add_argument("-b", type=int, default=48)
     p.add_argument("--layout", choices=sorted(LAYOUTS), default="diagonal")
     p.add_argument("--mode", choices=["standard", "worstcase", "causal"], default="standard")
+    p.add_argument("--seed", type=int, default=0)
     _add_machine_args(p)
+    _add_obs_args(p, exports=True)
+
+    p = sub.add_parser(
+        "observe",
+        help="run one GE configuration under the tracer and export the events",
+    )
+    p.add_argument("-n", type=int, default=960, help="matrix order")
+    p.add_argument("-b", type=int, default=60, help="block size")
+    p.add_argument("--layout", choices=sorted(LAYOUTS), default="block2d")
+    p.add_argument("--mode", choices=["standard", "worstcase", "causal"], default="standard")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--events-out", metavar="PATH", help="flat JSONL event dump")
+    p.add_argument("--csv-out", metavar="PATH", help="flat CSV event dump")
+    _add_machine_args(p)
+    _add_obs_args(p, exports=True)
 
     p = sub.add_parser("fit", help="recover LogGP parameters via micro-benchmarks")
     p.add_argument("--jitter", action="store_true", help="run against the jittered network")
     p.add_argument("--repeats", type=int, default=9)
     p.add_argument("--seed", type=int, default=0)
     _add_machine_args(p)
+    _add_obs_args(p)
 
     p = sub.add_parser("svg", help="render a communication step as SVG")
     p.add_argument("--pattern", choices=sorted(_PATTERNS), default="sample")
@@ -145,6 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--svg-width", type=int, default=900)
     p.add_argument("-o", "--output", required=True, help="output SVG path")
     _add_machine_args(p)
+    _add_obs_args(p)
 
     return parser
 
@@ -153,6 +249,11 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     params = _machine(args)
     pattern = _PATTERNS[args.pattern](params.P if args.pattern != "sample" else 10, args.size)
     result = _ALGORITHMS[args.algorithm](params, pattern, seed=args.seed)
+    _record(args).note(
+        params=loggp_dict(params), engine=args.algorithm,
+        workload={"pattern": args.pattern, "size": args.size},
+        makespan_us=result.completion_time,
+    )
     print(f"{args.algorithm} algorithm on {args.pattern!r} pattern  ({params.describe()})")
     print(render_timeline(result.timeline, width=args.width))
     print(f"completion: {result.completion_time:.2f} us")
@@ -161,10 +262,24 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
 
 def _cmd_predict(args: argparse.Namespace) -> int:
     params = _machine(args)
-    row = run_ge_point(
-        args.n, args.b, args.layout, params, CalibratedCostModel(),
-        with_measured=not args.no_measured, seed=args.seed,
+    tracer = _wants_trace(args)
+    with tracing(tracer) if tracer else nullcontext():
+        row = run_ge_point(
+            args.n, args.b, args.layout, params, CalibratedCostModel(),
+            with_measured=not args.no_measured, seed=args.seed,
+        )
+    _export_trace(args, tracer)
+    _record(args).note(
+        params=loggp_dict(params), engine="predict",
+        workload={"n": args.n, "b": args.b, "layout": args.layout},
+        makespan_us=row.pred_standard.total_us,
     )
+    if args.json:
+        print(json.dumps({
+            "n": args.n, "b": args.b, "layout": args.layout,
+            "params": loggp_dict(params), "series_us": row.series(),
+        }, indent=2))
+        return 0
     print(f"{args.n}x{args.n} GE, b={args.b}, layout={args.layout}  ({params.describe()})")
     for name, us in row.series().items():
         print(f"  {name:26s} {us_to_s(us):9.4f} s")
@@ -181,16 +296,40 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if bad:
         print(f"error: block sizes {bad} do not divide n={args.n}", file=sys.stderr)
         return 2
-    rows = run_ge_sweep(
-        args.n, blocks, args.layout, params, CalibratedCostModel(),
-        with_measured=not args.no_measured, seed=args.seed,
+    tracer = _wants_trace(args)
+    with tracing(tracer) if tracer else nullcontext():
+        rows = run_ge_sweep(
+            args.n, blocks, args.layout, params, CalibratedCostModel(),
+            with_measured=not args.no_measured, seed=args.seed,
+        )
+    _export_trace(args, tracer)
+    best_by_layout = {
+        layout: min(
+            (r for r in rows if r.layout == layout),
+            key=lambda r: r.pred_standard.total_us,
+        ).b
+        for layout in args.layout
+    }
+    _record(args).note(
+        params=loggp_dict(params), engine="sweep",
+        workload={"n": args.n, "blocks": blocks, "layouts": args.layout},
+        best_block=best_by_layout,
     )
+    if args.json:
+        print(json.dumps({
+            "n": args.n, "params": loggp_dict(params),
+            "rows": [
+                {"layout": r.layout, "b": r.b, "series_us": r.series()}
+                for r in rows
+            ],
+            "best_block": best_by_layout,
+        }, indent=2))
+        return 0
     for layout in args.layout:
         mine = [r for r in rows if r.layout == layout]
         series = series_from_rows(mine, "b", lambda r: r.series())
         print(format_figure(f"{layout} mapping, n={args.n}", series))
-        best = min(mine, key=lambda r: r.pred_standard.total_us)
-        print(f"predicted optimal block size: {best.b}\n")
+        print(f"predicted optimal block size: {best_by_layout[layout]}\n")
     return 0
 
 
@@ -201,6 +340,7 @@ def _cmd_ops(args: argparse.Namespace) -> int:
     else:
         table = measure_op_costs(args.blocks, repeats=args.repeats)
         title = "host-measured [ms]"
+    _record(args).note(workload={"blocks": args.blocks, "source": args.source})
     rows = [
         {"b": b, **{op: table[op][b] / 1000.0 for op in OP_NAMES}} for b in args.blocks
     ]
@@ -212,6 +352,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     layout = LAYOUTS[args.layout](args.n // args.b, args.procs)
     trace = build_ge_trace(GEConfig(n=args.n, b=args.b, layout=layout))
     save_trace(trace, args.output)
+    _record(args).note(
+        workload={"n": args.n, "b": args.b, "layout": args.layout, "P": args.procs},
+        steps=len(trace), ops=trace.total_ops(), messages=trace.total_messages(),
+    )
     print(
         f"wrote {args.output}: {len(trace)} steps, {trace.total_ops()} ops, "
         f"{trace.total_messages()} messages"
@@ -226,8 +370,84 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     params = _machine(args)
     layout = LAYOUTS[args.layout](args.n // args.b, params.P)
     trace = build_ge_trace(_GEConfig(n=args.n, b=args.b, layout=layout))
-    profile = profile_program(trace, params, CalibratedCostModel(), mode=args.mode)
+    tracer = _wants_trace(args)
+    profile = profile_program(
+        trace, params, CalibratedCostModel(), mode=args.mode, seed=args.seed,
+        tracer=tracer,
+    )
+    _export_trace(args, tracer)
+    _record(args).note(
+        params=loggp_dict(params), engine=args.mode,
+        workload={"n": args.n, "b": args.b, "layout": args.layout},
+        makespan_us=profile.makespan_us,
+    )
+    if args.json:
+        print(json.dumps({
+            "n": args.n, "b": args.b, "layout": args.layout, "mode": args.mode,
+            "params": loggp_dict(params), "makespan_us": profile.makespan_us,
+            "processors": {
+                str(p): {k: getattr(prof, k) for k in
+                         ("compute", "send", "recv", "wait", "idle")}
+                for p, prof in profile.processors.items()
+            },
+            "utilization": profile.utilization,
+        }, indent=2))
+        return 0
     print(profile.describe())
+    return 0
+
+
+def _cmd_observe(args: argparse.Namespace) -> int:
+    from .apps.gauss import GEConfig as _GEConfig
+    from .machine import profile_program
+
+    params = _machine(args)
+    layout = LAYOUTS[args.layout](args.n // args.b, params.P)
+    trace = build_ge_trace(_GEConfig(n=args.n, b=args.b, layout=layout))
+
+    tracer = Tracer()
+    args.obs_tracer = tracer
+    with tracer.span("observe.simulate"):
+        profile = profile_program(
+            trace, params, CalibratedCostModel(), mode=args.mode,
+            seed=args.seed, tracer=tracer,
+        )
+    sums, makespan = bucket_sums(
+        tracer.events, trace.num_procs, makespan=profile.makespan_us
+    )
+
+    if args.trace_out:
+        write_chrome_trace(tracer.events, args.trace_out, metrics=tracer.metrics)
+    if args.events_out:
+        write_events_jsonl(tracer.events, args.events_out)
+    if args.csv_out:
+        write_events_csv(tracer.events, args.csv_out)
+
+    _record(args).note(
+        params=loggp_dict(params), engine=args.mode,
+        workload={"n": args.n, "b": args.b, "layout": args.layout},
+        makespan_us=profile.makespan_us,
+    )
+    if args.json:
+        print(json.dumps({
+            "n": args.n, "b": args.b, "layout": args.layout, "mode": args.mode,
+            "params": loggp_dict(params), "makespan_us": makespan,
+            "processors": {str(p): buckets for p, buckets in sums.items()},
+            "event_count": len(tracer.events),
+            "metrics": tracer.metrics.snapshot(),
+        }, indent=2))
+        return 0
+    print(
+        f"{args.n}x{args.n} GE, b={args.b}, layout={args.layout}, "
+        f"mode={args.mode}  ({params.describe()})"
+    )
+    print(profile.describe())
+    print(f"events: {len(tracer.events)}, metrics: {len(tracer.metrics)}")
+    for flag, path in (
+        ("trace", args.trace_out), ("events", args.events_out), ("csv", args.csv_out),
+    ):
+        if path:
+            print(f"wrote {flag}: {path}")
     return 0
 
 
@@ -244,6 +464,11 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         runner = emulator_runner(truth, seed=args.seed)
     fitted = fit_loggp(runner, num_procs=truth.P, repeats=args.repeats)
     errors = assess_fit(fitted, truth)
+    _record(args).note(
+        params=loggp_dict(truth), engine="fit",
+        workload={"jitter": args.jitter, "repeats": args.repeats},
+        fitted=loggp_dict(fitted),
+    )
     print(f"truth : {truth.describe()}")
     print(f"fitted: {fitted.describe()}")
     print(
@@ -265,6 +490,11 @@ def _cmd_svg(args: argparse.Namespace) -> int:
         width=args.svg_width,
         title=f"{args.algorithm} algorithm, {args.pattern} pattern",
     )
+    _record(args).note(
+        params=loggp_dict(params), engine=args.algorithm,
+        workload={"pattern": args.pattern, "size": args.size},
+        makespan_us=result.completion_time,
+    )
     print(f"wrote {args.output} (completion {result.completion_time:.2f} us)")
     return 0
 
@@ -276,19 +506,41 @@ _COMMANDS = {
     "ops": _cmd_ops,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
+    "observe": _cmd_observe,
     "fit": _cmd_fit,
     "svg": _cmd_svg,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    """CLI entry point; returns the process exit code.
+
+    Every invocation writes a :class:`repro.obs.RunRecord` manifest
+    (unless ``--no-manifest``); manifest I/O failures warn on stderr but
+    never change the exit code.
+    """
+    argv_list = list(argv) if argv is not None else sys.argv[1:]
+    args = build_parser().parse_args(argv_list)
+    rec = RunRecord.begin(args.command, argv_list)
+    args.run_record = rec
+    status = "ok"
     try:
-        return _COMMANDS[args.command](args)
+        code = _COMMANDS[args.command](args)
+        if code != 0:
+            status = "error"
+        return code
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        rec.note(error=str(exc))
+        status = "error"
         return 2
+    finally:
+        rec.finish(tracer=getattr(args, "obs_tracer", None), status=status)
+        if not getattr(args, "no_manifest", False):
+            try:
+                rec.write(getattr(args, "manifest_out", None))
+            except OSError as exc:  # pragma: no cover - environment-dependent
+                print(f"warning: could not write run manifest: {exc}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -41,6 +41,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Optional
 
+from ..obs.events import get_tracer
 from .loggp import LogGPParameters
 from .message import CommPattern
 
@@ -348,4 +349,15 @@ def simulate_tree_broadcast(
             m.port(root).store(dst, size=size, payload="datum")
         m.port(root).finish()
 
-    return machine.run(program)
+    timeline = machine.run(program)
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.count("sim.collective_broadcasts")
+        tracer.instant(
+            "collective.broadcast",
+            ts=timeline.completion_time,
+            root=root,
+            procs=pattern.num_procs,
+            messages=len(pattern.remote_messages()),
+        )
+    return timeline

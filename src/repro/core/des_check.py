@@ -29,6 +29,7 @@ from typing import Mapping, Optional
 import numpy as np
 
 from ..des import Environment, Event
+from ..obs.events import get_tracer
 from .events import CommEvent, StepTimeline
 from .loggp import LogGPParameters, OpKind
 from .message import CommPattern, Message
@@ -156,4 +157,8 @@ def simulate_causal(
     env.run()
 
     ctimes = {p: state[p].last_end for p in procs}
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.count("sim.comm_steps.causal")
+        tracer.emit_comm_step(timeline, ctimes, algo="causal")
     return SimulationResult(timeline=timeline, ctimes=ctimes, skipped_local=local)

@@ -29,6 +29,7 @@ from typing import Literal, Optional
 
 import numpy as np
 
+from ..obs.events import get_tracer
 from ..trace.program import ProgramTrace, Step
 from .cache_extension import CachePredictionModel
 from .costmodel import CostModel
@@ -176,7 +177,19 @@ class ProgramSimulator:
 
     # -- main entry point ----------------------------------------------------------
     def run(self, trace: ProgramTrace) -> PredictionReport:
-        """Simulate the program; see class docstring for the semantics."""
+        """Simulate the program; see class docstring for the semantics.
+
+        When the ambient observability tracer is enabled, the run emits
+        structured events on the ``sim:<mode>`` track: a ``compute`` slice
+        per processor per computation phase, with the communication
+        phases' ``comm``/``send``/``recv`` slices emitted by the
+        underlying step simulators (see :mod:`repro.obs`).
+        """
+        tracer = get_tracer()
+        with tracer.in_track(f"sim:{self.mode}"):
+            return self._run_traced(trace, tracer)
+
+    def _run_traced(self, trace: ProgramTrace, tracer) -> PredictionReport:
         simulate = _SIMULATORS[self.mode]
         rng = np.random.default_rng(self.seed)
         clocks = {p: 0.0 for p in range(trace.num_procs)}
@@ -184,12 +197,18 @@ class ProgramSimulator:
         comm_busy = {p: 0.0 for p in range(trace.num_procs)}
         resident = self._resident_bytes(trace) if self.cache_model else {}
         records: list[StepRecord] = []
+        traced = tracer.enabled
 
-        for step in trace.steps:
+        for step_idx, step in enumerate(trace.steps):
             step_comp: dict[int, float] = {}
             for proc in step.work:
                 t = self._comp_time(step, proc, resident)
                 if t:
+                    if traced:
+                        tracer.slice(
+                            "compute", proc=proc, ts=clocks[proc], dur=t,
+                            step=step_idx, ops=len(step.work.get(proc, ())),
+                        )
                     clocks[proc] += t
                     comp[proc] += t
                     step_comp[proc] = t
@@ -240,6 +259,9 @@ class ProgramSimulator:
                 )
 
         total = max(clocks.values(), default=0.0)
+        if traced:
+            tracer.count("sim.program_steps", len(trace.steps))
+            tracer.count("sim.program_runs")
         return PredictionReport(
             total_us=total,
             per_proc_comp_us=comp,

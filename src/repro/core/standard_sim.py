@@ -32,6 +32,7 @@ from typing import Mapping, Optional
 
 import numpy as np
 
+from ..obs.events import get_tracer
 from .events import CommEvent, StepTimeline
 from .loggp import LogGPParameters, OpKind
 from .message import CommPattern, Message
@@ -194,4 +195,8 @@ def _simulate(
             do_recv(p)
 
     ctimes = {p: state[p].ctime for p in procs}
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.count("sim.comm_steps.standard")
+        tracer.emit_comm_step(timeline, ctimes, algo="standard")
     return SimulationResult(timeline=timeline, ctimes=ctimes, skipped_local=local)

@@ -27,6 +27,7 @@ from typing import Mapping, Optional
 
 import numpy as np
 
+from ..obs.events import get_tracer
 from .events import CommEvent, StepTimeline
 from .loggp import LogGPParameters, OpKind
 from .message import CommPattern, Message
@@ -159,4 +160,8 @@ def _simulate(
             do_recv(p)
 
     ctimes = {p: state[p].ctime for p in procs}
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.count("sim.comm_steps.worstcase")
+        tracer.emit_comm_step(timeline, ctimes, algo="worstcase")
     return SimulationResult(timeline=timeline, ctimes=ctimes, skipped_local=local)

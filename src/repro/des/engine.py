@@ -34,6 +34,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..obs.events import get_tracer
+
 __all__ = [
     "Environment",
     "Event",
@@ -315,11 +317,17 @@ class Environment:
         self._heap: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self._active_process: Optional[Process] = None
+        self._processed = 0
 
     @property
     def now(self) -> float:
         """Current simulation time."""
         return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events this environment has processed so far."""
+        return self._processed
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -363,6 +371,7 @@ class Environment:
             raise SimulationError("no more events")
         when, _, event = heapq.heappop(self._heap)
         self._now = when
+        self._processed += 1
         event._resolve()
 
     def run(self, until: Optional[float | Event] = None) -> Any:
@@ -371,7 +380,21 @@ class Environment:
         ``until`` may be ``None`` (run to exhaustion), a time (run up to and
         including that time, then set ``now`` to it), or an :class:`Event`
         (run until it fires and return its value).
+
+        When the ambient observability tracer is enabled, the number of
+        kernel events processed by this call is counted into the
+        ``des.events`` metric (see :mod:`repro.obs`).
         """
+        tracer = get_tracer()
+        if tracer.enabled:
+            before = self._processed
+            try:
+                return self._run(until)
+            finally:
+                tracer.count("des.events", self._processed - before)
+        return self._run(until)
+
+    def _run(self, until: Optional[float | Event] = None) -> Any:
         if until is None:
             while self._heap:
                 self.step()

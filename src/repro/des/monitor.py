@@ -1,7 +1,17 @@
-"""Tracing and probing utilities for the DES engine."""
+"""Tracing and probing utilities for the DES engine.
+
+.. deprecated::
+    :class:`Monitor` predates the structured observability layer and is
+    kept only for backward compatibility.  New code should use
+    :class:`repro.obs.Tracer` — it offers typed slice/instant events,
+    counters and histograms, Chrome-trace and CSV/JSONL export, and
+    zero-overhead no-op behaviour when disabled.  Instantiating
+    :class:`Monitor` emits a :class:`DeprecationWarning`.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -23,13 +33,20 @@ class TraceRecord:
 class Monitor:
     """Accumulates timestamped observations during a simulation run.
 
-    The machine emulator uses one monitor per run to record per-processor
-    send/receive/compute intervals, from which the "measured" breakdowns of
-    Figures 7-9 are assembled.
+    .. deprecated:: use :class:`repro.obs.Tracer` instead (see the module
+       docstring).  This shim remains functional but warns on creation.
     """
 
     env: Environment
     records: list[TraceRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "repro.des.Monitor is deprecated; use repro.obs.Tracer "
+            "(structured events, metrics, and exporters) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
 
     def record(self, tag: str, payload: Any = None) -> None:
         """Append an observation stamped with the current simulation time."""
@@ -40,9 +57,27 @@ class Monitor:
         return [r for r in self.records if r.tag == tag]
 
     def series(self, tag: str, key: Optional[Callable[[Any], float]] = None) -> list[tuple[float, float]]:
-        """``(time, value)`` pairs for a tag; ``key`` extracts the value."""
-        key = key or (lambda p: float(p))
-        return [(r.time, key(r.payload)) for r in self.records if r.tag == tag]
+        """``(time, value)`` pairs for a tag; ``key`` extracts the value.
+
+        Raises a :class:`TypeError` naming the offending tag when a payload
+        cannot be interpreted as a number (e.g. ``None`` or a dict recorded
+        without passing a ``key`` extractor).
+        """
+        extract = key or (lambda p: float(p))
+        out: list[tuple[float, float]] = []
+        for r in self.records:
+            if r.tag != tag:
+                continue
+            try:
+                value = float(extract(r.payload))
+            except (TypeError, ValueError) as exc:
+                raise TypeError(
+                    f"Monitor.series({tag!r}): payload {r.payload!r} at "
+                    f"t={r.time} is not numeric; pass key= to extract a "
+                    f"numeric value from structured payloads"
+                ) from exc
+            out.append((r.time, value))
+        return out
 
     def clear(self) -> None:
         """Drop all records."""

@@ -26,6 +26,7 @@ from ..core.events import CommEvent, StepTimeline
 from ..core.loggp import LogGPParameters, OpKind
 from ..core.message import Message
 from ..des import Environment, Event
+from ..obs.events import get_tracer
 
 __all__ = ["ActiveMessagePort", "SplitCMachine"]
 
@@ -187,4 +188,9 @@ class SplitCMachine:
         for port in list(self._ports.values()):
             self.env.process(port._run(), name=f"port{port.pid}")
         self.env.run()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.count("sim.activemsg_runs")
+            ctimes = {pid: port.last_end for pid, port in self._ports.items()}
+            tracer.emit_comm_step(self.timeline, ctimes, algo="activemsg")
         return self.timeline

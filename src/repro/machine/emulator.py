@@ -42,6 +42,7 @@ from ..blockops.calibration import (
 from ..core.costmodel import CostModel
 from ..core.des_check import simulate_causal
 from ..core.loggp import LogGPParameters
+from ..obs.events import get_tracer
 from ..trace.program import ProgramTrace
 from .cache import BlockCache
 from .cpu import NodeCPU
@@ -162,7 +163,20 @@ class MachineEmulator:
         self.seed = seed
 
     def run(self, trace: ProgramTrace) -> MeasuredReport:
-        """Execute the program; returns the emulated measurements."""
+        """Execute the program; returns the emulated measurements.
+
+        When the ambient observability tracer is enabled, the run emits
+        structured events on the ``emulator`` track: per-phase ``compute``
+        slices (with cache/scan attribution), ``local_copy`` slices for
+        self-messages, and the causal communication model's
+        ``comm``/``send``/``recv`` slices (see :mod:`repro.obs`).
+        """
+        tracer = get_tracer()
+        with tracer.in_track("emulator"):
+            return self._run_traced(trace, tracer)
+
+    def _run_traced(self, trace: ProgramTrace, tracer) -> MeasuredReport:
+        traced = tracer.enabled
         owned = trace.blocks_by_proc()
         cpus: dict[int, NodeCPU] = {}
         for p in range(trace.num_procs):
@@ -183,11 +197,18 @@ class MachineEmulator:
         cache_acc = {p: 0.0 for p in range(trace.num_procs)}
         local_acc = {p: 0.0 for p in range(trace.num_procs)}
 
-        for step in trace.steps:
+        for step_idx, step in enumerate(trace.steps):
             for proc, ops in step.work.items():
                 if not ops:
                     continue
                 phase = cpus[proc].run_phase(ops)
+                if traced:
+                    tracer.slice(
+                        "compute", proc=proc, ts=clocks[proc],
+                        dur=phase.total_us, step=step_idx,
+                        warm_us=phase.warm_us, cache_us=phase.cache_us,
+                        scan_us=phase.scan_us,
+                    )
                 clocks[proc] += phase.total_us
                 comp[proc] += phase.warm_us + phase.scan_us
                 cache_acc[proc] += phase.cache_us
@@ -208,9 +229,17 @@ class MachineEmulator:
                     clocks[p] = result.ctimes.get(p, clocks[p])
             for msg in step.pattern.local_messages():
                 cost = self.network.local_copy_us(msg)
+                if traced:
+                    tracer.slice(
+                        "local_copy", proc=msg.src, ts=clocks[msg.src],
+                        dur=cost, bytes=msg.size, step=step_idx,
+                    )
                 clocks[msg.src] += cost
                 local_acc[msg.src] += cost
 
+        if traced:
+            tracer.count("emulator.runs")
+            tracer.count("emulator.steps", len(trace.steps))
         return MeasuredReport(
             total_us=max(clocks.values(), default=0.0),
             per_proc_comp_us=comp,

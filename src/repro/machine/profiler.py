@@ -18,31 +18,34 @@ bucket:
 The buckets are exact: they are derived from the same per-step clock
 advances the :class:`~repro.core.program_sim.ProgramSimulator` makes, so
 ``compute + send + recv + wait + idle == makespan`` for every processor.
+
+Since the observability layer (:mod:`repro.obs`) landed, this profiler is
+a *consumer of the event stream* rather than a parallel implementation:
+:func:`profile_program` runs the ordinary
+:class:`~repro.core.program_sim.ProgramSimulator` with a tracer attached
+and folds the emitted ``compute``/``comm``/``send``/``recv`` slices into
+buckets via :func:`repro.obs.aggregate.profile_from_events`.  The same
+aggregation applied to an exported Chrome trace reproduces these numbers
+exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Literal
-
-import numpy as np
+from typing import Literal, Optional
 
 from ..core.costmodel import CostModel
-from ..core.loggp import LogGPParameters, OpKind
-from ..core.standard_sim import simulate_standard
-from ..core.worstcase_sim import simulate_worstcase
-from ..core.des_check import simulate_causal
+from ..core.loggp import LogGPParameters
+from ..core.program_sim import ProgramSimulator
+from ..obs.aggregate import BUCKET_NAMES, profile_from_events
+from ..obs.events import Tracer, get_tracer, tracing
 from ..trace.program import ProgramTrace
 
 __all__ = ["ProcessorProfile", "ProgramProfile", "profile_program"]
 
-BUCKETS = ("compute", "send", "recv", "wait", "idle")
+BUCKETS = BUCKET_NAMES
 
-_SIMULATORS = {
-    "standard": simulate_standard,
-    "worstcase": simulate_worstcase,
-    "causal": simulate_causal,
-}
+_MODES = ("standard", "worstcase", "causal")
 
 
 @dataclass
@@ -129,58 +132,32 @@ def profile_program(
     cost_model: CostModel,
     mode: Literal["standard", "worstcase", "causal"] = "standard",
     seed: int = 0,
+    tracer: Optional[Tracer] = None,
 ) -> ProgramProfile:
     """Simulate ``trace`` and decompose every processor's time into buckets.
 
-    The simulation is identical to
-    :class:`~repro.core.program_sim.ProgramSimulator` in ``mode`` — same
-    clock carrying, same communication algorithm — with the accounting
-    described in the module docstring layered on top.
+    The simulation is exactly a
+    :class:`~repro.core.program_sim.ProgramSimulator` run in ``mode`` —
+    same clock carrying, same communication algorithm, same RNG stream.
+    The profile is built from the structured events that run emits, via
+    :func:`repro.obs.aggregate.profile_from_events`; pass an explicit
+    ``tracer`` to also keep the raw events (e.g. for a Chrome trace export
+    alongside the profile).  When no tracer is given and the ambient one
+    is disabled, a private throwaway tracer collects the events.
     """
-    if mode not in _SIMULATORS:
+    if mode not in _MODES:
         raise ValueError(f"unknown mode {mode!r}")
-    simulate = _SIMULATORS[mode]
-    rng = np.random.default_rng(seed)
-
-    procs = list(range(trace.num_procs))
-    clocks = {p: 0.0 for p in procs}
-    profile = {p: ProcessorProfile(proc=p) for p in procs}
-
-    for step in trace.steps:
-        for proc, ops in step.work.items():
-            t = sum(cost_model.cost(w.op, w.b) for w in ops)
-            clocks[proc] += t
-            profile[proc].compute += t
-
-        if step.pattern is None or not step.pattern.remote_messages():
-            continue
-        participants = {
-            p for m in step.pattern.remote_messages() for p in (m.src, m.dst)
-        }
-        starts = {p: clocks[p] for p in participants}
-        result = simulate(params, step.pattern, start_times=starts, rng=rng)
-        timeline = result.timeline
-        for p in participants:
-            finish = result.ctimes.get(p, clocks[p])
-            elapsed = finish - starts[p]
-            send_busy = sum(
-                e.duration
-                for e in timeline.events
-                if e.proc == p and e.kind is OpKind.SEND
-            )
-            recv_busy = sum(
-                e.duration
-                for e in timeline.events
-                if e.proc == p and e.kind is OpKind.RECV
-            )
-            profile[p].send += send_busy
-            profile[p].recv += recv_busy
-            profile[p].wait += max(0.0, elapsed - send_busy - recv_busy)
-            clocks[p] = finish
-
-    makespan = max(clocks.values(), default=0.0)
-    for p in procs:
-        profile[p].idle = makespan - clocks[p]
-    return ProgramProfile(
-        makespan_us=makespan, processors=profile, meta=dict(trace.meta)
+    tr = tracer if tracer is not None else get_tracer()
+    if not tr.enabled:
+        tr = Tracer()
+    with tracing(tr):
+        i0 = len(tr.events)
+        report = ProgramSimulator(
+            params, cost_model, mode=mode, seed=seed
+        ).run(trace)
+    return profile_from_events(
+        tr.events[i0:],
+        num_procs=trace.num_procs,
+        makespan=report.total_us,
+        meta=dict(trace.meta),
     )

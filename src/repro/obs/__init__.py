@@ -1,0 +1,75 @@
+"""Unified observability layer: structured events, metrics, exporters.
+
+Every execution path of the package — the DES kernel, the three
+communication-simulation algorithms, the whole-program simulator, the
+machine emulator and the active-message runtime — emits structured events
+through one :class:`Tracer`.  The design goals, in order:
+
+1. **Zero overhead when disabled.**  The default ambient tracer is a
+   :class:`NullTracer`; instrumented code pays one attribute check
+   (``tracer.enabled``) per emission site and nothing else.
+2. **One stream, many consumers.**  The same event list feeds the
+   Chrome-trace/Perfetto exporter (:mod:`repro.obs.export`), the flat
+   JSONL/CSV dumps, and the lost-cycles bucket aggregation
+   (:mod:`repro.obs.aggregate`) that powers
+   :func:`repro.machine.profiler.profile_program`.
+3. **Machine-readable run manifests.**  Every CLI command and benchmark
+   writes a :class:`RunRecord` (:mod:`repro.obs.manifest`) capturing the
+   configuration, event counts and simulator throughput of the run.
+
+Quick start::
+
+    from repro.obs import Tracer, tracing, write_chrome_trace
+
+    tracer = Tracer()
+    with tracing(tracer):
+        profile = profile_program(trace, MEIKO_CS2, CalibratedCostModel())
+    write_chrome_trace(tracer.events, "timeline.json")  # open in Perfetto
+"""
+
+from .aggregate import BUCKET_NAMES, bucket_sums, profile_from_events
+from .events import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    get_tracer,
+    is_enabled,
+    set_tracer,
+    tracing,
+)
+from .export import (
+    events_from_chrome_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_events_csv,
+    write_events_jsonl,
+)
+from .manifest import RunRecord, default_manifest_path, loggp_dict
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "is_enabled",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "events_from_chrome_trace",
+    "write_events_jsonl",
+    "write_events_csv",
+    "BUCKET_NAMES",
+    "bucket_sums",
+    "profile_from_events",
+    "RunRecord",
+    "default_manifest_path",
+    "loggp_dict",
+]

@@ -1,0 +1,275 @@
+"""The structured event model and the tracer (span/event) API.
+
+An observability *event* is one of
+
+* a **slice** — a named interval ``[ts, ts + dur)`` on some processor's
+  track (``compute``, ``send``, ``recv``, ``comm``, ``local_copy``, ...),
+* an **instant** — a named point in time, or
+* a wall-clock **span** recorded by the :meth:`Tracer.span` context
+  manager (self-instrumentation of the simulator: how long a phase of
+  *our* code took, as opposed to simulated time).
+
+Simulated timestamps are microseconds, like everything else in the
+package.  Wall-clock spans live on the reserved ``"wall"`` track and are
+excluded from bucket aggregation.
+
+The ambient tracer
+------------------
+Instrumented code asks for the current tracer with :func:`get_tracer` and
+checks ``tracer.enabled`` before doing any work::
+
+    tr = get_tracer()
+    if tr.enabled:
+        tr.emit_comm_step(timeline, ctimes, algo="standard")
+
+The default ambient tracer is :data:`NULL_TRACER` (``enabled = False``,
+every method a no-op), so an uninstrumented run pays one attribute read
+per emission *site*, not per event.  :func:`tracing` installs a real
+:class:`Tracer` for the duration of a ``with`` block.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Optional
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "is_enabled",
+    "WALL_TRACK",
+]
+
+#: reserved track for wall-clock self-instrumentation spans
+WALL_TRACK = "wall"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One structured observation.
+
+    ``kind`` is ``"slice"`` (interval) or ``"instant"`` (point).  ``proc``
+    is the processor the event belongs to, or ``-1`` for machine-level
+    events.  ``track`` groups events into Perfetto processes (one per
+    simulator engine / emulator run).
+    """
+
+    name: str
+    kind: str
+    ts: float
+    dur: float = 0.0
+    proc: int = -1
+    track: str = "sim"
+    attrs: Optional[Mapping[str, Any]] = None
+
+    @property
+    def end(self) -> float:
+        """End of the interval (``ts`` for instants)."""
+        return self.ts + self.dur
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records and metrics during a run.
+
+    One tracer is one event stream; exporters and aggregators consume
+    :attr:`events` after the traced section completes.  ``enabled`` is a
+    plain attribute so hot paths can gate on it cheaply.
+    """
+
+    enabled: bool = True
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        self.events: list[TraceEvent] = []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: current track name; use :meth:`in_track` to switch temporarily
+        self.track: str = "sim"
+
+    # -- emission -----------------------------------------------------------
+    def slice(
+        self,
+        name: str,
+        proc: int,
+        ts: float,
+        dur: float,
+        track: Optional[str] = None,
+        **attrs: Any,
+    ) -> None:
+        """Record a named interval ``[ts, ts + dur)`` on ``proc``'s track."""
+        self.events.append(
+            TraceEvent(
+                name=name,
+                kind="slice",
+                ts=ts,
+                dur=dur,
+                proc=proc,
+                track=track if track is not None else self.track,
+                attrs=attrs or None,
+            )
+        )
+
+    def instant(self, name: str, ts: float, proc: int = -1, **attrs: Any) -> None:
+        """Record a named point in (simulated) time."""
+        self.events.append(
+            TraceEvent(
+                name=name,
+                kind="instant",
+                ts=ts,
+                proc=proc,
+                track=self.track,
+                attrs=attrs or None,
+            )
+        )
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Increment the counter ``name`` in the metrics registry."""
+        self.metrics.counter(name).inc(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the histogram ``name``."""
+        self.metrics.histogram(name).observe(value)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name``."""
+        self.metrics.gauge(name).set(value)
+
+    @contextmanager
+    def span(self, name: str, proc: int = -1, **attrs: Any) -> Iterator[None]:
+        """Wall-clock span: times the enclosed block of *our* code.
+
+        The slice lands on the reserved ``"wall"`` track with microsecond
+        timestamps from :func:`time.perf_counter`, so exported traces show
+        the simulator's own phases alongside the simulated timelines.
+        """
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            t1 = time.perf_counter()
+            self.slice(
+                name, proc=proc, ts=t0 * 1e6, dur=(t1 - t0) * 1e6,
+                track=WALL_TRACK, **attrs,
+            )
+
+    @contextmanager
+    def in_track(self, track: str) -> Iterator[None]:
+        """Route emissions inside the block to the named track."""
+        prev, self.track = self.track, track
+        try:
+            yield
+        finally:
+            self.track = prev
+
+    # -- domain helpers -----------------------------------------------------
+    def emit_comm_step(self, timeline, ctimes: Mapping[int, float], algo: str) -> None:
+        """Emit one simulated communication step as structured events.
+
+        For every participating processor: an enclosing ``comm`` phase
+        slice from its start clock to its finish clock, with the
+        individual ``send``/``recv`` operation slices nested inside.
+        ``timeline`` is a :class:`repro.core.events.StepTimeline` (duck
+        typed: ``events`` with ``proc``/``kind``/``start``/``duration``/
+        ``message``, and ``start_times``).
+        """
+        by_proc: dict[int, list] = {}
+        for e in timeline.events:
+            by_proc.setdefault(e.proc, []).append(e)
+        start_times = timeline.start_times
+        for p in sorted(set(start_times) | set(by_proc)):
+            ops = by_proc.get(p, ())
+            start = start_times.get(p, ops[0].start if ops else 0.0)
+            finish = ctimes.get(p, start)
+            if not ops and finish <= start:
+                continue  # mentioned in start clocks but did nothing
+            self.slice("comm", proc=p, ts=start, dur=finish - start, algo=algo)
+            for e in ops:
+                kind = e.kind.value  # "send" | "recv"
+                peer = e.message.dst if kind == "send" else e.message.src
+                attrs = {"peer": peer, "bytes": e.message.size, "uid": e.message.uid}
+                if kind == "recv" and e.arrival is not None:
+                    attrs["arrival"] = e.arrival
+                self.slice(kind, proc=p, ts=e.start, dur=e.duration, **attrs)
+            self.count(f"sim.ops.{algo}", len(ops))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Tracer events={len(self.events)} track={self.track!r}>"
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every method is a no-op.
+
+    Installed as the ambient tracer by default so instrumented code can
+    unconditionally fetch it and branch on :attr:`enabled`.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(metrics=MetricsRegistry())
+
+    def slice(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def instant(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def count(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def observe(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def gauge(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, proc: int = -1, **attrs: Any) -> Iterator[None]:
+        yield
+
+    @contextmanager
+    def in_track(self, track: str) -> Iterator[None]:
+        yield
+
+    def emit_comm_step(self, timeline, ctimes, algo) -> None:
+        pass
+
+
+#: the shared disabled tracer (ambient default)
+NULL_TRACER = NullTracer()
+
+_current: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The ambient tracer (a :class:`NullTracer` unless one is installed)."""
+    return _current
+
+
+def set_tracer(tracer: Optional[Tracer]) -> None:
+    """Install ``tracer`` as the ambient tracer (``None`` disables tracing)."""
+    global _current
+    _current = tracer if tracer is not None else NULL_TRACER
+
+
+def is_enabled() -> bool:
+    """True when the ambient tracer records events."""
+    return _current.enabled
+
+
+@contextmanager
+def tracing(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` for the duration of the ``with`` block."""
+    global _current
+    prev, _current = _current, tracer
+    try:
+        yield tracer
+    finally:
+        _current = prev

@@ -1,0 +1,247 @@
+"""Exporters: Chrome trace-event JSON (Perfetto), JSONL and CSV dumps.
+
+The Chrome trace-event format is the lingua franca of timeline viewers —
+the exported file loads directly in `Perfetto <https://ui.perfetto.dev>`_
+or ``chrome://tracing``.  Layout:
+
+* one Chrome *process* per track (``sim:standard``, ``emulator``, ...),
+* one Chrome *thread* per simulated processor (named ``P0``, ``P1``, ...),
+* every slice as a matched ``B``/``E`` duration pair (children nested
+  inside their enclosing ``comm`` phase),
+* uncovered stretches of ``comm`` phases synthesised as ``wait`` slices,
+  so each track reads compute / send / recv / wait at a glance,
+* instants as ``i`` events, metrics as the top-level ``otherData``.
+
+Timestamps stay in microseconds — the package's native unit and the trace
+format's expected one, so no scaling is applied.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Iterable, Optional
+
+from .events import WALL_TRACK, TraceEvent
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "events_from_chrome_trace",
+    "write_events_jsonl",
+    "write_events_csv",
+]
+
+#: tid used for machine-level (proc == -1) events
+_MACHINE_TID = 999_999
+
+#: slice names treated as children of an enclosing ``comm`` phase
+_COMM_OPS = ("send", "recv")
+
+#: gaps shorter than this are not synthesised as wait slices (float fuzz)
+_WAIT_EPS = 1e-9
+
+#: reserved args key carrying a slice's exact duration across export/import
+_DUR_KEY = "dur_us"
+
+
+def _tid(proc: int) -> int:
+    return proc if proc >= 0 else _MACHINE_TID
+
+
+def _synth_wait(slices: list[TraceEvent]) -> list[TraceEvent]:
+    """Wait slices for the uncovered parts of each ``comm`` phase."""
+    out: list[TraceEvent] = []
+    ops = sorted(
+        (s for s in slices if s.name in _COMM_OPS), key=lambda s: (s.ts, s.end)
+    )
+    for phase in (s for s in slices if s.name == "comm"):
+        cursor = phase.ts
+        for op in ops:
+            if op.ts < phase.ts - _WAIT_EPS or op.end > phase.end + _WAIT_EPS:
+                continue
+            if op.ts - cursor > _WAIT_EPS:
+                out.append(
+                    TraceEvent(
+                        name="wait", kind="slice", ts=cursor, dur=op.ts - cursor,
+                        proc=phase.proc, track=phase.track,
+                    )
+                )
+            cursor = max(cursor, op.end)
+        if phase.end - cursor > _WAIT_EPS:
+            out.append(
+                TraceEvent(
+                    name="wait", kind="slice", ts=cursor, dur=phase.end - cursor,
+                    proc=phase.proc, track=phase.track,
+                )
+            )
+    return out
+
+
+def _nested_begin_end(slices: list[TraceEvent], pid: int) -> list[dict]:
+    """Emit one thread's slices as properly nested B/E pairs.
+
+    Slices are sorted outermost-first; a stack closes every slice that
+    ends at or before the next one starts.  Ties close children before
+    parents, which is what the B/E stack discipline requires.
+    """
+    ordered = sorted(slices, key=lambda s: (s.ts, -s.dur))
+    out: list[dict] = []
+    stack: list[TraceEvent] = []
+
+    def close(upto: float) -> None:
+        while stack and stack[-1].end <= upto:
+            top = stack.pop()
+            out.append(
+                {"ph": "E", "ts": top.end, "pid": pid, "tid": _tid(top.proc),
+                 "name": top.name}
+            )
+
+    for s in ordered:
+        close(s.ts)
+        ev = {"ph": "B", "ts": s.ts, "pid": pid, "tid": _tid(s.proc),
+              "name": s.name, "cat": s.track}
+        # The exact duration: E.ts - B.ts cannot recover it bit-for-bit
+        # ((ts + dur) - ts loses low bits), and the aggregation round-trip
+        # guarantee needs it.  Viewers show it as a slice property.
+        ev["args"] = {**(s.attrs or {}), _DUR_KEY: s.dur}
+        out.append(ev)
+        stack.append(s)
+    close(float("inf"))
+    return out
+
+
+def to_chrome_trace(
+    events: Iterable[TraceEvent],
+    metrics: Optional[MetricsRegistry] = None,
+    synthesize_wait: bool = True,
+) -> dict:
+    """Convert an event stream to a Chrome trace-event JSON object."""
+    events = list(events)
+    tracks: list[str] = []
+    for e in events:
+        if e.track not in tracks:
+            tracks.append(e.track)
+    pid_of = {t: i for i, t in enumerate(tracks)}
+
+    trace_events: list[dict] = []
+    for track in tracks:
+        pid = pid_of[track]
+        trace_events.append(
+            {"ph": "M", "ts": 0, "pid": pid, "tid": 0, "name": "process_name",
+             "args": {"name": track}}
+        )
+        mine = [e for e in events if e.track == track]
+        procs = sorted({e.proc for e in mine})
+        for proc in procs:
+            trace_events.append(
+                {"ph": "M", "ts": 0, "pid": pid, "tid": _tid(proc),
+                 "name": "thread_name",
+                 "args": {"name": f"P{proc}" if proc >= 0 else "machine"}}
+            )
+            slices = [e for e in mine if e.proc == proc and e.kind == "slice"]
+            if synthesize_wait and track != WALL_TRACK:
+                slices = slices + _synth_wait(slices)
+            trace_events.extend(_nested_begin_end(slices, pid))
+            for e in mine:
+                if e.proc == proc and e.kind == "instant":
+                    ev = {"ph": "i", "ts": e.ts, "pid": pid, "tid": _tid(proc),
+                          "name": e.name, "s": "t"}
+                    if e.attrs:
+                        ev["args"] = dict(e.attrs)
+                    trace_events.append(ev)
+
+    doc: dict = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    if metrics is not None:
+        doc["otherData"] = {"metrics": metrics.snapshot()}
+    return doc
+
+
+def write_chrome_trace(
+    events: Iterable[TraceEvent],
+    path,
+    metrics: Optional[MetricsRegistry] = None,
+    synthesize_wait: bool = True,
+) -> None:
+    """Write the Chrome trace JSON for ``events`` to ``path``."""
+    doc = to_chrome_trace(events, metrics=metrics, synthesize_wait=synthesize_wait)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+
+
+def events_from_chrome_trace(doc: dict) -> list[TraceEvent]:
+    """Reconstruct slice/instant events from a Chrome trace JSON object.
+
+    The inverse of :func:`to_chrome_trace` up to the synthesised ``wait``
+    slices (which aggregation ignores by design); used by tests to prove
+    that bucket sums survive an export/import round trip exactly.
+    """
+    names: dict[int, str] = {}
+    for ev in doc["traceEvents"]:
+        if ev.get("ph") == "M" and ev.get("name") == "process_name":
+            names[ev["pid"]] = ev["args"]["name"]
+
+    out: list[TraceEvent] = []
+    open_stacks: dict[tuple[int, int], list[dict]] = {}
+    for ev in doc["traceEvents"]:
+        ph = ev.get("ph")
+        key = (ev.get("pid", 0), ev.get("tid", 0))
+        track = names.get(ev.get("pid", 0), "sim")
+        proc = ev["tid"] if ev.get("tid", _MACHINE_TID) != _MACHINE_TID else -1
+        if ph == "B":
+            open_stacks.setdefault(key, []).append(ev)
+        elif ph == "E":
+            stack = open_stacks.get(key)
+            if not stack:
+                raise ValueError(f"unmatched E event {ev!r}")
+            b = stack.pop()
+            if b["name"] != ev["name"]:
+                raise ValueError(
+                    f"mismatched B/E pair: {b['name']!r} closed by {ev['name']!r}"
+                )
+            attrs = dict(b.get("args") or {})
+            dur = attrs.pop(_DUR_KEY, None)
+            out.append(
+                TraceEvent(
+                    name=b["name"], kind="slice", ts=b["ts"],
+                    dur=dur if dur is not None else ev["ts"] - b["ts"],
+                    proc=proc, track=track, attrs=attrs or None,
+                )
+            )
+        elif ph == "i":
+            out.append(
+                TraceEvent(
+                    name=ev["name"], kind="instant", ts=ev["ts"], proc=proc,
+                    track=track, attrs=ev.get("args"),
+                )
+            )
+    leftovers = [b["name"] for stack in open_stacks.values() for b in stack]
+    if leftovers:
+        raise ValueError(f"unclosed B events: {leftovers}")
+    return out
+
+
+def write_events_jsonl(events: Iterable[TraceEvent], path) -> None:
+    """Flat dump: one JSON object per line per event."""
+    with open(path, "w") as fh:
+        for e in events:
+            rec = {
+                "name": e.name, "kind": e.kind, "ts": e.ts, "dur": e.dur,
+                "proc": e.proc, "track": e.track,
+            }
+            if e.attrs:
+                rec["attrs"] = dict(e.attrs)
+            fh.write(json.dumps(rec) + "\n")
+
+
+def write_events_csv(events: Iterable[TraceEvent], path) -> None:
+    """Flat dump: one CSV row per event (attrs as a JSON column)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["name", "kind", "ts", "dur", "proc", "track", "attrs"])
+        for e in events:
+            writer.writerow(
+                [e.name, e.kind, repr(e.ts), repr(e.dur), e.proc, e.track,
+                 json.dumps(dict(e.attrs)) if e.attrs else ""]
+            )

@@ -1,0 +1,146 @@
+"""Machine-readable run manifests (:class:`RunRecord`).
+
+Every CLI command and benchmark writes one ``RunRecord`` JSON file
+capturing *what ran and how fast*: the LogGP parameters, the workload
+(matrix size, block size, layout, engine), event counts, the predicted
+makespan, and the wall-clock time and throughput (events/sec) of the
+simulator itself.  These manifests are the repo's perf trajectory — CI
+compares the throughput of a smoke run against a checked-in baseline.
+
+Manifests land in ``$REPRO_RUNS_DIR`` (default ``.repro/runs`` under the
+current directory) unless an explicit path is given.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = ["RunRecord", "default_manifest_path", "loggp_dict", "RUNS_DIR_ENV"]
+
+SCHEMA = "repro.run-record/v1"
+
+#: environment variable overriding the default manifest directory
+RUNS_DIR_ENV = "REPRO_RUNS_DIR"
+
+
+def loggp_dict(params) -> dict:
+    """JSON-ready dict of a :class:`repro.core.loggp.LogGPParameters`."""
+    return {
+        "name": params.name,
+        "L": params.L,
+        "o": params.o,
+        "g": params.g,
+        "G": params.G,
+        "P": params.P,
+    }
+
+
+def default_manifest_path(command: str, directory: Optional[str] = None) -> Path:
+    """A collision-free manifest path for one run of ``command``."""
+    base = Path(directory or os.environ.get(RUNS_DIR_ENV, ".repro/runs"))
+    stamp = time.strftime("%Y%m%dT%H%M%S")
+    pid = os.getpid()
+    path = base / f"{command}-{stamp}-{pid}.json"
+    n = 1
+    while path.exists():
+        path = base / f"{command}-{stamp}-{pid}-{n}.json"
+        n += 1
+    return path
+
+
+@dataclass
+class RunRecord:
+    """One run's machine-readable manifest.
+
+    ``workload`` holds run-specific configuration (``n``, ``b``,
+    ``layout``, pattern, ...); ``params`` the LogGP machine; ``metrics``
+    the tracer's registry snapshot.  ``events_per_sec`` is simulator
+    throughput: structured events emitted per wall-clock second.
+    """
+
+    command: str
+    argv: list[str] = field(default_factory=list)
+    schema: str = SCHEMA
+    status: str = "ok"
+    params: dict = field(default_factory=dict)
+    workload: dict = field(default_factory=dict)
+    engine: str = ""
+    makespan_us: Optional[float] = None
+    event_count: int = 0
+    metrics: dict = field(default_factory=dict)
+    wall_s: Optional[float] = None
+    events_per_sec: Optional[float] = None
+    started_unix: float = 0.0
+    host: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+    # -- lifecycle ----------------------------------------------------------
+    @classmethod
+    def begin(cls, command: str, argv: Optional[list[str]] = None) -> "RunRecord":
+        """Start a record: stamps the start time and host facts."""
+        rec = cls(command=command, argv=list(argv or []))
+        rec.started_unix = time.time()
+        rec._t0 = time.perf_counter()
+        rec.host = {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        }
+        return rec
+
+    def note(self, **fields: Any) -> "RunRecord":
+        """Merge run facts: known attributes are set, the rest go to extra."""
+        for key, value in fields.items():
+            if hasattr(self, key) and key != "extra":
+                setattr(self, key, value)
+            else:
+                self.extra[key] = value
+        return self
+
+    def finish(self, tracer=None, status: str = "ok") -> "RunRecord":
+        """Close the record: wall time, throughput, tracer counts."""
+        self.status = status
+        t0 = getattr(self, "_t0", None)
+        if t0 is not None:
+            self.wall_s = time.perf_counter() - t0
+        if tracer is not None:
+            self.event_count = len(tracer.events)
+            self.metrics = tracer.metrics.snapshot()
+        if self.wall_s and self.event_count:
+            self.events_per_sec = self.event_count / self.wall_s
+        return self
+
+    # -- serialisation ------------------------------------------------------
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d.pop("_t0", None)
+        return d
+
+    def to_json(self, indent: int = 2) -> str:
+        """The manifest as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def write(self, path=None) -> Path:
+        """Write the manifest JSON; returns the path written."""
+        out = Path(path) if path is not None else default_manifest_path(self.command)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(self.to_json() + "\n")
+        return out
+
+    @classmethod
+    def load(cls, path) -> "RunRecord":
+        """Read a manifest back (unknown keys are preserved in extra)."""
+        doc = json.loads(Path(path).read_text())
+        known = {f for f in cls.__dataclass_fields__}
+        extra = doc.pop("extra", {})
+        rec = cls(**{k: v for k, v in doc.items() if k in known})
+        rec.extra = dict(extra)
+        for k, v in doc.items():
+            if k not in known:
+                rec.extra[k] = v
+        return rec

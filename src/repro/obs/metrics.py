@@ -1,0 +1,137 @@
+"""A small metrics registry: counters, gauges, histograms.
+
+Metrics complement the event stream: events answer *when and where*,
+metrics answer *how many and how much* without retaining every sample.
+The registry snapshot is embedded into run manifests
+(:mod:`repro.obs.manifest`) so benchmark trajectories can track event
+counts and throughput over time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def inc(self, amount: Number = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways (e.g. current queue depth)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: Number) -> None:
+        """Replace the gauge value."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming aggregates of observations: count / sum / min / max / mean.
+
+    Keeps O(1) state — no samples are retained — which is what a tracer
+    attached to a multi-million-event simulation needs.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: float = math.inf
+        self.max: float = -math.inf
+
+    def observe(self, value: Number) -> None:
+        """Fold one observation into the aggregates."""
+        v = float(value)
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary of the aggregates."""
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Name-indexed counters, gauges and histograms (created on first use)."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter ``name`` (registered on first access)."""
+        try:
+            return self._counters[name]
+        except KeyError:
+            c = self._counters[name] = Counter(name)
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge ``name`` (registered on first access)."""
+        try:
+            return self._gauges[name]
+        except KeyError:
+            g = self._gauges[name] = Gauge(name)
+            return g
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram ``name`` (registered on first access)."""
+        try:
+            return self._histograms[name]
+        except KeyError:
+            h = self._histograms[name] = Histogram(name)
+            return h
+
+    def snapshot(self) -> dict:
+        """All metrics as one JSON-ready dict (sorted by name)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.snapshot() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)

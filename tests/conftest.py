@@ -1,0 +1,14 @@
+"""Shared test fixtures."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _runs_dir(tmp_path, monkeypatch):
+    """Redirect CLI run manifests into the test's tmp dir.
+
+    Every ``repro`` CLI invocation writes a RunRecord manifest; without
+    this, tests exercising ``main()`` would litter ``.repro/runs`` in the
+    working tree.
+    """
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))

@@ -1,0 +1,177 @@
+"""CLI-level tests for the observability features.
+
+Covers the ``observe`` verb, the ``--json``/``--trace-out`` flags on the
+existing commands, and the run manifest every invocation writes.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs import RunRecord, bucket_sums, events_from_chrome_trace
+
+
+def _runs_dir():
+    return Path(os.environ["REPRO_RUNS_DIR"])
+
+
+def _manifests():
+    d = _runs_dir()
+    return sorted(d.glob("*.json")) if d.exists() else []
+
+
+class TestObserve:
+    def test_prints_profile_and_summary(self, capsys):
+        assert main(["observe", "-n", "120", "-b", "24", "-P", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "lost-cycles profile" in out
+        assert "events:" in out
+
+    def test_short_P_flag_sets_procs(self):
+        args = build_parser().parse_args(["observe", "-P", "4"])
+        assert args.procs == 4
+        assert args.n == 960 and args.b == 60 and args.layout == "block2d"
+
+    def test_trace_out_matches_profile_exactly(self, tmp_path, capsys):
+        from repro.apps.gauss import GEConfig, build_ge_trace
+        from repro.core import MEIKO_CS2, CalibratedCostModel
+        from repro.layouts import LAYOUTS
+        from repro.machine import profile_program
+
+        trace_path = tmp_path / "t.json"
+        assert main([
+            "observe", "-n", "120", "-b", "24", "-P", "4",
+            "--layout", "block2d", "--trace-out", str(trace_path),
+        ]) == 0
+        events = events_from_chrome_trace(json.loads(trace_path.read_text()))
+
+        layout = LAYOUTS["block2d"](5, 4)
+        ge = build_ge_trace(GEConfig(n=120, b=24, layout=layout))
+        profile = profile_program(ge, MEIKO_CS2, CalibratedCostModel())
+        sums, _ = bucket_sums(events, 4, makespan=profile.makespan_us)
+        for p, buckets in sums.items():
+            for name, value in buckets.items():
+                assert value == getattr(profile.processors[p], name)
+
+    def test_json_output(self, capsys):
+        assert main([
+            "observe", "-n", "120", "-b", "24", "-P", "4", "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["makespan_us"] > 0
+        assert set(doc["processors"]) == {"0", "1", "2", "3"}
+        assert doc["event_count"] > 0
+        assert doc["metrics"]["counters"]["sim.program_runs"] == 1
+
+    def test_event_dumps(self, tmp_path, capsys):
+        jsonl = tmp_path / "e.jsonl"
+        csv_path = tmp_path / "e.csv"
+        assert main([
+            "observe", "-n", "120", "-b", "24", "-P", "4",
+            "--events-out", str(jsonl), "--csv-out", str(csv_path),
+        ]) == 0
+        assert len(jsonl.read_text().splitlines()) > 0
+        assert csv_path.read_text().startswith("name,kind,ts,dur,proc,track")
+
+    def test_indivisible_block_is_an_error(self, capsys):
+        assert main(["observe", "-n", "100", "-b", "7", "-P", "4"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestJsonFlags:
+    def test_predict_json(self, capsys):
+        assert main([
+            "predict", "-n", "120", "-b", "24", "--no-measured", "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["series_us"]["simulated_standard"] > 0
+        assert doc["params"]["P"] == 8
+
+    def test_sweep_json(self, capsys):
+        assert main([
+            "sweep", "-n", "120", "--blocks", "12", "24",
+            "--layout", "diagonal", "--no-measured", "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert {r["b"] for r in doc["rows"]} == {12, 24}
+        assert doc["best_block"]["diagonal"] in (12, 24)
+
+    def test_profile_json(self, capsys):
+        assert main([
+            "profile", "-n", "120", "-b", "24", "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        totals = [sum(b.values()) for b in doc["processors"].values()]
+        for t in totals:
+            assert t == pytest.approx(doc["makespan_us"], abs=1e-9)
+
+    def test_predict_trace_out(self, tmp_path, capsys):
+        path = tmp_path / "p.json"
+        assert main([
+            "predict", "-n", "120", "-b", "24", "--no-measured",
+            "--trace-out", str(path),
+        ]) == 0
+        doc = json.loads(path.read_text())
+        assert events_from_chrome_trace(doc)
+
+    def test_profile_trace_out(self, tmp_path, capsys):
+        path = tmp_path / "p.json"
+        assert main([
+            "profile", "-n", "120", "-b", "24", "--trace-out", str(path),
+        ]) == 0
+        assert events_from_chrome_trace(json.loads(path.read_text()))
+
+
+class TestManifests:
+    def test_every_command_writes_a_manifest(self, capsys, tmp_path):
+        commands = [
+            ["timeline", "--pattern", "sample"],
+            ["predict", "-n", "120", "-b", "24", "--no-measured"],
+            ["ops", "-b", "10", "20"],
+            ["trace", "-n", "120", "-b", "24", "-o", str(tmp_path / "ge.json")],
+            ["profile", "-n", "120", "-b", "24"],
+            ["observe", "-n", "120", "-b", "24", "-P", "4"],
+        ]
+        for argv in commands:
+            before = set(_manifests())
+            assert main(argv) == 0, argv
+            new = set(_manifests()) - before
+            assert len(new) == 1, f"no manifest for {argv}"
+            rec = RunRecord.load(new.pop())
+            assert rec.command == argv[0]
+            assert rec.status == "ok"
+            assert rec.argv == argv
+            assert rec.wall_s > 0
+
+    def test_manifest_records_workload_and_makespan(self, capsys):
+        assert main(["observe", "-n", "120", "-b", "24", "-P", "4"]) == 0
+        rec = RunRecord.load(_manifests()[-1])
+        assert rec.workload == {"n": 120, "b": 24, "layout": "block2d"}
+        assert rec.makespan_us > 0
+        assert rec.event_count > 0
+        assert rec.events_per_sec > 0
+        assert rec.params["P"] == 4
+
+    def test_manifest_out_overrides_path(self, capsys, tmp_path):
+        path = tmp_path / "here.json"
+        assert main([
+            "predict", "-n", "120", "-b", "24", "--no-measured",
+            "--manifest-out", str(path),
+        ]) == 0
+        assert RunRecord.load(path).command == "predict"
+        assert not _manifests()
+
+    def test_no_manifest_skips_writing(self, capsys):
+        assert main([
+            "predict", "-n", "120", "-b", "24", "--no-measured", "--no-manifest",
+        ]) == 0
+        assert not _manifests()
+
+    def test_failed_run_still_writes_manifest_with_error_status(self, capsys):
+        assert main(["predict", "-n", "100", "-b", "7", "--no-measured"]) == 2
+        rec = RunRecord.load(_manifests()[-1])
+        assert rec.status == "error"
+        assert "does not divide" in rec.extra["error"]

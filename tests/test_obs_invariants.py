@@ -1,0 +1,68 @@
+"""The lost-cycles bucket identity, across every simulator and layout.
+
+For every processor the profile must satisfy
+
+    compute + send + recv + wait + idle == makespan   (within 1e-9 us)
+
+— the observability layer's core invariant: buckets are derived from the
+event stream, and the identity is what makes Perfetto tracks, profiler
+tables and run manifests mutually consistent.
+"""
+
+import pytest
+
+from repro.apps.gauss import GEConfig, build_ge_trace
+from repro.core import MEIKO_CS2, CalibratedCostModel
+from repro.layouts import LAYOUTS
+from repro.machine import profile_program
+from repro.obs import Tracer, bucket_sums
+
+TOL_US = 1e-9
+MODES = ("standard", "worstcase", "causal")
+BLOCKS = (12, 24, 40)
+N = 120
+P = 4
+
+
+def _trace(layout_name, b):
+    layout = LAYOUTS[layout_name](N // b, P)
+    return build_ge_trace(GEConfig(n=N, b=b, layout=layout))
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("layout", sorted(LAYOUTS))
+@pytest.mark.parametrize("b", BLOCKS)
+def test_bucket_identity(mode, layout, b):
+    trace = _trace(layout, b)
+    profile = profile_program(trace, MEIKO_CS2, CalibratedCostModel(), mode=mode)
+    assert profile.makespan_us > 0
+    assert set(profile.processors) == set(range(P))
+    for p, prof in profile.processors.items():
+        assert prof.total == pytest.approx(profile.makespan_us, abs=TOL_US), (
+            f"proc {p}: {prof.total} != {profile.makespan_us}"
+        )
+        for bucket in ("compute", "send", "recv", "wait", "idle"):
+            assert getattr(prof, bucket) >= 0.0
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_profile_equals_direct_event_aggregation(mode):
+    """profile_program and a caller-held tracer see identical numbers."""
+    trace = _trace("block2d", 24)
+    tracer = Tracer()
+    profile = profile_program(
+        trace, MEIKO_CS2, CalibratedCostModel(), mode=mode, tracer=tracer
+    )
+    sums, makespan = bucket_sums(
+        tracer.events, trace.num_procs, makespan=profile.makespan_us
+    )
+    assert makespan == profile.makespan_us
+    for p, buckets in sums.items():
+        for name, value in buckets.items():
+            assert value == getattr(profile.processors[p], name)
+
+
+def test_unknown_mode_rejected():
+    trace = _trace("diagonal", 24)
+    with pytest.raises(ValueError, match="unknown mode"):
+        profile_program(trace, MEIKO_CS2, CalibratedCostModel(), mode="psychic")

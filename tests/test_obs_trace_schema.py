@@ -1,0 +1,130 @@
+"""Schema validation of exported Chrome trace-event JSON.
+
+The exported document must satisfy the trace-event format contract that
+Perfetto / chrome://tracing rely on: required keys on every event,
+timestamps that never run backwards within a thread, and strictly
+matched B/E duration pairs.
+"""
+
+import json
+from collections import defaultdict
+
+import pytest
+
+from repro.apps.gauss import GEConfig, build_ge_trace
+from repro.core import MEIKO_CS2, CalibratedCostModel
+from repro.layouts import LAYOUTS
+from repro.machine import profile_program
+from repro.obs import (
+    Tracer,
+    bucket_sums,
+    events_from_chrome_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+REQUIRED_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    layout = LAYOUTS["block2d"](5, 4)
+    trace = build_ge_trace(GEConfig(n=120, b=24, layout=layout))
+    tracer = Tracer()
+    profile = profile_program(
+        trace, MEIKO_CS2, CalibratedCostModel(), tracer=tracer
+    )
+    return trace, tracer, profile
+
+
+@pytest.fixture(scope="module")
+def doc(traced_run):
+    _, tracer, _ = traced_run
+    return to_chrome_trace(tracer.events, metrics=tracer.metrics)
+
+
+class TestTraceSchema:
+    def test_top_level_shape(self, doc):
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_every_event_has_required_keys(self, doc):
+        for ev in doc["traceEvents"]:
+            for key in REQUIRED_KEYS:
+                assert key in ev, f"{ev} missing {key!r}"
+            assert ev["ph"] in ("B", "E", "M", "i")
+
+    def test_timestamps_monotonic_per_thread(self, doc):
+        last = defaultdict(lambda: float("-inf"))
+        for ev in doc["traceEvents"]:
+            if ev["ph"] not in ("B", "E"):
+                continue  # metadata/instant ordering is unconstrained
+            key = (ev["pid"], ev["tid"])
+            assert ev["ts"] >= last[key], f"ts runs backwards at {ev}"
+            last[key] = ev["ts"]
+
+    def test_begin_end_pairs_match(self, doc):
+        stacks = defaultdict(list)
+        for ev in doc["traceEvents"]:
+            key = (ev["pid"], ev["tid"])
+            if ev["ph"] == "B":
+                stacks[key].append(ev)
+            elif ev["ph"] == "E":
+                assert stacks[key], f"E without open B: {ev}"
+                b = stacks[key].pop()
+                assert b["name"] == ev["name"]
+                assert ev["ts"] >= b["ts"]
+        leftovers = [b for stack in stacks.values() for b in stack]
+        assert leftovers == []
+
+    def test_tracks_become_named_processes(self, doc):
+        names = {
+            ev["args"]["name"]
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "process_name"
+        }
+        assert "sim:standard" in names
+
+    def test_threads_named_after_processors(self, doc):
+        names = {
+            ev["args"]["name"]
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+        }
+        assert {"P0", "P1", "P2", "P3"} <= names
+
+    def test_wait_slices_synthesised(self, doc):
+        assert any(
+            ev["ph"] == "B" and ev["name"] == "wait" for ev in doc["traceEvents"]
+        )
+
+    def test_metrics_embedded(self, doc):
+        counters = doc["otherData"]["metrics"]["counters"]
+        assert counters["sim.program_runs"] == 1
+
+
+class TestRoundTrip:
+    def test_file_round_trip_preserves_bucket_sums_exactly(
+        self, traced_run, tmp_path
+    ):
+        trace, tracer, profile = traced_run
+        path = tmp_path / "t.json"
+        write_chrome_trace(tracer.events, path, metrics=tracer.metrics)
+        back = events_from_chrome_trace(json.loads(path.read_text()))
+        sums, _ = bucket_sums(
+            back, trace.num_procs, makespan=profile.makespan_us
+        )
+        for p, buckets in sums.items():
+            for name, value in buckets.items():
+                assert value == getattr(profile.processors[p], name), (
+                    f"proc {p} bucket {name} drifted across export/import"
+                )
+
+    def test_round_trip_event_count_accounts_for_waits(self, traced_run):
+        _, tracer, _ = traced_run
+        back = events_from_chrome_trace(to_chrome_trace(tracer.events))
+        original = sum(1 for e in tracer.events if e.kind == "slice")
+        waits = sum(1 for e in back if e.name == "wait")
+        assert len(back) == original + waits + sum(
+            1 for e in tracer.events if e.kind == "instant"
+        )

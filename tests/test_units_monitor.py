@@ -1,9 +1,18 @@
 """Tests for unit helpers and the DES monitor."""
 
+import warnings
+
 import pytest
 
 from repro.core.units import approx_ge, approx_le, ms_to_us, s_to_us, us_to_ms, us_to_s
 from repro.des import Environment, Monitor
+
+
+def make_monitor(env):
+    """Monitor is deprecated (superseded by repro.obs); hush the warning."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return Monitor(env)
 
 
 class TestUnits:
@@ -26,7 +35,7 @@ class TestUnits:
 class TestMonitor:
     def test_records_stamped_with_sim_time(self):
         env = Environment()
-        mon = Monitor(env)
+        mon = make_monitor(env)
 
         def proc(env):
             yield env.timeout(3.0)
@@ -40,20 +49,47 @@ class TestMonitor:
 
     def test_filter_by_tag(self):
         env = Environment()
-        mon = Monitor(env)
+        mon = make_monitor(env)
         mon.record("a", 1)
         mon.record("b", 2)
         assert len(mon.filter("a")) == 1
 
     def test_series_extraction(self):
         env = Environment()
-        mon = Monitor(env)
+        mon = make_monitor(env)
         mon.record("x", {"v": 10.0})
         assert mon.series("x", key=lambda p: p["v"]) == [(0.0, 10.0)]
 
     def test_clear(self):
         env = Environment()
-        mon = Monitor(env)
+        mon = make_monitor(env)
         mon.record("a")
         mon.clear()
         assert mon.records == []
+
+    def test_construction_warns_deprecated(self):
+        with pytest.warns(DeprecationWarning, match="repro.obs.Tracer"):
+            Monitor(Environment())
+
+    def test_series_rejects_none_payload(self):
+        mon = make_monitor(Environment())
+        mon.record("x")  # payload defaults to None
+        with pytest.raises(TypeError, match=r"series\('x'\).*not numeric"):
+            mon.series("x")
+
+    def test_series_rejects_structured_payload_without_key(self):
+        mon = make_monitor(Environment())
+        mon.record("x", {"v": 10.0})
+        with pytest.raises(TypeError, match="pass key="):
+            mon.series("x")
+
+    def test_series_names_offending_tag_and_chains_cause(self):
+        mon = make_monitor(Environment())
+        mon.record("bad", object())
+        try:
+            mon.series("bad")
+        except TypeError as exc:
+            assert "'bad'" in str(exc)
+            assert exc.__cause__ is not None
+        else:  # pragma: no cover
+            pytest.fail("expected TypeError")
