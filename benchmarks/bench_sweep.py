@@ -1,0 +1,129 @@
+"""Serial vs parallel wall-clock of the Figure 7 sweep.
+
+The sweep engine (:mod:`repro.sweep`) exists to make paper-scale grid
+studies as fast as the hardware allows; this bench quantifies that on
+the headline workload — the full Figure 7 GE sweep (every block size ×
+both layouts, predictions *and* the emulated "measured" run), cold
+cache (no experiment store attached):
+
+* ``serial_s``    — ``run_sweep(..., workers=1)``, the in-process
+  reference engine;
+* ``parallel_s``  — ``run_sweep(..., workers=4)`` (override with
+  ``REPRO_SWEEP_WORKERS``);
+* ``identical``   — whether the two engines produced bit-identical
+  summaries on every point.  **This is the hard gate**: the bench fails
+  if parallel results drift from serial ones by any amount.
+* ``speedup``     — serial / parallel.  Target ≥ 2× with 4 workers;
+  asserted only on hosts with ≥ 4 CPUs, because process parallelism
+  cannot speed up a CPU-bound sweep on fewer cores (``cpu_count`` is
+  recorded so the number can be judged in context).
+
+Results land in ``BENCH_sweep.json`` at the repo root (CI regenerates
+and uploads it as an artifact).  Run standalone with
+``python benchmarks/bench_sweep.py`` or via
+``pytest benchmarks/bench_sweep.py``.
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _shared import (  # noqa: E402
+    BLOCK_SIZES,
+    COST_MODEL,
+    FAST,
+    LAYOUTS,
+    MATRIX_N,
+    PARAMS,
+    scale_banner,
+)
+
+from repro.obs import RunRecord, loggp_dict  # noqa: E402
+from repro.sweep import expand_grid, run_sweep  # noqa: E402
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "4"))
+TARGET_SPEEDUP = 2.0
+
+
+def _timed_sweep(grid, workers: int):
+    t0 = time.perf_counter()
+    result = run_sweep(grid, PARAMS, COST_MODEL, workers=workers, store=None)
+    return result, time.perf_counter() - t0
+
+
+def run_bench() -> dict:
+    grid = expand_grid(MATRIX_N, BLOCK_SIZES, LAYOUTS, with_measured=True)
+    cpus = os.cpu_count() or 1
+
+    serial, serial_s = _timed_sweep(grid, workers=1)
+    parallel, parallel_s = _timed_sweep(grid, workers=WORKERS)
+
+    identical = serial.summaries == parallel.summaries
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    record = {
+        "bench": "sweep",
+        "scale": scale_banner(),
+        "fast": FAST,
+        "n": MATRIX_N,
+        "block_sizes": list(BLOCK_SIZES),
+        "layouts": list(LAYOUTS),
+        "points": len(grid),
+        "cpu_count": cpus,
+        "workers": WORKERS,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": speedup,
+        "target_speedup": TARGET_SPEEDUP,
+        "speedup_gated": cpus >= 4,
+        "identical": identical,
+        "results_sha256": parallel.digest(),
+    }
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+
+    manifest = RunRecord.begin("bench:sweep")
+    manifest.note(
+        params=loggp_dict(PARAMS), engine="sweep",
+        workload={"n": MATRIX_N, "block_sizes": list(BLOCK_SIZES),
+                  "layouts": list(LAYOUTS), "fast": FAST},
+        **{k: record[k] for k in
+           ("points", "cpu_count", "workers", "serial_s", "parallel_s",
+            "speedup", "identical", "results_sha256")},
+    ).finish().write()
+
+    print()
+    print(f"sweep engine — {scale_banner()}")
+    print(f"  grid points               : {len(grid)}")
+    print(f"  serial   (workers=1)      : {serial_s:8.3f} s")
+    print(f"  parallel (workers={WORKERS})      : {parallel_s:8.3f} s")
+    print(f"  speedup                   : {speedup:.2f}x "
+          f"(target >= {TARGET_SPEEDUP}x, {cpus} CPUs"
+          f"{'' if cpus >= 4 else ' — below 4, target not gated'})")
+    print(f"  parallel == serial        : {identical}")
+    print(f"  recorded -> {BENCH_JSON.name}")
+    return record
+
+
+def test_sweep_parallel_speedup():
+    record = run_bench()
+    assert record["identical"], "parallel sweep drifted from serial results"
+    if record["speedup_gated"]:
+        assert record["speedup"] >= TARGET_SPEEDUP, (
+            f"speedup {record['speedup']:.2f}x below {TARGET_SPEEDUP}x "
+            f"with {record['workers']} workers on {record['cpu_count']} CPUs"
+        )
+
+
+if __name__ == "__main__":
+    rec = run_bench()
+    if not rec["identical"]:
+        sys.exit("FAIL: parallel sweep results differ from serial results")
+    if rec["speedup_gated"] and rec["speedup"] < TARGET_SPEEDUP:
+        sys.exit(
+            f"FAIL: speedup {rec['speedup']:.2f}x below target "
+            f"{TARGET_SPEEDUP}x with {rec['workers']} workers"
+        )

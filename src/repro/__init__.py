@@ -33,6 +33,9 @@ Subpackages
     The oblivious alternating comp/comm program representation.
 ``repro.analysis``
     Timeline rendering, figure formatting, shape statistics.
+``repro.sweep``
+    Parallel sweep engine: grid studies fanned across worker processes
+    with a shared, crash-safe experiment store.
 """
 
 from .apps import (

@@ -5,7 +5,10 @@ Subcommands
 ``timeline``   simulate one communication step and render it
                (the paper's Figures 4/5 for any pattern)
 ``predict``    predict a GE configuration (both algorithms + emulated run)
-``sweep``      block-size sweep for GE, with optimum report (Figure 7)
+``sweep``      block-size sweep for GE, with optimum report (Figure 7);
+               ``--workers N`` fans the grid across worker processes and
+               ``--store DIR --resume`` makes interrupted sweeps restart
+               where they stopped (see :mod:`repro.sweep`)
 ``ops``        print the basic-operation cost table (Figure 6)
 ``trace``      generate a GE trace and save it as JSON
 ``observe``    run one GE configuration under the tracer and export the
@@ -24,6 +27,7 @@ Examples
     python -m repro timeline --pattern sample --algorithm worstcase
     python -m repro predict -n 480 -b 48 --layout diagonal --json
     python -m repro sweep -n 480 --layout diagonal stripped
+    python -m repro sweep -n 960 --workers 4 --store .repro/store --resume
     python -m repro ops -b 10 20 40 80 160 --source calibrated
     python -m repro trace -n 240 -b 24 --layout diagonal -o ge.json
     python -m repro profile -n 480 -b 48 --trace-out profile.trace.json
@@ -54,7 +58,6 @@ from .core import (
     CalibratedCostModel,
     LogGPParameters,
     run_ge_point,
-    run_ge_sweep,
     simulate_causal,
     simulate_standard,
     simulate_worstcase,
@@ -71,6 +74,7 @@ from .obs import (
     write_events_csv,
     write_events_jsonl,
 )
+from .sweep import expand_grid, run_sweep
 from .trace.serialization import save_trace
 
 __all__ = ["main", "build_parser"]
@@ -185,6 +189,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--layout", nargs="+", choices=sorted(LAYOUTS), default=["diagonal"])
     p.add_argument("--no-measured", action="store_true")
     p.add_argument("--seed", type=int, default=0)
+    grp = p.add_argument_group("sweep engine")
+    grp.add_argument(
+        "-w", "--workers", type=int, default=1,
+        help="worker processes (1 = in-process serial, the reference engine)",
+    )
+    grp.add_argument(
+        "--store", metavar="DIR",
+        help="persist every point into an experiment store at DIR",
+    )
+    grp.add_argument(
+        "--resume", action="store_true",
+        help="skip points already in --store (only missing ones are dispatched)",
+    )
+    grp.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="points per dispatched chunk (default: ~4 chunks per worker)",
+    )
+    grp.add_argument(
+        "--progress", action="store_true",
+        help="print one progress line per point to stderr",
+    )
     _add_machine_args(p)
     _add_obs_args(p, exports=True)
 
@@ -296,24 +321,44 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if bad:
         print(f"error: block sizes {bad} do not divide n={args.n}", file=sys.stderr)
         return 2
+    if args.resume and not args.store:
+        print("error: --resume requires --store DIR", file=sys.stderr)
+        return 2
+    grid = expand_grid(
+        args.n, blocks, args.layout, seeds=(args.seed,),
+        with_measured=not args.no_measured,
+    )
+    show_progress = None
+    if args.progress:
+        def show_progress(done, total, point, source):
+            print(f"sweep [{done}/{total}] {point.describe()} ({source})",
+                  file=sys.stderr)
     tracer = _wants_trace(args)
     with tracing(tracer) if tracer else nullcontext():
-        rows = run_ge_sweep(
-            args.n, blocks, args.layout, params, CalibratedCostModel(),
-            with_measured=not args.no_measured, seed=args.seed,
+        result = run_sweep(
+            grid, params, CalibratedCostModel(),
+            workers=args.workers,
+            store=args.store,
+            resume=args.resume,
+            chunk_size=args.chunk_size,
+            progress=show_progress,
         )
+    rows = result.summaries
     _export_trace(args, tracer)
     best_by_layout = {
         layout: min(
             (r for r in rows if r.layout == layout),
-            key=lambda r: r.pred_standard.total_us,
+            key=lambda r: r.pred_standard_total,
         ).b
         for layout in args.layout
     }
     _record(args).note(
         params=loggp_dict(params), engine="sweep",
-        workload={"n": args.n, "blocks": blocks, "layouts": args.layout},
+        workload={"n": args.n, "blocks": blocks, "layouts": args.layout,
+                  "seed": args.seed},
         best_block=best_by_layout,
+        results_sha256=result.digest(),
+        sweep=result.stats.to_dict(),
     )
     if args.json:
         print(json.dumps({

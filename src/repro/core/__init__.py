@@ -58,6 +58,7 @@ from .predictor import (
     predicted_optimum,
     run_ge_point,
     run_ge_sweep,
+    summarize_ge_point,
 )
 from .program_sim import PredictionReport, ProgramSimulator, StepRecord
 from .standard_sim import SimulationResult, StandardSimulator, simulate_standard
@@ -92,6 +93,7 @@ __all__ = [
     "GERow",
     "run_ge_point",
     "run_ge_sweep",
+    "summarize_ge_point",
     "predicted_optimum",
     "SearchResult",
     "exhaustive_search",

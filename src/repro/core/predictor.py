@@ -31,6 +31,7 @@ __all__ = [
     "GERow",
     "run_ge_point",
     "run_ge_sweep",
+    "summarize_ge_point",
     "predicted_optimum",
 ]
 
@@ -134,6 +135,46 @@ def run_ge_point(
         pred_worstcase=pred_wc,
         measured=measured,
     )
+
+
+def summarize_ge_point(
+    n: int,
+    b: int,
+    layout_name: str,
+    params: LogGPParameters,
+    cost_model: CostModel,
+    with_measured: bool = True,
+    seed: int = 0,
+) -> dict:
+    """One GE point as a flat, JSON/pickle-ready dict of totals and breakdowns.
+
+    This is the picklable single-point entrypoint the parallel sweep
+    engine (:mod:`repro.sweep`) dispatches to worker processes, and the
+    single source of truth for flattening a :class:`GERow` into the shape
+    :class:`repro.experiments.PointSummary` stores on disk.  The keys are
+    exactly the ``PointSummary`` fields.
+    """
+    row = run_ge_point(
+        n, b, layout_name, params, cost_model,
+        with_measured=with_measured, seed=seed,
+    )
+    return {
+        "n": n,
+        "b": b,
+        "layout": layout_name,
+        "seed": seed,
+        "pred_standard_total": row.pred_standard.total_us,
+        "pred_standard_comp": row.pred_standard.comp_us,
+        "pred_standard_comm": row.pred_standard.comm_us,
+        "pred_worstcase_total": row.pred_worstcase.total_us,
+        "pred_worstcase_comm": row.pred_worstcase.comm_us,
+        "measured_total": row.measured.total_us if row.measured else None,
+        "measured_total_wo_cache": (
+            row.measured.total_without_cache_us if row.measured else None
+        ),
+        "measured_comp": row.measured.comp_us if row.measured else None,
+        "measured_comm": row.measured.comm_us if row.measured else None,
+    }
 
 
 def run_ge_sweep(

@@ -1,28 +1,54 @@
-"""Experiment orchestration with a persistent result store.
+"""Experiment orchestration with a persistent, concurrency-safe result store.
 
 Running the full GE evaluation is expensive (minutes at paper scale), and
 a study typically revisits the same (n, b, layout, seed) points many
-times — from benchmarks, notebooks and the CLI.  :class:`ExperimentStore`
-memoises :func:`repro.core.predictor.run_ge_point` results on disk as
-JSON, keyed by the full configuration, so repeated studies are free and
-interrupted sweeps resume where they stopped.
+times — from benchmarks, notebooks, the CLI and the parallel sweep engine
+(:mod:`repro.sweep`).  :class:`ExperimentStore` memoises
+:func:`repro.core.predictor.run_ge_point` results on disk as JSON, keyed
+by the full configuration, so repeated studies are free and interrupted
+sweeps resume where they stopped.
 
 Stored values are *summaries* (totals and breakdowns, not per-event
 timelines), versioned with :data:`STORE_VERSION`; changing the underlying
 models bumps the version and silently invalidates old entries.
+
+Concurrency model
+-----------------
+The store is safe for many processes at once (the sweep engine fans one
+store out across workers):
+
+* **Atomic entries.**  :meth:`ExperimentStore.put` writes to a temporary
+  file in the store directory and publishes it with :func:`os.replace`,
+  so a reader can never observe a truncated entry — a crash mid-write
+  leaves the previous value (or nothing) behind, never garbage.
+* **Advisory per-entry locks.**  Writers serialise on a ``fcntl.flock``
+  side-car lock per entry (a no-op on platforms without ``fcntl``), so
+  two workers racing on one key settle on one complete value and never
+  duplicate entries — the key fully determines the file name.
+* **Self-healing reads.**  :meth:`ExperimentStore.get` treats an
+  unreadable or stale-schema entry as a miss, so a corrupt file (e.g.
+  hand-edited) costs one recomputation, not a crash.
 """
 
 from __future__ import annotations
 
 import json
 import hashlib
+import os
+import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import Iterator, Optional, Sequence, Union
+
+try:  # advisory locking is POSIX-only; the store degrades gracefully
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from .core.costmodel import CostModel
 from .core.loggp import LogGPParameters
-from .core.predictor import run_ge_point
+from .core.predictor import summarize_ge_point
 
 __all__ = ["STORE_VERSION", "PointSummary", "ExperimentStore"]
 
@@ -107,9 +133,107 @@ class ExperimentStore:
         )
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
+    # -- keys and paths ------------------------------------------------------
+    def key(
+        self, n: int, b: int, layout: str, seed: int = 0, with_measured: bool = True
+    ) -> str:
+        """The entry file name of one configuration.
+
+        Purely a function of the configuration values and the store's
+        model fingerprint — stable under keyword reordering and across
+        processes, which is what lets concurrent sweep workers agree on
+        what is already done.
+        """
+        measured = "m1" if with_measured else "m0"
+        return f"ge_n{n}_b{b}_{layout}_s{seed}_{measured}_{self._model_tag}.json"
+
     def _path(self, n: int, b: int, layout: str, seed: int, measured: bool) -> Path:
-        name = f"ge_n{n}_b{b}_{layout}_s{seed}_{'m1' if measured else 'm0'}_{self._model_tag}.json"
-        return self.directory / name
+        return self.directory / self.key(n, b, layout, seed, with_measured=measured)
+
+    @contextmanager
+    def _entry_lock(self, path: Path) -> Iterator[None]:
+        """Advisory exclusive lock for one entry (no-op without fcntl)."""
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        lock_path = path.with_suffix(".lock")
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(lock_path, "w") as fh:
+            fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+
+    @staticmethod
+    def _atomic_write(path: Path, text: str) -> None:
+        """Write ``text`` to ``path`` via a same-directory temp + rename.
+
+        ``os.replace`` is atomic on POSIX and Windows, so readers see
+        either the old entry or the complete new one — never a prefix.
+        """
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- coordination API (what the parallel sweep engine builds on) --------
+    def get(
+        self,
+        n: int,
+        b: int,
+        layout: str,
+        seed: int = 0,
+        with_measured: bool = True,
+    ) -> Optional[PointSummary]:
+        """The stored summary, or ``None`` on a miss (never computes).
+
+        Unreadable entries (truncated by hand, wrong schema) read as
+        misses so a damaged store heals itself on the next compute.
+        """
+        path = self._path(n, b, layout, seed, with_measured)
+        try:
+            return PointSummary(**json.loads(path.read_text()))
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, TypeError, ValueError):
+            return None
+
+    def put(self, summary: PointSummary, with_measured: bool = True) -> Path:
+        """Persist one summary atomically; returns the entry path.
+
+        Safe to call from many processes at once: writers serialise on
+        the entry's advisory lock and publish with an atomic rename.
+        """
+        path = self._path(
+            summary.n, summary.b, summary.layout, summary.seed, with_measured
+        )
+        with self._entry_lock(path):
+            self._atomic_write(path, json.dumps(summary.__dict__))
+        return path
+
+    def contains(
+        self,
+        n: int,
+        b: int,
+        layout: str,
+        seed: int = 0,
+        with_measured: bool = True,
+    ) -> bool:
+        """Whether a *readable* entry exists for this configuration."""
+        return self.get(n, b, layout, seed=seed, with_measured=with_measured) is not None
 
     # -- public API ---------------------------------------------------------
     def point(
@@ -121,32 +245,16 @@ class ExperimentStore:
         with_measured: bool = True,
     ) -> PointSummary:
         """The summary for one configuration, computing it on a miss."""
-        path = self._path(n, b, layout, seed, with_measured)
-        if path.exists():
-            return PointSummary(**json.loads(path.read_text()))
-        row = run_ge_point(
-            n, b, layout, self.params, self.cost_model,
-            with_measured=with_measured, seed=seed,
-        )
+        hit = self.get(n, b, layout, seed=seed, with_measured=with_measured)
+        if hit is not None:
+            return hit
         summary = PointSummary(
-            n=n,
-            b=b,
-            layout=layout,
-            seed=seed,
-            pred_standard_total=row.pred_standard.total_us,
-            pred_standard_comp=row.pred_standard.comp_us,
-            pred_standard_comm=row.pred_standard.comm_us,
-            pred_worstcase_total=row.pred_worstcase.total_us,
-            pred_worstcase_comm=row.pred_worstcase.comm_us,
-            measured_total=row.measured.total_us if row.measured else None,
-            measured_total_wo_cache=(
-                row.measured.total_without_cache_us if row.measured else None
-            ),
-            measured_comp=row.measured.comp_us if row.measured else None,
-            measured_comm=row.measured.comm_us if row.measured else None,
+            **summarize_ge_point(
+                n, b, layout, self.params, self.cost_model,
+                with_measured=with_measured, seed=seed,
+            )
         )
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(summary.__dict__))
+        self.put(summary, with_measured=with_measured)
         return summary
 
     def sweep(
@@ -157,7 +265,11 @@ class ExperimentStore:
         seed: int = 0,
         with_measured: bool = True,
     ) -> list[PointSummary]:
-        """A full sweep, point by point (resumable: hits are free)."""
+        """A full sweep, point by point (resumable: hits are free).
+
+        Serial by construction; :func:`repro.sweep.run_sweep` runs the
+        same grid across worker processes sharing this store.
+        """
         return [
             self.point(n, b, layout, seed=seed, with_measured=with_measured)
             for layout in layouts
@@ -178,4 +290,6 @@ class ExperimentStore:
         for path in self.directory.glob(f"*_{self._model_tag}.json"):
             path.unlink()
             removed += 1
+        for lock in self.directory.glob(f"*_{self._model_tag}.lock"):
+            lock.unlink(missing_ok=True)
         return removed

@@ -1,0 +1,79 @@
+"""Sweep grids: the unit of work of the parallel sweep engine.
+
+A :class:`SweepPoint` names one GE evaluation — exactly the key of one
+:class:`repro.experiments.ExperimentStore` entry — and
+:func:`expand_grid` turns the usual ``(n, block sizes, layouts, seeds)``
+study description into a validated, deterministically ordered tuple of
+points.  The grid order is the contract the runner keeps no matter how
+many workers execute it: results come back in grid order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from ..layouts import LAYOUTS
+
+__all__ = ["SweepPoint", "expand_grid"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (n, b, layout, seed) evaluation point of a sweep."""
+
+    n: int
+    b: int
+    layout: str
+    seed: int = 0
+    with_measured: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.b < 1:
+            raise ValueError(f"n and b must be >= 1, got n={self.n}, b={self.b}")
+        if self.n % self.b:
+            raise ValueError(f"block size {self.b} does not divide n={self.n}")
+        if self.layout not in LAYOUTS:
+            raise ValueError(
+                f"unknown layout {self.layout!r}; known: {sorted(LAYOUTS)}"
+            )
+
+    def describe(self) -> str:
+        """Short human-readable label (progress lines, errors)."""
+        return f"n={self.n} b={self.b} {self.layout} seed={self.seed}"
+
+
+def expand_grid(
+    ns: Union[int, Sequence[int]],
+    block_sizes: Sequence[int],
+    layouts: Sequence[str],
+    seeds: Sequence[int] = (0,),
+    with_measured: bool = True,
+) -> tuple[SweepPoint, ...]:
+    """The full cartesian grid as an ordered, validated point tuple.
+
+    Order is ``n``-major, then layout, then block size, then seed — the
+    (layout, block) inner order matches the serial
+    :func:`repro.core.predictor.run_ge_sweep`, so a one-``n``,
+    one-seed grid enumerates points exactly like the serial sweep does.
+    Duplicate configurations are dropped (first occurrence wins) so a
+    sloppy grid never evaluates a point twice.
+    """
+    if isinstance(ns, int):
+        ns = [ns]
+    if not ns or not block_sizes or not layouts or not seeds:
+        raise ValueError("grid axes must all be non-empty")
+    seen: set[SweepPoint] = set()
+    points: list[SweepPoint] = []
+    for n in ns:
+        for layout in layouts:
+            for b in block_sizes:
+                for seed in seeds:
+                    point = SweepPoint(
+                        n=n, b=b, layout=layout, seed=seed,
+                        with_measured=with_measured,
+                    )
+                    if point not in seen:
+                        seen.add(point)
+                        points.append(point)
+    return tuple(points)

@@ -1,0 +1,251 @@
+"""The parallel sweep runner: grid points fanned across worker processes.
+
+The paper's headline result (Figures 7-9) is a 14-block-size ×
+multi-layout GE sweep; serially that is minutes of simulation.  This
+runner executes the same grid across ``workers`` processes:
+
+* **Chunked scheduling.**  Pending points are split into contiguous
+  chunks (default: ~4 chunks per worker) dispatched to a process pool as
+  workers free up, so a few slow points (large ``b``, measured runs)
+  don't serialise the tail.
+* **Deterministic results.**  Whatever order chunks complete in, the
+  returned summaries are in grid order — ``result.summaries[i]`` always
+  belongs to ``points[i]``, and a ``--workers 8`` sweep is bit-identical
+  to a ``--workers 1`` sweep.
+* **Shared-store coordination.**  With an :class:`ExperimentStore`
+  attached, already-stored points are short-circuited *before* dispatch
+  (``resume=True``), and each worker persists every point it computes
+  through the store's atomic, advisory-locked writes — so an interrupted
+  sweep resumes where it stopped, and concurrent sweeps sharing a store
+  never corrupt or duplicate entries.
+
+Workers receive only picklable payloads (the point list, the LogGP
+parameters, the cost model, the store *directory*) and re-open the store
+themselves; results travel back as :class:`PointSummary` values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import multiprocessing
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Sequence, Union
+
+from ..core.costmodel import CostModel
+from ..core.loggp import LogGPParameters
+from ..core.predictor import summarize_ge_point
+from ..experiments import ExperimentStore, PointSummary
+from ..obs import get_tracer
+from .points import SweepPoint
+
+__all__ = ["SweepStats", "SweepResult", "run_sweep"]
+
+#: progress callback signature: (points done, points total, point, source)
+#: where ``source`` is ``"cached"`` or ``"computed"``.
+ProgressFn = Callable[[int, int, SweepPoint, str], None]
+
+StoreLike = Union[ExperimentStore, str, Path, None]
+
+
+@dataclass
+class SweepStats:
+    """How one sweep executed (the manifest's ``sweep`` block)."""
+
+    total: int
+    cached: int
+    computed: int
+    workers: int
+    chunks: int
+    wall_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class SweepResult:
+    """A completed sweep: summaries in grid order plus execution stats."""
+
+    points: tuple[SweepPoint, ...]
+    summaries: list[PointSummary]
+    stats: SweepStats
+
+    def rows(self) -> list[dict]:
+        """JSON-ready rows in grid order (full totals and breakdowns)."""
+        return [dict(s.__dict__) for s in self.summaries]
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical result rows.
+
+        Timing-free and order-stable, so two sweeps of the same grid
+        agree on the digest iff they agree on every value — the
+        cross-engine differential gate CI checks.
+        """
+        payload = json.dumps(self.rows(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _evaluate_point(
+    point: SweepPoint,
+    params: LogGPParameters,
+    cost_model: CostModel,
+    store: Optional[ExperimentStore],
+) -> PointSummary:
+    """One point, through the store when there is one (compute + persist)."""
+    if store is not None:
+        return store.point(
+            point.n, point.b, point.layout,
+            seed=point.seed, with_measured=point.with_measured,
+        )
+    return PointSummary(
+        **summarize_ge_point(
+            point.n, point.b, point.layout, params, cost_model,
+            with_measured=point.with_measured, seed=point.seed,
+        )
+    )
+
+
+def _run_chunk(payload) -> list[tuple[int, PointSummary]]:
+    """Worker entrypoint: evaluate one chunk of (index, point) pairs.
+
+    Module-level (hence picklable by reference) and self-contained: the
+    worker re-opens the store from its directory so every process holds
+    its own handle, coordinated only through the store's atomic writes.
+    """
+    store_dir, params, cost_model, indexed = payload
+    store = (
+        ExperimentStore(store_dir, params, cost_model)
+        if store_dir is not None
+        else None
+    )
+    return [
+        (idx, _evaluate_point(point, params, cost_model, store))
+        for idx, point in indexed
+    ]
+
+
+def _chunked(items: list, size: int) -> Iterator[list]:
+    for start in range(0, len(items), size):
+        yield items[start:start + size]
+
+
+def run_sweep(
+    points: Sequence[SweepPoint],
+    params: LogGPParameters,
+    cost_model: CostModel,
+    *,
+    workers: int = 1,
+    store: StoreLike = None,
+    resume: bool = True,
+    chunk_size: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+    mp_context: Optional[str] = None,
+) -> SweepResult:
+    """Evaluate a sweep grid, optionally in parallel and store-backed.
+
+    Parameters
+    ----------
+    points:
+        The grid (see :func:`repro.sweep.expand_grid`); results come
+        back in this order regardless of ``workers``.
+    workers:
+        Process count.  ``<= 1`` runs in-process (no pool, no pickling)
+        — the reference path the differential tests compare against.
+    store:
+        An :class:`ExperimentStore`, a directory for one, or ``None``
+        (compute-only).  Workers persist what they compute.
+    resume:
+        With a store, short-circuit already-stored points before
+        dispatch.  ``False`` recomputes (and overwrites) everything.
+    chunk_size:
+        Points per dispatched chunk (default: grid split into ~4 chunks
+        per worker).
+    progress:
+        ``(done, total, point, source)`` callback, invoked once per
+        point as its result lands (cached points first, then computed
+        points in completion order).
+    mp_context:
+        :mod:`multiprocessing` start method (``"fork"``, ``"spawn"``,
+        ...); ``None`` uses the platform default.
+    """
+    points = tuple(points)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if isinstance(store, (str, Path)):
+        store = ExperimentStore(store, params, cost_model)
+    tracer = get_tracer()
+    t0 = time.perf_counter()
+
+    total = len(points)
+    summaries: list[Optional[PointSummary]] = [None] * total
+    done = 0
+
+    # -- short-circuit stored points before any dispatch --------------------
+    pending: list[tuple[int, SweepPoint]] = []
+    for idx, point in enumerate(points):
+        hit = (
+            store.get(
+                point.n, point.b, point.layout,
+                seed=point.seed, with_measured=point.with_measured,
+            )
+            if (store is not None and resume)
+            else None
+        )
+        if hit is not None:
+            summaries[idx] = hit
+            done += 1
+            if progress is not None:
+                progress(done, total, point, "cached")
+        else:
+            pending.append((idx, point))
+    cached = done
+    tracer.count("sweep.points_cached", cached)
+
+    def finish_point(idx: int, point: SweepPoint, summary: PointSummary) -> None:
+        nonlocal done
+        summaries[idx] = summary
+        done += 1
+        tracer.count("sweep.points_computed")
+        if progress is not None:
+            progress(done, total, point, "computed")
+
+    n_chunks = 0
+    if pending and workers <= 1:
+        for idx, point in pending:
+            finish_point(idx, point, _evaluate_point(point, params, cost_model, store))
+        n_chunks = len(pending)
+    elif pending:
+        eff_workers = min(workers, len(pending))
+        size = chunk_size or max(1, math.ceil(len(pending) / (eff_workers * 4)))
+        store_dir = str(store.directory) if store is not None else None
+        payloads = [
+            (store_dir, params, cost_model, chunk)
+            for chunk in _chunked(pending, size)
+        ]
+        n_chunks = len(payloads)
+        index_of = dict(pending)
+        ctx = multiprocessing.get_context(mp_context)
+        with ctx.Pool(processes=eff_workers) as pool:
+            for chunk_result in pool.imap_unordered(_run_chunk, payloads):
+                for idx, summary in chunk_result:
+                    finish_point(idx, index_of[idx], summary)
+
+    missing = [i for i, s in enumerate(summaries) if s is None]
+    if missing:  # pragma: no cover - defensive: a worker dropped results
+        raise RuntimeError(f"sweep lost results for point indices {missing}")
+
+    wall_s = time.perf_counter() - t0
+    tracer.observe("sweep.wall_s", wall_s)
+    stats = SweepStats(
+        total=total,
+        cached=cached,
+        computed=total - cached,
+        workers=max(1, workers),
+        chunks=n_chunks,
+        wall_s=wall_s,
+    )
+    return SweepResult(points=points, summaries=summaries, stats=stats)

@@ -1,0 +1,132 @@
+"""Differential cross-engine test harness.
+
+Two independent execution engines now produce the paper's evaluation
+numbers: the serial single-point path
+(:func:`repro.core.predictor.run_ge_point` /
+:func:`~repro.core.predictor.summarize_ge_point`) and the parallel sweep
+engine (:func:`repro.sweep.run_sweep`), whose results cross process
+boundaries (pickle) and optionally a JSON store round-trip.  This suite
+pins them to each other **bit for bit** on a grid of small GE
+configurations — totals and every breakdown — and re-asserts the
+documented engine ordering (``standard <= worstcase``, causal DES ==
+standard) on every one of those points.
+
+Any drift between engines (a worker using different parameters, a lossy
+serialization, a scheduling-order dependence) fails here before it can
+corrupt a paper-scale study.
+"""
+
+import pytest
+
+from repro.apps.gauss import GEConfig, build_ge_trace
+from repro.core import MEIKO_CS2, CalibratedCostModel, ProgramSimulator, run_ge_point
+from repro.experiments import ExperimentStore
+from repro.layouts import LAYOUTS
+from repro.sweep import SweepPoint, expand_grid, run_sweep
+
+PARAMS = MEIKO_CS2
+CM = CalibratedCostModel()
+
+#: the differential grid: every layout, two matrix orders, two seeds
+CONFIGS = [
+    (120, 24, "diagonal", 0),
+    (120, 40, "diagonal", 1),
+    (120, 24, "stripped", 0),
+    (120, 40, "stripped", 1),
+    (96, 24, "column", 0),
+    (96, 16, "block2d", 0),
+]
+
+GRID = tuple(
+    SweepPoint(n=n, b=b, layout=layout, seed=seed, with_measured=False)
+    for n, b, layout, seed in CONFIGS
+)
+
+SUMMARY_FIELDS = (
+    "pred_standard_total",
+    "pred_standard_comp",
+    "pred_standard_comm",
+    "pred_worstcase_total",
+    "pred_worstcase_comm",
+)
+
+
+@pytest.fixture(scope="module")
+def parallel_result():
+    """One parallel (2-worker, chunk-per-point) sweep over the grid."""
+    return run_sweep(GRID, PARAMS, CM, workers=2, chunk_size=1)
+
+
+@pytest.fixture(scope="module")
+def serial_rows():
+    """The reference: each point straight through run_ge_point."""
+    return {
+        (n, b, layout, seed): run_ge_point(
+            n, b, layout, PARAMS, CM, with_measured=False, seed=seed
+        )
+        for n, b, layout, seed in CONFIGS
+    }
+
+
+class TestParallelMatchesSerial:
+    @pytest.mark.parametrize("idx", range(len(CONFIGS)),
+                             ids=[f"n{n}_b{b}_{lay}_s{s}" for n, b, lay, s in CONFIGS])
+    def test_totals_and_breakdowns_bit_identical(self, idx, parallel_result, serial_rows):
+        n, b, layout, seed = CONFIGS[idx]
+        summary = parallel_result.summaries[idx]
+        row = serial_rows[(n, b, layout, seed)]
+        # exact float equality, not approx: same code must run in both engines
+        assert summary.pred_standard_total == row.pred_standard.total_us
+        assert summary.pred_standard_comp == row.pred_standard.comp_us
+        assert summary.pred_standard_comm == row.pred_standard.comm_us
+        assert summary.pred_worstcase_total == row.pred_worstcase.total_us
+        assert summary.pred_worstcase_comm == row.pred_worstcase.comm_us
+
+    def test_store_round_trip_stays_bit_identical(self, tmp_path, parallel_result):
+        # through the JSON store and back: still exactly the serial values
+        store = ExperimentStore(tmp_path, PARAMS, CM)
+        stored = run_sweep(GRID, PARAMS, CM, workers=2, store=store)
+        reread = run_sweep(GRID, PARAMS, CM, workers=1, store=store)
+        assert stored.summaries == parallel_result.summaries
+        assert reread.summaries == parallel_result.summaries
+        assert reread.stats.cached == len(GRID)
+
+    def test_measured_series_bit_identical(self):
+        # one emulator-backed point: the measured breakdown crosses the
+        # process boundary too
+        grid = (SweepPoint(n=120, b=24, layout="diagonal", with_measured=True),)
+        parallel = run_sweep(grid, PARAMS, CM, workers=2)
+        row = run_ge_point(120, 24, "diagonal", PARAMS, CM,
+                           with_measured=True, seed=0)
+        summary = parallel.summaries[0]
+        assert summary.measured_total == row.measured.total_us
+        assert summary.measured_total_wo_cache == row.measured.total_without_cache_us
+        assert summary.measured_comp == row.measured.comp_us
+        assert summary.measured_comm == row.measured.comm_us
+
+
+class TestEngineOrderingOnEveryPoint:
+    """standard <= worstcase, and causal DES == standard, per grid point."""
+
+    @pytest.mark.parametrize("idx", range(len(CONFIGS)),
+                             ids=[f"n{n}_b{b}_{lay}_s{s}" for n, b, lay, s in CONFIGS])
+    def test_standard_bounded_by_worstcase(self, idx, parallel_result):
+        summary = parallel_result.summaries[idx]
+        assert summary.pred_standard_total <= summary.pred_worstcase_total + 1e-6
+        assert summary.pred_standard_comm <= summary.pred_worstcase_comm + 1e-6
+
+    @pytest.mark.parametrize("n,b,layout,seed", CONFIGS,
+                             ids=[f"n{n}_b{b}_{lay}_s{s}" for n, b, lay, s in CONFIGS])
+    def test_causal_des_agrees_with_standard(self, n, b, layout, seed, parallel_result):
+        trace = build_ge_trace(GEConfig(n=n, b=b, layout=LAYOUTS[layout](n // b, PARAMS.P)))
+        std = ProgramSimulator(PARAMS, CM, mode="standard", seed=seed).run(trace)
+        causal = ProgramSimulator(PARAMS, CM, mode="causal", seed=seed).run(trace)
+        assert causal.total_us == pytest.approx(std.total_us, rel=1e-9)
+        idx = CONFIGS.index((n, b, layout, seed))
+        assert parallel_result.summaries[idx].pred_standard_total == std.total_us
+
+    def test_summary_fields_all_finite_positive(self, parallel_result):
+        for summary in parallel_result.summaries:
+            for name in SUMMARY_FIELDS:
+                value = getattr(summary, name)
+                assert value > 0, f"{name} not positive on {summary}"

@@ -1,0 +1,233 @@
+"""Property-based tests for the concurrency-safe ExperimentStore.
+
+Uses hypothesis when available (it is in the test extras); without it,
+the same properties run over seeded random grids so the suite never goes
+dark on a minimal environment.  Compute-free throughout: summaries are
+synthesised, never simulated, so hundreds of examples stay cheap.
+"""
+
+import json
+import os
+import random
+import threading
+
+import pytest
+
+import repro.experiments as experiments
+from repro.core import MEIKO_CS2, CalibratedCostModel
+from repro.experiments import ExperimentStore, PointSummary
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - test extras absent
+    HAVE_HYPOTHESIS = False
+
+PARAMS = MEIKO_CS2
+CM = CalibratedCostModel()
+
+LAYOUT_NAMES = ["block2d", "column", "diagonal", "stripped"]
+
+
+def make_summary(n, b, layout, seed, value):
+    """A synthetic summary whose payload is a function of ``value``."""
+    return PointSummary(
+        n=n, b=b, layout=layout, seed=seed,
+        pred_standard_total=value,
+        pred_standard_comp=value / 2,
+        pred_standard_comm=value / 2,
+        pred_worstcase_total=value * 2,
+        pred_worstcase_comm=value,
+    )
+
+
+def seeded_examples(count=50, rng_seed=0):
+    """Fallback example stream when hypothesis is unavailable."""
+    rng = random.Random(rng_seed)
+    for _ in range(count):
+        b = rng.choice([10, 12, 15, 20, 24, 30, 40, 48, 60])
+        yield (
+            b * rng.randint(1, 40),
+            b,
+            rng.choice(LAYOUT_NAMES),
+            rng.randint(0, 9),
+            rng.uniform(1e-3, 1e9),
+        )
+
+
+if HAVE_HYPOTHESIS:
+    point_config = st.tuples(
+        st.integers(min_value=1, max_value=200).flatmap(
+            lambda mult: st.integers(min_value=1, max_value=160).map(
+                lambda b: (b * mult, b)
+            )
+        ),
+        st.sampled_from(LAYOUT_NAMES),
+        st.integers(min_value=0, max_value=99),
+        st.floats(min_value=1e-6, max_value=1e12,
+                  allow_nan=False, allow_infinity=False),
+    ).map(lambda t: (t[0][0], t[0][1], t[1], t[2], t[3]))
+
+
+class TestRoundTrip:
+    """put/get is the identity on every representable summary."""
+
+    def check(self, tmp_path, n, b, layout, seed, value):
+        store = ExperimentStore(tmp_path, PARAMS, CM)
+        summary = make_summary(n, b, layout, seed, value)
+        store.put(summary, with_measured=False)
+        assert store.get(n, b, layout, seed=seed, with_measured=False) == summary
+
+    if HAVE_HYPOTHESIS:
+        @settings(max_examples=50, deadline=None,
+                  suppress_health_check=[HealthCheck.function_scoped_fixture])
+        @given(cfg=point_config)
+        def test_round_trip(self, tmp_path, cfg):
+            self.check(tmp_path, *cfg)
+    else:  # pragma: no cover - hypothesis available in CI
+        @pytest.mark.parametrize("cfg", list(seeded_examples()))
+        def test_round_trip(self, tmp_path, cfg):
+            self.check(tmp_path, *cfg)
+
+    def test_measured_flag_distinguishes_entries(self, tmp_path):
+        store = ExperimentStore(tmp_path, PARAMS, CM)
+        a = make_summary(120, 24, "diagonal", 0, 1.0)
+        b = make_summary(120, 24, "diagonal", 0, 2.0)
+        store.put(a, with_measured=False)
+        store.put(b, with_measured=True)
+        assert store.get(120, 24, "diagonal", with_measured=False) == a
+        assert store.get(120, 24, "diagonal", with_measured=True) == b
+
+
+class TestKeyStability:
+    def test_key_independent_of_kwarg_order(self, tmp_path):
+        store = ExperimentStore(tmp_path, PARAMS, CM)
+        assert (
+            store.key(120, 24, "diagonal", seed=3, with_measured=False)
+            == store.key(120, 24, "diagonal", with_measured=False, seed=3)
+            == store.key(n=120, with_measured=False, layout="diagonal", seed=3, b=24)
+        )
+
+    def test_key_distinguishes_every_axis(self, tmp_path):
+        store = ExperimentStore(tmp_path, PARAMS, CM)
+        base = store.key(120, 24, "diagonal", seed=0, with_measured=True)
+        variants = [
+            store.key(240, 24, "diagonal", seed=0, with_measured=True),
+            store.key(120, 40, "diagonal", seed=0, with_measured=True),
+            store.key(120, 24, "stripped", seed=0, with_measured=True),
+            store.key(120, 24, "diagonal", seed=1, with_measured=True),
+            store.key(120, 24, "diagonal", seed=0, with_measured=False),
+        ]
+        assert len({base, *variants}) == 6
+
+    def test_key_stable_across_store_instances(self, tmp_path):
+        a = ExperimentStore(tmp_path, PARAMS, CM)
+        b = ExperimentStore(tmp_path, PARAMS, CM)
+        assert a.key(120, 24, "diagonal") == b.key(120, 24, "diagonal")
+
+
+class TestStoreVersion:
+    def test_version_bump_invalidates_entries(self, tmp_path, monkeypatch):
+        store = ExperimentStore(tmp_path, PARAMS, CM)
+        store.put(make_summary(120, 24, "diagonal", 0, 1.0), with_measured=False)
+        assert store.cached_count() == 1
+
+        monkeypatch.setattr(experiments, "STORE_VERSION", experiments.STORE_VERSION + 1)
+        bumped = ExperimentStore(tmp_path, PARAMS, CM)
+        assert bumped.cached_count() == 0
+        assert bumped.get(120, 24, "diagonal", with_measured=False) is None
+
+
+class TestConcurrency:
+    def test_concurrent_put_get_round_trips(self, tmp_path):
+        """Hammer one store from many threads: every read is a complete
+        value that some thread wrote — never a torn or truncated one."""
+        store = ExperimentStore(tmp_path, PARAMS, CM)
+        keys = [(120, b, "diagonal", s) for b in (24, 40, 60) for s in (0, 1)]
+        valid = {k: {make_summary(*k, v) for v in (1.0, 2.0, 3.0)} for k in keys}
+        errors = []
+
+        def writer(tid):
+            rng = random.Random(tid)
+            for _ in range(30):
+                k = rng.choice(keys)
+                store.put(make_summary(*k, rng.choice([1.0, 2.0, 3.0])),
+                          with_measured=False)
+
+        def reader(tid):
+            rng = random.Random(100 + tid)
+            for _ in range(60):
+                k = rng.choice(keys)
+                got = store.get(*k[:3], seed=k[3], with_measured=False)
+                if got is not None and got not in valid[k]:
+                    errors.append(got)
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(4)]
+        threads += [threading.Thread(target=reader, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert store.cached_count() == len(keys)
+        for k in keys:
+            assert store.get(*k[:3], seed=k[3], with_measured=False) in valid[k]
+
+
+class TestAtomicity:
+    """Regression for the pre-sweep plain-JSON write: a crash mid-write
+    must never leave a truncated entry behind."""
+
+    def test_crash_before_publish_leaves_old_value(self, tmp_path, monkeypatch):
+        store = ExperimentStore(tmp_path, PARAMS, CM)
+        original = make_summary(120, 24, "diagonal", 0, 1.0)
+        store.put(original, with_measured=False)
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash at publish time")
+
+        monkeypatch.setattr(experiments.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            store.put(make_summary(120, 24, "diagonal", 0, 9.0),
+                      with_measured=False)
+        monkeypatch.undo()
+
+        # the old entry is intact, and no temp debris counts as an entry
+        assert store.get(120, 24, "diagonal", with_measured=False) == original
+        assert store.cached_count() == 1
+        assert not [f for f in os.listdir(tmp_path) if f.endswith(".tmp")]
+
+    def test_crash_on_fresh_entry_leaves_nothing(self, tmp_path, monkeypatch):
+        store = ExperimentStore(tmp_path, PARAMS, CM)
+        monkeypatch.setattr(
+            experiments.os, "replace",
+            lambda src, dst: (_ for _ in ()).throw(OSError("boom")),
+        )
+        with pytest.raises(OSError):
+            store.put(make_summary(120, 24, "diagonal", 0, 1.0),
+                      with_measured=False)
+        monkeypatch.undo()
+        assert store.get(120, 24, "diagonal", with_measured=False) is None
+        assert store.cached_count() == 0
+        assert not [f for f in os.listdir(tmp_path) if f.endswith(".tmp")]
+
+    def test_truncated_entry_reads_as_miss_and_heals(self, tmp_path):
+        store = ExperimentStore(tmp_path, PARAMS, CM)
+        summary = make_summary(120, 24, "diagonal", 0, 1.0)
+        path = store.put(summary, with_measured=False)
+
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])  # simulate torn legacy write
+        assert store.get(120, 24, "diagonal", with_measured=False) is None
+
+        store.put(summary, with_measured=False)
+        assert store.get(120, 24, "diagonal", with_measured=False) == summary
+
+    def test_wrong_schema_entry_reads_as_miss(self, tmp_path):
+        store = ExperimentStore(tmp_path, PARAMS, CM)
+        path = store.put(make_summary(120, 24, "diagonal", 0, 1.0),
+                         with_measured=False)
+        path.write_text(json.dumps({"not": "a summary"}))
+        assert store.get(120, 24, "diagonal", with_measured=False) is None
