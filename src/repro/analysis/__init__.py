@@ -16,6 +16,12 @@ from .stats import (
     sawtooth_score,
 )
 from .timeline import describe_sequence, render_timeline
+from .uq_report import (
+    ci_band_svg,
+    format_ci_band_table,
+    format_sensitivity_table,
+    save_ci_band_svg,
+)
 
 __all__ = [
     "format_figure",
@@ -43,4 +49,8 @@ __all__ = [
     "timeline_to_svg",
     "save_timeline_svg",
     "ascii_chart",
+    "ci_band_svg",
+    "format_ci_band_table",
+    "format_sensitivity_table",
+    "save_ci_band_svg",
 ]

@@ -1,0 +1,197 @@
+"""Rendering of UQ results: CI-band tables, sensitivity rankings, SVG bands.
+
+The Monte Carlo engine (:mod:`repro.uq`) reduces replicate ensembles to
+per-point summaries; this module turns those summaries into the
+user-facing artefacts: a Figure-7-style table with confidence bands
+around each predicted time, a LogGP sensitivity ranking table, and a
+standalone-SVG band plot (mean line inside a shaded CI envelope) in the
+style of :mod:`repro.analysis.svg` — standard library only.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence, Union
+from xml.sax.saxutils import escape
+
+from ..core.units import us_to_s
+from .report import format_table
+
+__all__ = [
+    "format_ci_band_table",
+    "format_sensitivity_table",
+    "ci_band_svg",
+    "save_ci_band_svg",
+]
+
+_BAND_FILL = "#9db8d9"
+_MEAN_STROKE = "#30507a"
+_MARGIN_L = 64
+_MARGIN_T = 28
+_MARGIN_B = 40
+_MARGIN_R = 16
+
+
+def format_ci_band_table(
+    summaries: Sequence,
+    metric: str = "pred_standard_total",
+    title: str = "",
+    in_seconds: bool = True,
+) -> str:
+    """One row per block size: mean, CI band, envelope and spread.
+
+    ``summaries`` are :class:`repro.uq.UQPointSummary` values of one
+    layout (the caller filters); ``halfwidth%`` is the half CI width as a
+    percentage of the mean — the headline "how uncertain is this
+    prediction" number.
+    """
+    rows = []
+    scale = (lambda v: us_to_s(v)) if in_seconds else (lambda v: v)
+    for s in summaries:
+        entry = s.metrics.get(metric)
+        if entry is None:
+            continue
+        mean = entry["mean"]
+        half = (entry["ci_hi"] - entry["ci_lo"]) / 2.0
+        rows.append(
+            {
+                "b": s.b,
+                "mean": scale(mean),
+                "std": scale(entry["std"]),
+                "ci_lo": scale(entry["ci_lo"]),
+                "ci_hi": scale(entry["ci_hi"]),
+                "min": scale(entry["min"]),
+                "max": scale(entry["max"]),
+                "halfwidth%": 100.0 * half / mean if mean else 0.0,
+                "reps": s.replicates,
+            }
+        )
+    if not rows:
+        raise ValueError(f"no summaries carry metric {metric!r}")
+    unit = "s" if in_seconds else "us"
+    header = title or f"{metric} [{unit}], {int(summaries[0].ci * 100)}% CI"
+    return format_table(
+        rows,
+        ["b", "mean", "std", "ci_lo", "ci_hi", "min", "max", "halfwidth%", "reps"],
+        title=header,
+    )
+
+
+def format_sensitivity_table(report: Sequence[dict], title: str = "") -> str:
+    """The OAT sensitivity ranking as a table (one row per block size).
+
+    ``report`` comes from :func:`repro.uq.oat_sensitivity`; cells are
+    elasticities (% time change per % parameter change).
+    """
+    if not report:
+        raise ValueError("empty sensitivity report")
+    rows = [
+        {
+            "b": entry["b"],
+            **{p: entry["elasticity"][p] for p in sorted(entry["elasticity"])},
+            "dominant": entry["dominant"],
+        }
+        for entry in report
+    ]
+    params = sorted(report[0]["elasticity"])
+    header = title or "LogGP elasticities of predicted time (OAT)"
+    return format_table(rows, ["b", *params, "dominant"], title=header)
+
+
+def ci_band_svg(
+    summaries: Sequence,
+    metric: str = "pred_standard_total",
+    width: int = 800,
+    height: int = 360,
+    title: str = "",
+) -> str:
+    """An SVG band plot: mean polyline inside the shaded CI envelope.
+
+    X is the block size (linear), Y the metric in seconds.  Summaries
+    are plotted in ascending ``b`` order; at least two points are needed
+    to draw a band.
+    """
+    if width < 100 or height < 100:
+        raise ValueError("width and height must be >= 100")
+    pts = sorted(
+        (s for s in summaries if s.metrics.get(metric) is not None),
+        key=lambda s: s.b,
+    )
+    if len(pts) < 2:
+        raise ValueError("need >= 2 summaries with the metric to draw a band")
+    bs = [s.b for s in pts]
+    mean = [us_to_s(s.metrics[metric]["mean"]) for s in pts]
+    lo = [us_to_s(s.metrics[metric]["ci_lo"]) for s in pts]
+    hi = [us_to_s(s.metrics[metric]["ci_hi"]) for s in pts]
+
+    x0, x1 = min(bs), max(bs)
+    y0 = min(lo)
+    y1 = max(hi)
+    xspan = max(x1 - x0, 1e-9)
+    yspan = max(y1 - y0, 1e-9)
+    plot_w = width - _MARGIN_L - _MARGIN_R
+    plot_h = height - _MARGIN_T - _MARGIN_B
+
+    def x(b: float) -> float:
+        return _MARGIN_L + (b - x0) / xspan * plot_w
+
+    def y(v: float) -> float:
+        return _MARGIN_T + (y1 - v) / yspan * plot_h
+
+    band = " ".join(
+        f"{x(b):.2f},{y(v):.2f}" for b, v in zip(bs, hi)
+    ) + " " + " ".join(
+        f"{x(b):.2f},{y(v):.2f}" for b, v in zip(reversed(bs), reversed(lo))
+    )
+    mean_pts = " ".join(f"{x(b):.2f},{y(v):.2f}" for b, v in zip(bs, mean))
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{_MARGIN_L}" y="16" font-size="13">{escape(title)}</text>'
+        )
+    parts.append(
+        f'<polygon points="{band}" fill="{_BAND_FILL}" fill-opacity="0.5" '
+        f'stroke="none"/>'
+    )
+    parts.append(
+        f'<polyline points="{mean_pts}" fill="none" stroke="{_MEAN_STROKE}" '
+        f'stroke-width="2"/>'
+    )
+    for b in bs:
+        parts.append(
+            f'<text x="{x(b):.2f}" y="{height - _MARGIN_B + 16}" '
+            f'text-anchor="middle">{b}</text>'
+        )
+    for v in (y0, (y0 + y1) / 2.0, y1):
+        parts.append(
+            f'<text x="{_MARGIN_L - 6}" y="{y(v):.2f}" text-anchor="end" '
+            f'dominant-baseline="middle">{v:.3g}</text>'
+        )
+    parts.append(
+        f'<text x="{_MARGIN_L + plot_w / 2:.0f}" y="{height - 8}" '
+        f'text-anchor="middle">block size</text>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_ci_band_svg(
+    summaries: Sequence,
+    path: Union[str, Path],
+    metric: str = "pred_standard_total",
+    width: int = 800,
+    height: int = 360,
+    title: str = "",
+) -> Path:
+    """Write :func:`ci_band_svg` output to ``path``; returns the path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        ci_band_svg(summaries, metric=metric, width=width, height=height, title=title)
+    )
+    return out

@@ -9,6 +9,11 @@ Subcommands
                ``--workers N`` fans the grid across worker processes and
                ``--store DIR --resume`` makes interrupted sweeps restart
                where they stopped (see :mod:`repro.sweep`)
+``uq``         Monte Carlo uncertainty bands around the sweep: seeded
+               machine-parameter perturbations fanned as replicates
+               through the sweep engine, reduced to mean/CI envelopes
+               plus an optional LogGP sensitivity ranking
+               (see :mod:`repro.uq`)
 ``ops``        print the basic-operation cost table (Figure 6)
 ``trace``      generate a GE trace and save it as JSON
 ``observe``    run one GE configuration under the tracer and export the
@@ -28,6 +33,8 @@ Examples
     python -m repro predict -n 480 -b 48 --layout diagonal --json
     python -m repro sweep -n 480 --layout diagonal stripped
     python -m repro sweep -n 960 --workers 4 --store .repro/store --resume
+    python -m repro uq -n 960 --layout block2d --replicates 64 --sigma 0.1
+    python -m repro uq -n 480 --replicates 32 --sigma 0.15 --sensitivity --json
     python -m repro ops -b 10 20 40 80 160 --source calibrated
     python -m repro trace -n 240 -b 24 --layout diagonal -o ge.json
     python -m repro profile -n 480 -b 48 --trace-out profile.trace.json
@@ -124,6 +131,31 @@ def _add_obs_args(parser: argparse.ArgumentParser, exports: bool = False) -> Non
     )
 
 
+def _add_sweep_engine_args(parser: argparse.ArgumentParser) -> None:
+    """The execution knobs shared by ``sweep`` and ``uq``."""
+    grp = parser.add_argument_group("sweep engine")
+    grp.add_argument(
+        "-w", "--workers", type=int, default=1,
+        help="worker processes (1 = in-process serial, the reference engine)",
+    )
+    grp.add_argument(
+        "--store", metavar="DIR",
+        help="persist every point into an experiment store at DIR",
+    )
+    grp.add_argument(
+        "--resume", action="store_true",
+        help="skip points already in --store (only missing ones are dispatched)",
+    )
+    grp.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="points per dispatched chunk (default: ~4 chunks per worker)",
+    )
+    grp.add_argument(
+        "--progress", action="store_true",
+        help="print one progress line per point to stderr",
+    )
+
+
 def _machine(args: argparse.Namespace) -> LogGPParameters:
     return LogGPParameters(L=args.L, o=args.o, g=args.g, G=args.G, P=args.procs, name="cli")
 
@@ -189,27 +221,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--layout", nargs="+", choices=sorted(LAYOUTS), default=["diagonal"])
     p.add_argument("--no-measured", action="store_true")
     p.add_argument("--seed", type=int, default=0)
-    grp = p.add_argument_group("sweep engine")
+    _add_sweep_engine_args(p)
+    _add_machine_args(p)
+    _add_obs_args(p, exports=True)
+
+    p = sub.add_parser(
+        "uq", help="Monte Carlo uncertainty bands for the GE sweep"
+    )
+    p.add_argument("-n", type=int, default=480)
+    p.add_argument("--blocks", type=int, nargs="*", default=None,
+                   help="block sizes (default: paper sizes dividing n)")
+    p.add_argument("--layout", nargs="+", choices=sorted(LAYOUTS), default=["diagonal"])
+    p.add_argument("--no-measured", action="store_true")
+    p.add_argument("--seed", type=int, default=0, help="base seed of the study")
+    grp = p.add_argument_group("uncertainty model")
     grp.add_argument(
-        "-w", "--workers", type=int, default=1,
-        help="worker processes (1 = in-process serial, the reference engine)",
+        "-r", "--replicates", type=int, default=32,
+        help="Monte Carlo replicates per point",
     )
     grp.add_argument(
-        "--store", metavar="DIR",
-        help="persist every point into an experiment store at DIR",
+        "--sigma", type=float, default=0.1,
+        help="relative log-normal sigma on L, o, g, G (0 = deterministic)",
     )
     grp.add_argument(
-        "--resume", action="store_true",
-        help="skip points already in --store (only missing ones are dispatched)",
+        "--op-sigma", type=float, default=0.0,
+        help="relative log-normal sigma on per-op block timings",
     )
     grp.add_argument(
-        "--chunk-size", type=int, default=None,
-        help="points per dispatched chunk (default: ~4 chunks per worker)",
+        "--ci", type=float, default=0.95,
+        help="confidence level of the percentile interval",
     )
     grp.add_argument(
-        "--progress", action="store_true",
-        help="print one progress line per point to stderr",
+        "--jitter-sigma", type=float, default=None,
+        help="override the emulated network's jitter sigma",
     )
+    grp.add_argument(
+        "--straggler-prob", type=float, default=None,
+        help="override the emulated network's straggler probability",
+    )
+    grp.add_argument(
+        "--straggler-factor", type=float, default=None,
+        help="override the emulated network's straggler factor",
+    )
+    grp.add_argument(
+        "--sensitivity", action="store_true",
+        help="also report one-at-a-time LogGP elasticities per block size",
+    )
+    grp.add_argument(
+        "--svg-out", metavar="PATH",
+        help="write a CI-band SVG per layout (layout name suffixed when >1)",
+    )
+    _add_sweep_engine_args(p)
     _add_machine_args(p)
     _add_obs_args(p, exports=True)
 
@@ -311,28 +373,44 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    params = _machine(args)
+def _sweep_blocks(args: argparse.Namespace) -> Optional[list[int]]:
+    """Validated block sizes for a sweep-shaped command (None = usage error)."""
     blocks = args.blocks or [b for b in PAPER_BLOCK_SIZES if args.n % b == 0]
     if not blocks:
         print(f"error: no paper block size divides n={args.n}", file=sys.stderr)
-        return 2
+        return None
     bad = [b for b in blocks if args.n % b]
     if bad:
         print(f"error: block sizes {bad} do not divide n={args.n}", file=sys.stderr)
-        return 2
+        return None
     if args.resume and not args.store:
         print("error: --resume requires --store DIR", file=sys.stderr)
+        return None
+    return blocks
+
+
+def _sweep_progress(args: argparse.Namespace):
+    """The stderr per-point progress callback, or None."""
+    if not args.progress:
+        return None
+
+    def show_progress(done, total, point, source):
+        print(f"sweep [{done}/{total}] {point.describe()} ({source})",
+              file=sys.stderr)
+
+    return show_progress
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    params = _machine(args)
+    blocks = _sweep_blocks(args)
+    if blocks is None:
         return 2
     grid = expand_grid(
         args.n, blocks, args.layout, seeds=(args.seed,),
         with_measured=not args.no_measured,
     )
-    show_progress = None
-    if args.progress:
-        def show_progress(done, total, point, source):
-            print(f"sweep [{done}/{total}] {point.describe()} ({source})",
-                  file=sys.stderr)
+    show_progress = _sweep_progress(args)
     tracer = _wants_trace(args)
     with tracing(tracer) if tracer else nullcontext():
         result = run_sweep(
@@ -375,6 +453,113 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         series = series_from_rows(mine, "b", lambda r: r.series())
         print(format_figure(f"{layout} mapping, n={args.n}", series))
         print(f"predicted optimal block size: {best_by_layout[layout]}\n")
+    return 0
+
+
+def _cmd_uq(args: argparse.Namespace) -> int:
+    from .analysis import (
+        format_ci_band_table,
+        format_sensitivity_table,
+        save_ci_band_svg,
+    )
+    from .uq import UQSpec, oat_sensitivity, run_uq
+
+    params = _machine(args)
+    blocks = _sweep_blocks(args)
+    if blocks is None:
+        return 2
+    spec = UQSpec(
+        sigma=args.sigma,
+        op_sigma=args.op_sigma,
+        jitter_sigma=args.jitter_sigma,
+        straggler_prob=args.straggler_prob,
+        straggler_factor=args.straggler_factor,
+    )
+    cost_model = CalibratedCostModel()
+    tracer = _wants_trace(args)
+    with tracing(tracer) if tracer else nullcontext():
+        result = run_uq(
+            args.n, blocks, args.layout, params, cost_model,
+            spec=spec,
+            replicates=args.replicates,
+            ci=args.ci,
+            base_seed=args.seed,
+            with_measured=not args.no_measured,
+            workers=args.workers,
+            store=args.store,
+            resume=args.resume,
+            chunk_size=args.chunk_size,
+            progress=_sweep_progress(args),
+        )
+    _export_trace(args, tracer)
+    sensitivity = (
+        {
+            layout: oat_sensitivity(args.n, blocks, layout, params, cost_model)
+            for layout in args.layout
+        }
+        if args.sensitivity
+        else None
+    )
+    svg_paths = []
+    if args.svg_out:
+        for layout in args.layout:
+            mine = [s for s in result.summaries if s.layout == layout]
+            path = args.svg_out
+            if len(args.layout) > 1:
+                stem, dot, ext = path.rpartition(".")
+                path = f"{stem}-{layout}{dot}{ext}" if dot else f"{path}-{layout}"
+            save_ci_band_svg(
+                mine, path,
+                title=f"{layout} mapping, n={args.n}, "
+                      f"{int(args.ci * 100)}% CI over {args.replicates} replicates",
+            )
+            svg_paths.append(path)
+    _record(args).note(
+        params=loggp_dict(params), engine="uq",
+        workload={"n": args.n, "blocks": blocks, "layouts": args.layout,
+                  "seed": args.seed},
+        results_sha256=result.replicate_digest(),
+        sweep=result.sweep.stats.to_dict(),
+        uq={
+            "spec": spec.to_dict(),
+            "replicates": args.replicates,
+            "ci": args.ci,
+            "deterministic": spec.is_deterministic(),
+            "summary_sha256": result.summary_digest(),
+        },
+    )
+    if args.json:
+        doc = {
+            "n": args.n, "params": loggp_dict(params),
+            "spec": spec.to_dict(),
+            "replicates": args.replicates, "ci": args.ci,
+            "rows": result.to_rows(),
+            "summary_sha256": result.summary_digest(),
+            "results_sha256": result.replicate_digest(),
+        }
+        if sensitivity is not None:
+            doc["sensitivity"] = sensitivity
+        print(json.dumps(doc, indent=2))
+        return 0
+    for layout in args.layout:
+        mine = [s for s in result.summaries if s.layout == layout]
+        print(format_ci_band_table(
+            mine,
+            title=(
+                f"{layout} mapping, n={args.n}: predicted time [s], "
+                f"{int(args.ci * 100)}% CI over {args.replicates} replicates "
+                f"(sigma={args.sigma:g})"
+            ),
+        ))
+        if sensitivity is not None:
+            print()
+            print(format_sensitivity_table(
+                sensitivity[layout],
+                title=f"{layout} mapping: LogGP elasticities (OAT)",
+            ))
+        print()
+    for path in svg_paths:
+        print(f"wrote {path}")
     return 0
 
 
@@ -548,6 +733,7 @@ _COMMANDS = {
     "timeline": _cmd_timeline,
     "predict": _cmd_predict,
     "sweep": _cmd_sweep,
+    "uq": _cmd_uq,
     "ops": _cmd_ops,
     "trace": _cmd_trace,
     "profile": _cmd_profile,

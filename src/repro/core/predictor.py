@@ -32,6 +32,7 @@ __all__ = [
     "run_ge_point",
     "run_ge_sweep",
     "summarize_ge_point",
+    "summarize_uq_point",
     "predicted_optimum",
 ]
 
@@ -158,10 +159,15 @@ def summarize_ge_point(
         n, b, layout_name, params, cost_model,
         with_measured=with_measured, seed=seed,
     )
+    return _flatten_ge_row(row, seed)
+
+
+def _flatten_ge_row(row: GERow, seed: int) -> dict:
+    """A :class:`GERow` as the flat ``PointSummary``-shaped dict."""
     return {
-        "n": n,
-        "b": b,
-        "layout": layout_name,
+        "n": row.n,
+        "b": row.b,
+        "layout": row.layout,
         "seed": seed,
         "pred_standard_total": row.pred_standard.total_us,
         "pred_standard_comp": row.pred_standard.comp_us,
@@ -175,6 +181,55 @@ def summarize_ge_point(
         "measured_comp": row.measured.comp_us if row.measured else None,
         "measured_comm": row.measured.comm_us if row.measured else None,
     }
+
+
+def summarize_uq_point(
+    n: int,
+    b: int,
+    layout_name: str,
+    params: LogGPParameters,
+    cost_model: CostModel,
+    spec,
+    with_measured: bool = True,
+    seed: int = 0,
+) -> dict:
+    """One Monte Carlo replicate of a GE point, as the flat summary dict.
+
+    The replicate-aware sibling of :func:`summarize_ge_point`: ``spec``
+    is a :class:`repro.uq.UQSpec`, and ``seed`` is the *replicate* seed —
+    it determines the perturbed machine (via
+    :class:`repro.machine.PerturbedMachine`), the emulated network's
+    draws, and the simulators' tie-breaking, so the whole evaluation is a
+    pure function of ``(configuration, spec, seed)``.  An identity spec
+    (or ``spec=None``) takes the exact :func:`summarize_ge_point` code
+    path, which is what makes zero-noise UQ runs bit-identical to the
+    deterministic sweep.
+    """
+    if spec is None or spec.is_identity():
+        return summarize_ge_point(
+            n, b, layout_name, params, cost_model,
+            with_measured=with_measured, seed=seed,
+        )
+    from ..machine.perturbed import PerturbedMachine
+
+    p_params, p_cost = PerturbedMachine(params, cost_model, spec).sample(seed)
+    emulator = None
+    if with_measured:
+        overrides = spec.network_overrides()
+        if overrides:
+            from ..machine.network import JitteredNetwork
+
+            emulator = MachineEmulator(
+                params=p_params,
+                cost_model=p_cost,
+                network=JitteredNetwork(params=p_params, seed=seed, **overrides),
+                seed=seed,
+            )
+    row = run_ge_point(
+        n, b, layout_name, p_params, p_cost,
+        with_measured=with_measured, seed=seed, emulator=emulator,
+    )
+    return _flatten_ge_row(row, seed)
 
 
 def run_ge_sweep(

@@ -96,6 +96,12 @@ class ExperimentStore:
         The machine and cost model every point in this store uses; they
         are part of the cache key (via the machine description and the
         cost model's class name + probe costs).
+    extra_tag:
+        Optional extra fingerprint component for callers whose
+        evaluations depend on more than (machine, cost model) — the UQ
+        engine passes its perturbation spec's tag so perturbed ensembles
+        never collide with deterministic entries (``None``: unchanged
+        legacy keyspace).
     """
 
     def __init__(
@@ -103,10 +109,12 @@ class ExperimentStore:
         directory: Union[str, Path],
         params: LogGPParameters,
         cost_model: CostModel,
+        extra_tag: Optional[str] = None,
     ):
         self.directory = Path(directory)
         self.params = params
         self.cost_model = cost_model
+        self.extra_tag = extra_tag
         self._model_tag = self._fingerprint()
 
     def _fingerprint(self) -> str:
@@ -129,6 +137,7 @@ class ExperimentStore:
                 self.params.describe(),
                 type(self.cost_model).__name__,
                 *costs,
+                *((self.extra_tag,) if self.extra_tag is not None else ()),
             ]
         )
         return hashlib.sha256(payload.encode()).hexdigest()[:16]

@@ -20,6 +20,7 @@ import numpy as np
 from ..blockops.calibration import LOCAL_COPY_US_PER_BYTE
 from ..core.loggp import LogGPParameters
 from ..core.message import Message
+from ..uq.sampler import apply_jitter, jitter_normalizer
 
 __all__ = ["JitteredNetwork"]
 
@@ -59,18 +60,19 @@ class JitteredNetwork:
         # Normalise so E[multiplier] == 1: the LogGP L is the *mean*
         # latency ("the model gives an average behavior", section 4.1),
         # so jitter must not systematically inflate it.
-        lognormal_mean = float(np.exp(self.jitter_sigma**2 / 2.0))
-        straggler_mean = 1.0 + self.straggler_prob * (self.straggler_factor - 1.0)
-        self._norm = 1.0 / (lognormal_mean * straggler_mean)
+        self._norm = jitter_normalizer(
+            self.jitter_sigma, self.straggler_prob, self.straggler_factor
+        )
 
     def latency_of(self, message: Message) -> float:
         """Sampled wire latency (µs) for one message (mean ``params.L``)."""
-        lat = self.params.L * self._norm
-        if self.jitter_sigma:
-            lat *= float(np.exp(self._rng.normal(0.0, self.jitter_sigma)))
-        if self.straggler_prob and self._rng.random() < self.straggler_prob:
-            lat *= self.straggler_factor
-        return lat
+        return apply_jitter(
+            self.params.L * self._norm,
+            self._rng,
+            self.jitter_sigma,
+            self.straggler_prob,
+            self.straggler_factor,
+        )
 
     def local_copy_us(self, message: Message) -> float:
         """Cost of a same-processor transfer (µs)."""

@@ -1,0 +1,87 @@
+"""Perturbed machines: one Monte Carlo replicate's view of the hardware.
+
+A :class:`PerturbedMachine` binds the base LogGP parameters, the base
+cost model and a :class:`repro.uq.UQSpec`; :meth:`PerturbedMachine.sample`
+materialises the machine one replicate sees.  The draw is a pure function
+of the replicate seed — every knob gets its own addressed RNG stream
+(:func:`repro.uq.sampler.child_rng`), so enabling, say, op-timing noise
+never shifts the network-parameter draws, and any worker process
+reproduces the same machine from the same seed.
+
+All multipliers are mean-preserving log-normals: the perturbed ensemble
+scatters *around* the calibrated machine instead of drifting away from
+it.  A deterministic spec returns the base objects themselves, so the
+zero-noise path is bit-for-bit the unperturbed one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from ..blockops.ops import OP_NAMES
+from ..core.costmodel import CostModel
+from ..core.loggp import LogGPParameters
+from ..uq.sampler import child_rng, lognormal_multiplier
+from ..uq.spec import LOGGP_PARAMS, UQSpec
+
+__all__ = ["ScaledCostModel", "PerturbedMachine"]
+
+
+@dataclass(frozen=True)
+class ScaledCostModel:
+    """A cost model with per-op multiplicative factors (one replicate's).
+
+    Picklable wrapper: sweep workers receive the base model plus the
+    factor table, never an RNG.  Ops without a factor pass through.
+    """
+
+    base: CostModel
+    factors: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        for op, factor in self.factors.items():
+            if factor <= 0:
+                raise ValueError(f"factor for {op!r} must be > 0, got {factor}")
+        object.__setattr__(self, "factors", dict(self.factors))
+
+    def cost(self, op: str, b: int) -> float:
+        """The base cost scaled by this replicate's factor for ``op``."""
+        return self.base.cost(op, b) * self.factors.get(op, 1.0)
+
+
+@dataclass(frozen=True)
+class PerturbedMachine:
+    """Samples (LogGP parameters, cost model) pairs for UQ replicates."""
+
+    params: LogGPParameters
+    cost_model: CostModel
+    spec: UQSpec
+
+    def sample(self, seed: int) -> Tuple[LogGPParameters, CostModel]:
+        """The machine replicate ``seed`` sees.
+
+        Deterministic in ``seed``; a spec with no noise returns the base
+        ``(params, cost_model)`` objects unchanged (bit-identical path).
+        """
+        if self.spec.is_deterministic():
+            return self.params, self.cost_model
+        changes = {}
+        for name in LOGGP_PARAMS:
+            sigma = self.spec.effective_sigma(name)
+            if sigma:
+                factor = lognormal_multiplier(
+                    child_rng("uq-param", seed, name), sigma
+                )
+                changes[name] = getattr(self.params, name) * factor
+        params = self.params.with_(**changes) if changes else self.params
+        cost_model = self.cost_model
+        if self.spec.op_sigma:
+            factors = {
+                op: lognormal_multiplier(
+                    child_rng("uq-op", seed, op), self.spec.op_sigma
+                )
+                for op in OP_NAMES
+            }
+            cost_model = ScaledCostModel(self.cost_model, factors)
+        return params, cost_model

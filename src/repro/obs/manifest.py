@@ -62,6 +62,11 @@ class RunRecord:
     ``layout``, pattern, ...); ``params`` the LogGP machine; ``metrics``
     the tracer's registry snapshot.  ``events_per_sec`` is simulator
     throughput: structured events emitted per wall-clock second.
+
+    ``uq`` is the uncertainty-quantification block of ``repro uq`` runs:
+    the perturbation spec document, replicate count, CI level, the
+    summary digest gating worker-count equivalence, and whether the spec
+    was deterministic (empty for non-UQ runs).
     """
 
     command: str
@@ -71,6 +76,7 @@ class RunRecord:
     params: dict = field(default_factory=dict)
     workload: dict = field(default_factory=dict)
     engine: str = ""
+    uq: dict = field(default_factory=dict)
     makespan_us: Optional[float] = None
     event_count: int = 0
     metrics: dict = field(default_factory=dict)

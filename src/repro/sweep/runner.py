@@ -37,9 +37,10 @@ from typing import Callable, Iterator, Optional, Sequence, Union
 
 from ..core.costmodel import CostModel
 from ..core.loggp import LogGPParameters
-from ..core.predictor import summarize_ge_point
+from ..core.predictor import summarize_ge_point, summarize_uq_point
 from ..experiments import ExperimentStore, PointSummary
 from ..obs import get_tracer
+from ..uq.spec import UQSpec
 from .points import SweepPoint
 
 __all__ = ["SweepStats", "SweepResult", "run_sweep"]
@@ -94,8 +95,35 @@ def _evaluate_point(
     params: LogGPParameters,
     cost_model: CostModel,
     store: Optional[ExperimentStore],
+    uq: Optional[UQSpec] = None,
 ) -> PointSummary:
-    """One point, through the store when there is one (compute + persist)."""
+    """One point, through the store when there is one (compute + persist).
+
+    With a UQ spec the point's seed selects a perturbed machine replicate
+    (:func:`repro.core.predictor.summarize_uq_point`); the store —
+    already keyed with the spec's tag — caches replicates like any other
+    point.
+    """
+    if uq is not None and not uq.is_identity():
+        hit = (
+            store.get(
+                point.n, point.b, point.layout,
+                seed=point.seed, with_measured=point.with_measured,
+            )
+            if store is not None
+            else None
+        )
+        if hit is not None:
+            return hit
+        summary = PointSummary(
+            **summarize_uq_point(
+                point.n, point.b, point.layout, params, cost_model, uq,
+                with_measured=point.with_measured, seed=point.seed,
+            )
+        )
+        if store is not None:
+            store.put(summary, with_measured=point.with_measured)
+        return summary
     if store is not None:
         return store.point(
             point.n, point.b, point.layout,
@@ -116,14 +144,17 @@ def _run_chunk(payload) -> list[tuple[int, PointSummary]]:
     worker re-opens the store from its directory so every process holds
     its own handle, coordinated only through the store's atomic writes.
     """
-    store_dir, params, cost_model, indexed = payload
+    store_dir, params, cost_model, uq, indexed = payload
     store = (
-        ExperimentStore(store_dir, params, cost_model)
+        ExperimentStore(
+            store_dir, params, cost_model,
+            extra_tag=uq.store_tag() if uq is not None else None,
+        )
         if store_dir is not None
         else None
     )
     return [
-        (idx, _evaluate_point(point, params, cost_model, store))
+        (idx, _evaluate_point(point, params, cost_model, store, uq))
         for idx, point in indexed
     ]
 
@@ -144,6 +175,7 @@ def run_sweep(
     chunk_size: Optional[int] = None,
     progress: Optional[ProgressFn] = None,
     mp_context: Optional[str] = None,
+    uq: Optional[UQSpec] = None,
 ) -> SweepResult:
     """Evaluate a sweep grid, optionally in parallel and store-backed.
 
@@ -171,12 +203,20 @@ def run_sweep(
     mp_context:
         :mod:`multiprocessing` start method (``"fork"``, ``"spawn"``,
         ...); ``None`` uses the platform default.
+    uq:
+        Optional :class:`repro.uq.UQSpec`: each point's seed then selects
+        a perturbed machine replicate instead of the base machine (the
+        Monte Carlo path of :func:`repro.uq.run_uq`).  An identity spec
+        behaves exactly like ``None``.
     """
     points = tuple(points)
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
     if isinstance(store, (str, Path)):
-        store = ExperimentStore(store, params, cost_model)
+        store = ExperimentStore(
+            store, params, cost_model,
+            extra_tag=uq.store_tag() if uq is not None else None,
+        )
     tracer = get_tracer()
     t0 = time.perf_counter()
 
@@ -216,14 +256,16 @@ def run_sweep(
     n_chunks = 0
     if pending and workers <= 1:
         for idx, point in pending:
-            finish_point(idx, point, _evaluate_point(point, params, cost_model, store))
+            finish_point(
+                idx, point, _evaluate_point(point, params, cost_model, store, uq)
+            )
         n_chunks = len(pending)
     elif pending:
         eff_workers = min(workers, len(pending))
         size = chunk_size or max(1, math.ceil(len(pending) / (eff_workers * 4)))
         store_dir = str(store.directory) if store is not None else None
         payloads = [
-            (store_dir, params, cost_model, chunk)
+            (store_dir, params, cost_model, uq, chunk)
             for chunk in _chunked(pending, size)
         ]
         n_chunks = len(payloads)

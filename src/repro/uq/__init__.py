@@ -1,0 +1,72 @@
+"""Monte Carlo uncertainty quantification for running-time predictions.
+
+The paper reports one predicted time per (n, b, layout) point, but the
+machine parameters behind that number — the LogGP ``L, o, g, G`` and the
+per-op block timings — are calibrated measurements with real spread.
+This package turns the point prediction into a distribution:
+
+1. a :class:`UQSpec` describes the parameter uncertainty (relative
+   log-normal sigmas, optional emulated-network knob overrides);
+2. :func:`run_uq` draws ``replicates`` seeded machine perturbations
+   (:class:`repro.machine.PerturbedMachine`) and fans them through the
+   parallel sweep engine — replicates *are* grid points, so worker
+   pools, chunking, store resume and result digests all apply unchanged;
+3. :func:`reduce_replicates` folds the ensemble into per-point
+   mean/std/CI/min-max summaries, and :func:`oat_sensitivity` ranks
+   which LogGP parameter moves the prediction most at each block size.
+
+Zero noise (``sigma == 0``) collapses every replicate onto the base
+seed, reproducing the deterministic sweep bit for bit — the anchor that
+lets a statistical test harness gate stochastic outputs exactly.
+
+All randomness flows through :mod:`repro.uq.sampler`, the shared seeded
+sampling layer the machine emulator's jittered network also draws from.
+
+The CLI front-end is ``python -m repro uq --replicates 64 --sigma 0.1``.
+"""
+
+from .reduce import METRIC_FIELDS, UQPointSummary, reduce_replicates, summary_digest
+from .sampler import (
+    apply_jitter,
+    child_rng,
+    derive_seed,
+    jitter_normalizer,
+    lognormal_multiplier,
+    replicate_seeds,
+)
+from .spec import LOGGP_PARAMS, UQSpec
+
+__all__ = [
+    "LOGGP_PARAMS",
+    "METRIC_FIELDS",
+    "UQPointSummary",
+    "UQResult",
+    "UQSpec",
+    "apply_jitter",
+    "child_rng",
+    "derive_seed",
+    "jitter_normalizer",
+    "lognormal_multiplier",
+    "oat_sensitivity",
+    "reduce_replicates",
+    "replicate_seeds",
+    "run_uq",
+    "summary_digest",
+]
+
+#: engine exports resolved lazily: the engine pulls in the sweep runner
+#: and the machine emulator, and the emulator's network imports our
+#: sampler — eager importing here would make that a cycle
+_ENGINE_EXPORTS = {"UQResult", "run_uq", "oat_sensitivity"}
+
+
+def __getattr__(name: str):
+    if name in _ENGINE_EXPORTS:
+        from . import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _ENGINE_EXPORTS)

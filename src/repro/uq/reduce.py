@@ -1,0 +1,189 @@
+"""Replicate reduction: Monte Carlo ensembles → per-point uncertainty summaries.
+
+The engine runs every replicate as an ordinary sweep grid point; this
+module folds the replicate-level :class:`repro.experiments.PointSummary`
+rows back into one :class:`UQPointSummary` per (n, b, layout) — mean,
+sample std, a percentile confidence interval and the min/max envelope for
+every reported metric.
+
+All statistics are computed in pure Python with a fixed accumulation
+order (grid order), so a reduction is a deterministic function of the
+replicate values: the same ensemble gives the same summary on every
+platform and worker count, which is what the summary-digest gates in CI
+rely on.  Summaries survive JSON serialise→deserialise bit-exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Sequence
+
+__all__ = ["METRIC_FIELDS", "UQPointSummary", "reduce_replicates", "summary_digest"]
+
+#: the float metrics of :class:`repro.experiments.PointSummary`, in report
+#: order (kept in lock-step with that dataclass; the engine asserts so)
+METRIC_FIELDS = (
+    "pred_standard_total",
+    "pred_standard_comp",
+    "pred_standard_comm",
+    "pred_worstcase_total",
+    "pred_worstcase_comm",
+    "measured_total",
+    "measured_total_wo_cache",
+    "measured_comp",
+    "measured_comm",
+)
+
+
+def _quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of pre-sorted values (numpy 'linear')."""
+    if not sorted_values:
+        raise ValueError("quantile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    n = len(sorted_values)
+    if n == 1:
+        return sorted_values[0]
+    pos = q * (n - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return sorted_values[lo]
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+def _metric_stats(values: Sequence[float], ci: float) -> dict:
+    """``{mean, std, ci_lo, ci_hi, min, max}`` of one metric's replicates."""
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        std = math.sqrt(sum((v - mean) ** 2 for v in values) / (n - 1))
+    else:
+        std = 0.0
+    ordered = sorted(values)
+    alpha = (1.0 - ci) / 2.0
+    return {
+        "mean": mean,
+        "std": std,
+        "ci_lo": _quantile(ordered, alpha),
+        "ci_hi": _quantile(ordered, 1.0 - alpha),
+        "min": ordered[0],
+        "max": ordered[-1],
+    }
+
+
+@dataclass(frozen=True)
+class UQPointSummary:
+    """Uncertainty summary of one (n, b, layout) point.
+
+    ``metrics`` maps each :data:`METRIC_FIELDS` name to its statistics
+    dict, or to ``None`` for metrics absent from the run (measured
+    metrics of a ``--no-measured`` study).
+    """
+
+    n: int
+    b: int
+    layout: str
+    replicates: int
+    ci: float
+    metrics: Mapping[str, Optional[dict]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.replicates < 1:
+            raise ValueError(f"replicates must be >= 1, got {self.replicates}")
+        if not 0.0 < self.ci < 1.0:
+            raise ValueError(f"ci must be in (0, 1), got {self.ci}")
+
+    def stat(self, metric: str, key: str) -> float:
+        """One statistic, e.g. ``stat('pred_standard_total', 'ci_hi')``."""
+        entry = self.metrics.get(metric)
+        if entry is None:
+            raise KeyError(f"metric {metric!r} absent from this summary")
+        return entry[key]
+
+    def ci_width(self, metric: str = "pred_standard_total") -> float:
+        """Width of the confidence interval of one metric (µs)."""
+        return self.stat(metric, "ci_hi") - self.stat(metric, "ci_lo")
+
+    # -- serialisation -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dict; ``from_dict`` inverts it bit-exactly."""
+        return {
+            "n": self.n,
+            "b": self.b,
+            "layout": self.layout,
+            "replicates": self.replicates,
+            "ci": self.ci,
+            "metrics": {
+                name: (None if stats is None else dict(stats))
+                for name, stats in self.metrics.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "UQPointSummary":
+        known = {"n", "b", "layout", "replicates", "ci", "metrics"}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"unknown UQPointSummary keys: {sorted(unknown)}")
+        return cls(**dict(doc))
+
+
+def reduce_replicates(
+    points: Sequence, summaries: Sequence, ci: float = 0.95
+) -> List[UQPointSummary]:
+    """Group replicate rows by (n, b, layout) and summarise each group.
+
+    ``points``/``summaries`` are the parallel grid-order sequences of a
+    :class:`repro.sweep.SweepResult`; replicates of one configuration
+    differ only in their seed.  Groups keep first-occurrence order, and
+    replicate values are accumulated in grid order, so the reduction is
+    bit-deterministic.  A metric whose value is ``None`` in *any*
+    replicate (no measured run) reduces to ``None``.
+    """
+    if len(points) != len(summaries):
+        raise ValueError(
+            f"{len(points)} points but {len(summaries)} summaries"
+        )
+    if not 0.0 < ci < 1.0:
+        raise ValueError(f"ci must be in (0, 1), got {ci}")
+    groups: dict[tuple, list] = {}
+    order: list[tuple] = []
+    for point, summary in zip(points, summaries):
+        key = (point.n, point.b, point.layout)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(summary)
+    out: List[UQPointSummary] = []
+    for key in order:
+        rows = groups[key]
+        n, b, layout = key
+        metrics: dict[str, Optional[dict]] = {}
+        for name in METRIC_FIELDS:
+            values = [getattr(row, name) for row in rows]
+            if any(v is None for v in values):
+                metrics[name] = None
+            else:
+                metrics[name] = _metric_stats(values, ci)
+        out.append(
+            UQPointSummary(
+                n=n, b=b, layout=layout,
+                replicates=len(rows), ci=ci, metrics=metrics,
+            )
+        )
+    return out
+
+
+def summary_digest(summaries: Sequence[UQPointSummary]) -> str:
+    """SHA-256 over the canonical summary documents.
+
+    Two UQ runs agree on this digest iff they agree on every statistic of
+    every point — the 1-worker vs N-worker equivalence gate in CI.
+    """
+    payload = json.dumps([s.to_dict() for s in summaries], sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,138 @@
+"""Seeded sampling primitives shared by the UQ engine and the emulator.
+
+Everything stochastic in the repository draws through this module so
+that randomness is (a) *seeded* — the same seed always produces the same
+draw, on every platform and in every worker process — and (b)
+*addressable* — independent random streams are derived from readable
+keys (``derive_seed("uq-replicate", base_seed, r)``) instead of from the
+order in which code happens to consume one global stream.  That is what
+lets replicates become ordinary sweep grid points: a replicate's entire
+perturbation is a pure function of its derived seed.
+
+The jitter/straggler draw of :class:`repro.machine.emulator.JitteredNetwork`
+lives here too (:func:`apply_jitter` / :func:`jitter_normalizer`), so the
+emulated network and the UQ engine share one audited implementation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "derive_seed",
+    "child_rng",
+    "replicate_seeds",
+    "lognormal_multiplier",
+    "apply_jitter",
+    "jitter_normalizer",
+]
+
+Key = Union[int, str]
+
+#: keys are joined with an unprintable separator so ("a", "bc") and
+#: ("ab", "c") never collide
+_SEP = "\x1f"
+
+
+def derive_seed(*keys: Key) -> int:
+    """A stable 64-bit seed from a sequence of readable keys.
+
+    Hash-based (BLAKE2b), so it is identical across processes, platforms
+    and Python versions — unlike ``hash()`` — and changing any key gives
+    an unrelated seed.  Keys may be ints or strings.
+    """
+    if not keys:
+        raise ValueError("derive_seed needs at least one key")
+    for k in keys:
+        if not isinstance(k, (int, str)):
+            raise TypeError(f"seed keys must be int or str, got {type(k).__name__}")
+    payload = _SEP.join(str(k) for k in keys)
+    digest = hashlib.blake2b(payload.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def child_rng(*keys: Key) -> np.random.Generator:
+    """An independent, deterministic RNG addressed by ``keys``.
+
+    Two calls with the same keys return generators producing identical
+    streams; different keys give statistically independent streams.
+    """
+    return np.random.default_rng(derive_seed(*keys))
+
+
+def replicate_seeds(
+    base_seed: int, replicates: int, deterministic: bool = False
+) -> Tuple[int, ...]:
+    """The per-replicate seeds of one UQ run.
+
+    Stochastic runs derive one unrelated seed per replicate index; a
+    ``deterministic`` spec (all sigmas zero) maps every replicate to the
+    *base* seed, so downstream grid expansion — which drops duplicate
+    points — collapses the ensemble to exactly the deterministic sweep.
+    That collapse is what makes ``--sigma 0`` reproduce the plain sweep's
+    result digest bit for bit.
+    """
+    if replicates < 1:
+        raise ValueError(f"replicates must be >= 1, got {replicates}")
+    if deterministic:
+        return (base_seed,) * replicates
+    return tuple(
+        derive_seed("uq-replicate", base_seed, r) for r in range(replicates)
+    )
+
+
+def lognormal_multiplier(rng: np.random.Generator, sigma: float) -> float:
+    """A mean-one log-normal perturbation factor.
+
+    ``exp(N(0, sigma) - sigma^2/2)``: the ``-sigma^2/2`` shift makes the
+    *expectation* exactly 1, so perturbing a parameter never inflates its
+    mean — the LogGP values stay the machine's average behaviour, as the
+    paper requires of them.  ``sigma == 0`` returns exactly ``1.0``
+    without consuming a draw.
+    """
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+    if sigma == 0:
+        return 1.0
+    return float(np.exp(rng.normal(0.0, sigma) - sigma * sigma / 2.0))
+
+
+def apply_jitter(
+    value: float,
+    rng: np.random.Generator,
+    sigma: float,
+    straggler_prob: float = 0.0,
+    straggler_factor: float = 1.0,
+) -> float:
+    """One jittered-network draw applied to ``value`` (µs).
+
+    The exact draw sequence :class:`repro.machine.network.JitteredNetwork`
+    has always used, extracted verbatim so its output is bit-identical:
+    a log-normal multiplier when ``sigma`` is non-zero, then — with
+    probability ``straggler_prob`` — a further ``straggler_factor``
+    contention spike.  Zero knobs consume no draws, so disabling jitter
+    leaves the RNG stream untouched.
+    """
+    if sigma:
+        value *= float(np.exp(rng.normal(0.0, sigma)))
+    if straggler_prob and rng.random() < straggler_prob:
+        value *= straggler_factor
+    return value
+
+
+def jitter_normalizer(
+    sigma: float, straggler_prob: float = 0.0, straggler_factor: float = 1.0
+) -> float:
+    """The constant making :func:`apply_jitter` mean-preserving.
+
+    ``E[apply_jitter(v)] == v * E[lognormal] * E[straggler]``; multiplying
+    ``v`` by this normaliser first keeps the expected output at ``v`` —
+    the LogGP ``L`` is the *mean* latency (paper section 4.1), so jitter
+    must not systematically inflate it.
+    """
+    lognormal_mean = float(np.exp(sigma**2 / 2.0))
+    straggler_mean = 1.0 + straggler_prob * (straggler_factor - 1.0)
+    return 1.0 / (lognormal_mean * straggler_mean)

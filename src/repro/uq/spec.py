@@ -1,0 +1,164 @@
+"""The parameter-distribution spec: *what* the UQ engine perturbs.
+
+A :class:`UQSpec` describes one uncertainty model over the machine:
+relative log-normal noise on the LogGP network parameters (globally or
+per parameter), relative noise on the per-op block timings, and optional
+overrides of the emulated network's jitter/straggler knobs.  It is a
+frozen, picklable value object with an exact JSON round-trip — the same
+spec document lands in run manifests, experiment-store fingerprints and
+golden test files, and ``from_dict(to_dict(s)) == s`` bit for bit.
+
+Two predicates drive the engine's determinism guarantees:
+
+* :meth:`UQSpec.is_deterministic` — no sampled noise at all, so every
+  replicate of a point is the same evaluation and the ensemble collapses
+  to the plain deterministic sweep;
+* :meth:`UQSpec.is_identity` — deterministic *and* no network-knob
+  overrides, so evaluation can take the exact
+  :func:`repro.core.predictor.summarize_ge_point` code path (the
+  bit-for-bit anchor of the test harness).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+__all__ = ["LOGGP_PARAMS", "UQSpec"]
+
+#: the perturbable LogGP network parameters (P is structural, never noised)
+LOGGP_PARAMS = ("L", "o", "g", "G")
+
+
+@dataclass(frozen=True)
+class UQSpec:
+    """Distribution over machine parameters for one Monte Carlo study.
+
+    Parameters
+    ----------
+    sigma:
+        Relative log-normal sigma applied to each of ``L, o, g, G``
+        (mean-preserving, see :func:`repro.uq.sampler.lognormal_multiplier`).
+    param_sigma:
+        Per-parameter overrides of ``sigma``, e.g. ``{"G": 0.3}`` to
+        study bandwidth uncertainty alone (set ``sigma=0`` then).
+    op_sigma:
+        Relative log-normal sigma on the per-op block-timing costs: each
+        replicate draws one multiplier per basic operation.
+    jitter_sigma, straggler_prob, straggler_factor:
+        Overrides for the emulated network's knobs during measured runs;
+        ``None`` keeps the emulator's defaults.  These are fixed settings,
+        not sampled quantities — replicate-to-replicate network
+        variability comes from the per-replicate seeds.
+    """
+
+    sigma: float = 0.0
+    param_sigma: Mapping[str, float] = field(default_factory=dict)
+    op_sigma: float = 0.0
+    jitter_sigma: Optional[float] = None
+    straggler_prob: Optional[float] = None
+    straggler_factor: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {self.sigma}")
+        if self.op_sigma < 0:
+            raise ValueError(f"op_sigma must be >= 0, got {self.op_sigma}")
+        for name, value in self.param_sigma.items():
+            if name not in LOGGP_PARAMS:
+                raise ValueError(
+                    f"unknown parameter {name!r} in param_sigma; "
+                    f"perturbable: {LOGGP_PARAMS}"
+                )
+            if value < 0:
+                raise ValueError(f"param_sigma[{name!r}] must be >= 0, got {value}")
+        if self.jitter_sigma is not None and self.jitter_sigma < 0:
+            raise ValueError("jitter_sigma override must be >= 0")
+        if self.straggler_prob is not None and not (0.0 <= self.straggler_prob <= 1.0):
+            raise ValueError("straggler_prob override must be in [0, 1]")
+        if self.straggler_factor is not None and self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor override must be >= 1")
+        # freeze the mapping so the frozen dataclass is deeply immutable
+        object.__setattr__(self, "param_sigma", dict(self.param_sigma))
+
+    # -- predicates ----------------------------------------------------------
+    def effective_sigma(self, param: str) -> float:
+        """The sigma actually applied to one LogGP parameter."""
+        if param not in LOGGP_PARAMS:
+            raise ValueError(f"unknown parameter {param!r}")
+        return float(self.param_sigma.get(param, self.sigma))
+
+    def is_deterministic(self) -> bool:
+        """No sampled noise: every replicate evaluates identically.
+
+        Network-knob *overrides* don't break determinism — with one seed
+        shared by all replicates they change the value, not its spread.
+        """
+        return (
+            self.sigma == 0
+            and self.op_sigma == 0
+            and all(v == 0 for v in self.param_sigma.values())
+        )
+
+    def is_identity(self) -> bool:
+        """Deterministic *and* override-free: the exact plain-sweep path."""
+        return (
+            self.is_deterministic()
+            and self.jitter_sigma is None
+            and self.straggler_prob is None
+            and self.straggler_factor is None
+        )
+
+    def network_overrides(self) -> dict:
+        """The non-``None`` emulator network overrides as kwargs."""
+        return {
+            key: value
+            for key, value in (
+                ("jitter_sigma", self.jitter_sigma),
+                ("straggler_prob", self.straggler_prob),
+                ("straggler_factor", self.straggler_factor),
+            )
+            if value is not None
+        }
+
+    # -- serialisation -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dict; ``from_dict`` inverts it bit-exactly."""
+        return {
+            "sigma": self.sigma,
+            "param_sigma": dict(self.param_sigma),
+            "op_sigma": self.op_sigma,
+            "jitter_sigma": self.jitter_sigma,
+            "straggler_prob": self.straggler_prob,
+            "straggler_factor": self.straggler_factor,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "UQSpec":
+        """Reconstruct a spec; unknown keys are an error (schema drift)."""
+        known = {
+            "sigma", "param_sigma", "op_sigma",
+            "jitter_sigma", "straggler_prob", "straggler_factor",
+        }
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"unknown UQSpec keys: {sorted(unknown)}")
+        return cls(**dict(doc))
+
+    def fingerprint(self) -> str:
+        """Short stable hash of the spec (store tags, manifests)."""
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def store_tag(self) -> Optional[str]:
+        """The :class:`repro.experiments.ExperimentStore` extra tag.
+
+        ``None`` for the identity spec so a zero-noise UQ run *shares*
+        entries with plain sweeps (same evaluations, same cache); any
+        real perturbation gets its own keyspace.
+        """
+        if self.is_identity():
+            return None
+        return f"uq-{self.fingerprint()}"

@@ -1,0 +1,56 @@
+"""Regenerate the UQ golden file (``uq_golden_fig7.json``).
+
+Run from the repo root after an *intentional* change to the timing
+semantics, the perturbation model or the reduction:
+
+    PYTHONPATH=src python tests/data/regen_uq_golden.py
+
+The golden pins the complete UQ summaries (every statistic of every
+metric, exact float equality — the RNG is seeded, so there is no
+tolerance to fudge) for a small Figure 7 slice, plus the replicate-level
+and summary digests.  ``tests/test_uq_golden.py`` must pass afterwards;
+commit the regenerated JSON together with the change that moved it.
+"""
+
+import json
+from pathlib import Path
+
+from repro.core import MEIKO_CS2, CalibratedCostModel
+from repro.uq import UQSpec, run_uq
+
+#: the pinned configuration — mirror any change in test_uq_golden.py
+CONFIG = {
+    "n": 240,
+    "blocks": [24, 48],
+    "layouts": ["diagonal"],
+    "replicates": 6,
+    "base_seed": 123,
+    "ci": 0.95,
+    "spec": {"sigma": 0.1, "op_sigma": 0.05},
+    "with_measured": True,
+}
+
+
+def build() -> dict:
+    spec = UQSpec(**CONFIG["spec"])
+    result = run_uq(
+        CONFIG["n"], CONFIG["blocks"], CONFIG["layouts"],
+        MEIKO_CS2, CalibratedCostModel(),
+        spec=spec,
+        replicates=CONFIG["replicates"],
+        ci=CONFIG["ci"],
+        base_seed=CONFIG["base_seed"],
+        with_measured=CONFIG["with_measured"],
+    )
+    return {
+        "config": CONFIG,
+        "summaries": result.to_rows(),
+        "summary_sha256": result.summary_digest(),
+        "results_sha256": result.replicate_digest(),
+    }
+
+
+if __name__ == "__main__":
+    out = Path(__file__).parent / "uq_golden_fig7.json"
+    out.write_text(json.dumps(build(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")

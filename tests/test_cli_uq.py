@@ -1,0 +1,135 @@
+"""CLI tests for the ``repro uq`` verb.
+
+The two acceptance gates live here in CLI form: a zero-sigma UQ run's
+``results_sha256`` equals the plain ``repro sweep`` digest bit for bit,
+and the seeded sigma>0 summary digest is identical under ``--workers 1``
+and ``--workers 2``.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+BASE = ["uq", "-n", "120", "--blocks", "24", "40", "--layout", "diagonal",
+        "--no-measured", "--seed", "0", "--replicates", "4", "--sigma", "0.1"]
+SWEEP = ["sweep", "-n", "120", "--blocks", "24", "40", "--layout", "diagonal",
+         "--no-measured", "--seed", "0"]
+
+
+def run_json(argv, capsys):
+    assert main([*argv, "--json", "--no-manifest"]) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+def manifest(path):
+    return json.loads(path.read_text())
+
+
+class TestBasicRun:
+    def test_table_output(self, capsys):
+        assert main([*BASE, "--no-manifest"]) == 0
+        out = capsys.readouterr().out
+        assert "95% CI over 4 replicates" in out
+        assert "mean" in out and "ci_lo" in out and "ci_hi" in out
+
+    def test_json_shape(self, capsys):
+        doc = run_json(BASE, capsys)
+        assert doc["replicates"] == 4 and doc["ci"] == 0.95
+        assert doc["spec"]["sigma"] == 0.1
+        assert len(doc["rows"]) == 2
+        for row in doc["rows"]:
+            assert row["replicates"] == 4
+            stats = row["metrics"]["pred_standard_total"]
+            assert stats["ci_lo"] <= stats["mean"] <= stats["ci_hi"]
+            assert row["metrics"]["measured_total"] is None  # --no-measured
+        assert len(doc["summary_sha256"]) == 64
+        assert len(doc["results_sha256"]) == 64
+
+    def test_sensitivity_report(self, capsys):
+        doc = run_json([*BASE, "--sensitivity"], capsys)
+        report = doc["sensitivity"]["diagonal"]
+        assert [row["b"] for row in report] == [24, 40]
+        assert all(row["dominant"] in row["elasticity"] for row in report)
+
+    def test_bad_blocks_rejected(self, capsys):
+        assert main(["uq", "-n", "120", "--blocks", "23", "--layout", "diagonal",
+                     "--no-manifest"]) == 2
+
+
+class TestZeroSigmaAnchor:
+    def test_sigma_zero_results_digest_equals_sweep(self, tmp_path, capsys):
+        """`repro uq --replicates 32 --sigma 0` IS the deterministic sweep."""
+        uq = run_json(["uq", "-n", "120", "--blocks", "24", "40",
+                       "--layout", "diagonal", "--no-measured", "--seed", "0",
+                       "--replicates", "32", "--sigma", "0"], capsys)
+        m = tmp_path / "sweep.json"
+        assert main([*SWEEP, "--manifest-out", str(m)]) == 0
+        capsys.readouterr()
+        assert uq["results_sha256"] == manifest(m)["extra"]["results_sha256"]
+
+    def test_sigma_zero_manifest_marks_deterministic(self, tmp_path, capsys):
+        m = tmp_path / "uq.json"
+        assert main(["uq", "-n", "120", "--blocks", "24", "--layout", "diagonal",
+                     "--no-measured", "--sigma", "0", "--replicates", "8",
+                     "--manifest-out", str(m)]) == 0
+        capsys.readouterr()
+        doc = manifest(m)
+        assert doc["uq"]["deterministic"] is True
+        assert doc["uq"]["spec"]["sigma"] == 0.0
+        assert doc["extra"]["sweep"]["total"] == 1  # collapsed ensemble
+
+
+class TestWorkerInvariance:
+    def test_summary_digest_equal_across_worker_counts(self, capsys):
+        serial = run_json([*BASE, "--workers", "1"], capsys)
+        parallel = run_json([*BASE, "--workers", "2"], capsys)
+        assert parallel["summary_sha256"] == serial["summary_sha256"]
+        assert parallel["results_sha256"] == serial["results_sha256"]
+        assert parallel["rows"] == serial["rows"]
+
+
+class TestManifest:
+    def test_uq_block_recorded(self, tmp_path, capsys):
+        m = tmp_path / "uq.json"
+        assert main([*BASE, "--manifest-out", str(m)]) == 0
+        capsys.readouterr()
+        doc = manifest(m)
+        assert doc["command"] == "uq" and doc["engine"] == "uq"
+        block = doc["uq"]
+        assert block["replicates"] == 4 and block["ci"] == 0.95
+        assert block["deterministic"] is False
+        assert len(block["summary_sha256"]) == 64
+        assert block["spec"]["sigma"] == 0.1
+        assert doc["extra"]["sweep"]["total"] == 8  # 2 blocks x 4 replicates
+
+    def test_store_resume_through_cli(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        m = tmp_path / "m.json"
+        assert main([*BASE, "--store", str(store), "--no-manifest"]) == 0
+        assert main([*BASE, "--store", str(store), "--resume",
+                     "--manifest-out", str(m)]) == 0
+        capsys.readouterr()
+        stats = manifest(m)["extra"]["sweep"]
+        assert stats["cached"] == stats["total"] == 8
+
+
+class TestSvgOutput:
+    def test_svg_written(self, tmp_path, capsys):
+        out = tmp_path / "band.svg"
+        assert main([*BASE, "--svg-out", str(out), "--no-manifest"]) == 0
+        capsys.readouterr()
+        text = out.read_text()
+        assert text.startswith("<svg") and "polyline" in text
+
+    def test_multi_layout_suffixes(self, tmp_path, capsys):
+        out = tmp_path / "band.svg"
+        argv = ["uq", "-n", "120", "--blocks", "24", "40",
+                "--layout", "diagonal", "column", "--no-measured",
+                "--replicates", "3", "--sigma", "0.1",
+                "--svg-out", str(out), "--no-manifest"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert (tmp_path / "band-diagonal.svg").exists()
+        assert (tmp_path / "band-column.svg").exists()

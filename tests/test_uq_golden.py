@@ -1,0 +1,72 @@
+"""Statistical golden regression for the UQ engine — exact equality.
+
+The Monte Carlo engine is fully seeded, so its summaries are *exact*
+quantities, not noisy ones: the checked-in ``uq_golden_fig7.json`` pins
+every statistic of every metric for a small Figure 7 slice with ``==``
+(no tolerances).  Any change to the perturbation model, the sampler's
+stream addressing, the simulators or the reduction moves these values
+and must regenerate the golden deliberately
+(``PYTHONPATH=src python tests/data/regen_uq_golden.py``).
+
+The same golden is asserted under 1 and 2 workers: the digests cannot
+depend on how the replicate grid was scheduled.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import MEIKO_CS2, CalibratedCostModel
+from repro.uq import UQSpec, run_uq
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "uq_golden_fig7.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def run_from_config(config, workers=1):
+    return run_uq(
+        config["n"], config["blocks"], config["layouts"],
+        MEIKO_CS2, CalibratedCostModel(),
+        spec=UQSpec(**config["spec"]),
+        replicates=config["replicates"],
+        ci=config["ci"],
+        base_seed=config["base_seed"],
+        with_measured=config["with_measured"],
+        workers=workers,
+    )
+
+
+@pytest.fixture(scope="module")
+def result(golden):
+    return run_from_config(golden["config"])
+
+
+class TestGoldenSummaries:
+    def test_summaries_exactly_equal(self, golden, result):
+        assert result.to_rows() == golden["summaries"]
+
+    def test_summary_digest(self, golden, result):
+        assert result.summary_digest() == golden["summary_sha256"]
+
+    def test_replicate_digest(self, golden, result):
+        assert result.replicate_digest() == golden["results_sha256"]
+
+    def test_metrics_complete(self, golden):
+        """A measured golden run must pin every metric, none null."""
+        for row in golden["summaries"]:
+            assert all(stats is not None for stats in row["metrics"].values())
+            for stats in row["metrics"].values():
+                assert stats["min"] <= stats["ci_lo"] <= stats["ci_hi"] <= stats["max"]
+
+
+class TestGoldenUnderWorkers:
+    def test_two_workers_reproduce_the_golden_exactly(self, golden):
+        result = run_from_config(golden["config"], workers=2)
+        assert result.summary_digest() == golden["summary_sha256"]
+        assert result.replicate_digest() == golden["results_sha256"]
+        assert result.to_rows() == golden["summaries"]

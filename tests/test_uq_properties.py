@@ -1,0 +1,162 @@
+"""Property-based tests for the Monte Carlo UQ engine (`repro.uq`).
+
+The three properties the issue pins:
+
+* **Zero-noise anchor.**  With all sigmas zero, every replicate is
+  bit-identical to the deterministic predictor — the UQ path must be an
+  exact superset of the plain sweep, not an approximation of it.
+* **CI monotonicity.**  More parameter noise never *narrows* the
+  confidence band (checked at the sampled-multiplier level, where it is
+  a theorem given shared underlying draws, and at the engine level on a
+  fixed seeded configuration).
+* **Worker invariance.**  The same seed gives the same summary digest
+  whatever the worker count.
+
+Hypothesis drives the cheap properties; simulation-backed checks use
+small fixed grids so the suite stays fast and fully deterministic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MEIKO_CS2, CalibratedCostModel
+from repro.core.predictor import summarize_ge_point, summarize_uq_point
+from repro.machine.perturbed import PerturbedMachine
+from repro.uq import UQSpec, child_rng, run_uq
+
+PARAMS = MEIKO_CS2
+CM = CalibratedCostModel()
+
+small_sigmas = st.floats(
+    min_value=0.0, max_value=0.5, allow_nan=False, allow_infinity=False
+)
+
+
+class TestZeroNoiseAnchor:
+    @given(
+        b=st.sampled_from([24, 40, 60]),
+        layout=st.sampled_from(["diagonal", "stripped", "block2d", "column"]),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_sigma_zero_replicates_bit_identical_to_predictor(self, b, layout, seed):
+        spec = UQSpec(sigma=0.0, op_sigma=0.0)
+        uq = summarize_uq_point(
+            120, b, layout, PARAMS, CM, spec, with_measured=False, seed=seed
+        )
+        det = summarize_ge_point(
+            120, b, layout, PARAMS, CM, with_measured=False, seed=seed
+        )
+        assert uq == det  # exact float equality, field for field
+
+    def test_sigma_zero_with_measured_bit_identical(self):
+        spec = UQSpec()
+        uq = summarize_uq_point(120, 24, "diagonal", PARAMS, CM, spec, seed=3)
+        det = summarize_ge_point(120, 24, "diagonal", PARAMS, CM, seed=3)
+        assert uq == det
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_spec_returns_base_objects(self, seed):
+        machine = PerturbedMachine(PARAMS, CM, UQSpec())
+        p, cm = machine.sample(seed)
+        assert p is PARAMS and cm is CM
+
+
+class TestCIMonotoneInSigma:
+    @given(
+        sig_lo=small_sigmas,
+        sig_hi=small_sigmas,
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_multiplier_spread_monotone(self, sig_lo, sig_hi, seed):
+        """Given shared standard-normal draws, the sampled-parameter CI
+        width is non-decreasing in sigma (the engine-level property's
+        provable core)."""
+        if sig_lo > sig_hi:
+            sig_lo, sig_hi = sig_hi, sig_lo
+        z = child_rng("ci-mono", seed).normal(0.0, 1.0, size=64)
+
+        def width(sigma):
+            vals = np.sort(np.exp(sigma * z - sigma * sigma / 2.0))
+            return np.quantile(vals, 0.975) - np.quantile(vals, 0.025)
+
+        assert width(sig_hi) >= width(sig_lo) - 1e-15
+
+    def test_engine_ci_width_monotone_fixed_seed(self):
+        """Seeded end-to-end check: wider sigma, wider predicted-time CI."""
+        widths = []
+        for sigma in (0.0, 0.05, 0.15):
+            result = run_uq(
+                120, [24, 40], ["diagonal"], PARAMS, CM,
+                spec=UQSpec(sigma=sigma), replicates=12,
+                with_measured=False, base_seed=9,
+            )
+            widths.append(
+                [s.ci_width("pred_standard_total") for s in result.summaries]
+            )
+        for narrow, wide in zip(widths, widths[1:]):
+            for w_lo, w_hi in zip(narrow, wide):
+                assert w_hi >= w_lo
+
+    def test_sigma_zero_ci_width_is_zero(self):
+        result = run_uq(
+            120, [24], ["diagonal"], PARAMS, CM,
+            spec=UQSpec(), replicates=8, with_measured=False,
+        )
+        assert result.summaries[0].ci_width() == 0.0
+
+
+class TestWorkerInvariance:
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_same_seed_same_summary_across_worker_counts(self, workers):
+        kwargs = dict(
+            spec=UQSpec(sigma=0.1, op_sigma=0.05), replicates=6,
+            with_measured=False, base_seed=17,
+        )
+        serial = run_uq(120, [24, 40], ["diagonal"], PARAMS, CM, **kwargs)
+        parallel = run_uq(
+            120, [24, 40], ["diagonal"], PARAMS, CM, workers=workers, **kwargs
+        )
+        assert serial.summary_digest() == parallel.summary_digest()
+        assert serial.replicate_digest() == parallel.replicate_digest()
+
+    @given(base_seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_replicate_evaluation_is_pure_in_seed(self, base_seed):
+        spec = UQSpec(sigma=0.2, op_sigma=0.1)
+        a = summarize_uq_point(
+            120, 24, "diagonal", PARAMS, CM, spec,
+            with_measured=False, seed=base_seed,
+        )
+        b = summarize_uq_point(
+            120, 24, "diagonal", PARAMS, CM, spec,
+            with_measured=False, seed=base_seed,
+        )
+        assert a == b
+
+
+class TestPerturbationShape:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        sigma=st.floats(min_value=0.01, max_value=0.5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_perturbation_only_touches_noised_knobs(self, seed, sigma):
+        machine = PerturbedMachine(PARAMS, CM, UQSpec(sigma=0.0, param_sigma={"G": sigma}))
+        p, cm = machine.sample(seed)
+        assert (p.L, p.o, p.g, p.P) == (PARAMS.L, PARAMS.o, PARAMS.g, PARAMS.P)
+        assert p.G > 0 and cm is CM
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_op_factors_positive_and_seed_stable(self, seed):
+        machine = PerturbedMachine(PARAMS, CM, UQSpec(op_sigma=0.3))
+        _, cm1 = machine.sample(seed)
+        _, cm2 = machine.sample(seed)
+        assert cm1.factors == cm2.factors
+        assert all(f > 0 for f in cm1.factors.values())
+        assert cm1.cost("op1", 24) == CM.cost("op1", 24) * cm1.factors["op1"]

@@ -1,0 +1,121 @@
+"""Fuzz / round-trip tests: UQ documents must survive JSON bit-exactly.
+
+The spec and summary documents travel through golden files, run
+manifests and the experiment store's fingerprint; Python's ``repr``-based
+float serialisation makes ``loads(dumps(x))`` exact, so equality here is
+``==`` on floats, never approx.  Hypothesis drives the document shapes.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.manifest import RunRecord
+from repro.uq import LOGGP_PARAMS, UQPointSummary, UQSpec
+from repro.uq.reduce import METRIC_FIELDS, _metric_stats
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+)
+sigmas = st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+
+spec_strategy = st.builds(
+    UQSpec,
+    sigma=sigmas,
+    param_sigma=st.dictionaries(st.sampled_from(LOGGP_PARAMS), sigmas, max_size=4),
+    op_sigma=sigmas,
+    jitter_sigma=st.none() | sigmas,
+    straggler_prob=st.none() | st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    straggler_factor=st.none() | st.floats(min_value=1.0, max_value=10.0, allow_nan=False),
+)
+
+
+def _stats_strategy():
+    return st.lists(finite_floats, min_size=1, max_size=8).map(
+        lambda vals: _metric_stats(vals, 0.95)
+    )
+
+
+summary_strategy = st.builds(
+    UQPointSummary,
+    n=st.integers(min_value=1, max_value=4096),
+    b=st.integers(min_value=1, max_value=256),
+    layout=st.sampled_from(["diagonal", "stripped", "block2d", "column"]),
+    replicates=st.integers(min_value=1, max_value=128),
+    ci=st.floats(min_value=0.01, max_value=0.99, allow_nan=False),
+    metrics=st.fixed_dictionaries(
+        {name: st.none() | _stats_strategy() for name in METRIC_FIELDS}
+    ),
+)
+
+
+class TestSpecRoundTrip:
+    @given(spec=spec_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_json_round_trip_bit_exact(self, spec):
+        doc = json.loads(json.dumps(spec.to_dict()))
+        assert UQSpec.from_dict(doc) == spec
+        assert UQSpec.from_dict(doc).to_dict() == spec.to_dict()
+
+    @given(spec=spec_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_fingerprint_stable_through_round_trip(self, spec):
+        revived = UQSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert revived.fingerprint() == spec.fingerprint()
+        assert revived.store_tag() == spec.store_tag()
+
+    def test_unknown_keys_rejected(self):
+        doc = UQSpec().to_dict()
+        doc["sigmaa"] = 0.1
+        with pytest.raises(ValueError, match="sigmaa"):
+            UQSpec.from_dict(doc)
+
+    def test_validation_survives_deserialisation(self):
+        with pytest.raises(ValueError):
+            UQSpec.from_dict({"sigma": -0.1})
+        with pytest.raises(ValueError):
+            UQSpec.from_dict({"param_sigma": {"P": 0.1}})
+        with pytest.raises(ValueError):
+            UQSpec.from_dict({"straggler_prob": 1.5})
+
+
+class TestSummaryRoundTrip:
+    @given(summary=summary_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_json_round_trip_bit_exact(self, summary):
+        doc = json.loads(json.dumps(summary.to_dict()))
+        revived = UQPointSummary.from_dict(doc)
+        assert revived.to_dict() == summary.to_dict()
+        assert revived.metrics == dict(summary.metrics)
+
+    def test_unknown_keys_rejected(self):
+        doc = UQPointSummary(n=120, b=24, layout="diagonal",
+                             replicates=2, ci=0.95).to_dict()
+        doc["extra"] = 1
+        with pytest.raises(ValueError, match="extra"):
+            UQPointSummary.from_dict(doc)
+
+
+class TestManifestEmbedding:
+    @given(spec=spec_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_uq_block_survives_manifest_write_load(self, spec, tmp_path_factory):
+        uq_block = {
+            "spec": spec.to_dict(),
+            "replicates": 16,
+            "ci": 0.95,
+            "deterministic": spec.is_deterministic(),
+            "summary_sha256": "0" * 64,
+        }
+        rec = RunRecord(command="uq")
+        rec.note(uq=uq_block)
+        path = tmp_path_factory.mktemp("manifest") / "run.json"
+        rec.write(path)
+        loaded = RunRecord.load(path)
+        assert loaded.uq == uq_block
+        assert UQSpec.from_dict(loaded.uq["spec"]) == spec
+
+    def test_non_uq_manifest_has_empty_block(self):
+        assert RunRecord(command="sweep").uq == {}
