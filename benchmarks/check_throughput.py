@@ -3,12 +3,24 @@
 Usage::
 
     python benchmarks/check_throughput.py MANIFEST [BASELINE]
+    python benchmarks/check_throughput.py --kernel [BENCH_JSON [BASELINE]]
 
-``MANIFEST`` is a ``RunRecord`` JSON written by ``repro observe``;
-``BASELINE`` defaults to ``benchmarks/baselines/obs_throughput.json``.
-Exits non-zero when the manifest's ``events_per_sec`` is more than the
-baseline's ``tolerance`` (fraction, default 0.30) below the baseline
-value.  ``REPRO_THROUGHPUT_TOLERANCE`` overrides the tolerance, e.g. for
+In the default mode ``MANIFEST`` is a ``RunRecord`` JSON written by
+``repro observe``; ``BASELINE`` defaults to
+``benchmarks/baselines/obs_throughput.json``.  Exits non-zero when the
+manifest's ``events_per_sec`` is more than the baseline's ``tolerance``
+(fraction, default 0.30) below the baseline value.
+
+``--kernel`` checks the fast-kernel bench instead: ``BENCH_JSON``
+defaults to ``BENCH_kernel.json`` at the repo root (written by
+``benchmarks/bench_kernel.py``) and ``BASELINE`` to
+``benchmarks/baselines/kernel_throughput.json``.  The guarded value is
+the steady-state ``points_per_sec_fast``; when the bench ran on a host
+with fewer than 4 CPUs the check is skipped with a notice (wall-clock
+on small runners is too noisy to gate — bit-identity is still enforced
+inside the bench itself).
+
+``REPRO_THROUGHPUT_TOLERANCE`` overrides either tolerance, e.g. for
 noisier runners.
 """
 
@@ -20,9 +32,58 @@ import sys
 from pathlib import Path
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "baselines" / "obs_throughput.json"
+KERNEL_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+KERNEL_BASELINE = (
+    Path(__file__).resolve().parent / "baselines" / "kernel_throughput.json"
+)
+
+
+def check_kernel(argv: list[str]) -> int:
+    """The ``--kernel`` mode: guard BENCH_kernel.json's steady-state rate."""
+    if len(argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    bench_path = Path(argv[0]) if argv else KERNEL_BENCH_JSON
+    baseline_path = Path(argv[1]) if len(argv) == 2 else KERNEL_BASELINE
+    record = json.loads(bench_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+
+    if not record.get("identical", False):
+        print("FAIL: BENCH_kernel.json reports fast != reference results")
+        return 1
+
+    cpus = record.get("cpu_count", 0)
+    got = record.get("points_per_sec_fast")
+    ref = baseline["points_per_sec_fast"]
+    tolerance = float(
+        os.environ.get("REPRO_THROUGHPUT_TOLERANCE", baseline.get("tolerance", 0.30))
+    )
+    floor = ref * (1.0 - tolerance)
+
+    if not got:
+        print(f"FAIL: {bench_path} has no points_per_sec_fast")
+        return 1
+    print(
+        f"kernel throughput: {got:.2f} points/s steady-state "
+        f"(baseline {ref:.2f}, floor {floor:.2f} at -{tolerance:.0%}, "
+        f"speedup {record.get('speedup', 0.0):.2f}x on {cpus} CPUs)"
+    )
+    if cpus < 4:
+        print(
+            f"SKIP: bench ran on {cpus} CPU(s) — below 4, wall-clock too noisy "
+            "to gate (bit-identity was still checked by the bench)"
+        )
+        return 0
+    if got < floor:
+        print(f"FAIL: kernel throughput regressed more than {tolerance:.0%} below baseline")
+        return 1
+    print("OK")
+    return 0
 
 
 def main(argv: list[str]) -> int:
+    if argv and argv[0] == "--kernel":
+        return check_kernel(argv[1:])
     if not argv or len(argv) > 2:
         print(__doc__, file=sys.stderr)
         return 2

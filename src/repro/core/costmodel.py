@@ -22,6 +22,7 @@ Implementations:
 from __future__ import annotations
 
 import bisect
+import hashlib
 from typing import Mapping, Protocol, Sequence, runtime_checkable
 
 from ..blockops.calibration import calibrated_cost
@@ -82,6 +83,15 @@ class TableCostModel:
         """Tabulated sizes per op."""
         return {op: list(sizes) for op, sizes in self._sizes.items()}
 
+    def fingerprint(self) -> str:
+        """Stable identity over the full table contents (repr-exact)."""
+        payload = ";".join(
+            f"{op}:{b}={self._table[op][b]!r}"
+            for op in sorted(self._table)
+            for b in self._sizes[op]
+        )
+        return "table:" + hashlib.sha256(payload.encode()).hexdigest()[:16]
+
     def cost(self, op: str, b: int) -> float:
         """Table lookup with cubic-domain interpolation/extrapolation."""
         if op not in self._table:
@@ -116,6 +126,10 @@ class CalibratedCostModel:
         """See :func:`repro.blockops.calibration.calibrated_cost`."""
         return calibrated_cost(op, b)
 
+    def fingerprint(self) -> str:
+        """Stable identity: the model is pure in its module constants."""
+        return "calibrated:v1"
+
     def table(self, block_sizes: Sequence[int]) -> dict[str, dict[int, float]]:
         """Materialise the model as an explicit table."""
         return {op: {b: self.cost(op, b) for b in block_sizes} for op in OP_NAMES}
@@ -128,6 +142,11 @@ class MeasuredCostModel:
     operations, time them per block size, feed the table to the simulator.
     Timings depend on the host; use :class:`CalibratedCostModel` for
     deterministic experiments.
+
+    Deliberately has no ``fingerprint()`` method: costs are wall-clock
+    samples, so no two instances agree and the kernel memo must bypass
+    the model (it memoises internally anyway).  Freeze with
+    :meth:`to_table` to get a fingerprintable model.
     """
 
     def __init__(self, repeats: int = 5, seed: int = 0):
@@ -167,3 +186,7 @@ class FlopCostModel:
         if b < 1:
             raise ValueError("block size must be >= 1")
         return self.us_per_flop * flop_count(op, b)
+
+    def fingerprint(self) -> str:
+        """Stable identity: fully determined by the flop rate."""
+        return f"flop:{self.us_per_flop!r}"

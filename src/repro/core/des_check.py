@@ -29,6 +29,7 @@ from typing import Mapping, Optional
 import numpy as np
 
 from ..des import Environment, Event
+from ..kernel import flags as _kernel_flags
 from ..obs.events import get_tracer
 from .events import CommEvent, StepTimeline
 from .loggp import LogGPParameters, OpKind
@@ -72,6 +73,10 @@ def simulate_causal(
     (the machine emulator's jittered network); default is ``params.L``.
     """
     del rng, seed  # deterministic; kept for API symmetry
+    if _kernel_flags.enabled:
+        from ..kernel.fastdes import simulate_causal_fast
+
+        return simulate_causal_fast(params, pattern, start_times, latency_of)
     if latency_of is None:
         latency_of = lambda _msg: params.L  # noqa: E731 - tiny closure
     starts = dict(start_times or {})

@@ -19,9 +19,17 @@ from .units import TIME_EPS, approx_ge
 __all__ = ["CommEvent", "StepTimeline"]
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class CommEvent:
-    """One operation at one processor: ``proc`` does ``kind`` on ``message``."""
+    """One operation at one processor: ``proc`` does ``kind`` on ``message``.
+
+    Not ``frozen``: the simulators create one of these per simulated
+    operation (hundreds of thousands per sweep point), and a frozen
+    dataclass pays ``object.__setattr__`` per field — ~4x the
+    construction cost.  Events are still value-like: nothing mutates
+    them after creation, and ``__hash__`` hashes the same field tuple a
+    frozen dataclass would.
+    """
 
     proc: int
     kind: OpKind
@@ -30,6 +38,11 @@ class CommEvent:
     message: Message
     #: for receives: the time the message fully arrived (start >= arrival)
     arrival: Optional[float] = None
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.proc, self.kind, self.start, self.duration, self.message, self.arrival)
+        )
 
     @property
     def end(self) -> float:
@@ -89,7 +102,7 @@ class StepTimeline:
         """Completion of the whole step (max over processors, paper's metric)."""
         if not self.events:
             return max(self.start_times.values(), default=0.0)
-        return max(e.end for e in self.events)
+        return max(e.start + e.duration for e in self.events)
 
     def per_proc_finish(self) -> dict[int, float]:
         """``{proc: finish time}`` over all processors seen."""
@@ -99,6 +112,21 @@ class StepTimeline:
     def busy_time(self, proc: int) -> float:
         """Total time ``proc`` spent engaged in operations this step."""
         return sum(e.duration for e in self.events if e.proc == proc)
+
+    def busy_times(self) -> dict[int, float]:
+        """Engaged time of every participating processor, in one pass.
+
+        Each processor's durations accumulate in event order — the same
+        float summation order :meth:`busy_time` uses — so
+        ``busy_times()[p] == busy_time(p)`` bit for bit, at a single scan
+        instead of one scan per processor.
+        """
+        out: dict[int, float] = {}
+        get = out.get
+        for e in self.events:
+            p = e.proc
+            out[p] = get(p, 0.0) + e.duration
+        return out
 
     # -- invariant checking --------------------------------------------------------
     def validate(

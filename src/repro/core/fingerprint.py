@@ -1,0 +1,117 @@
+"""Canonical machine fingerprints: one hash for store keys, memo keys, UQ tags.
+
+Three subsystems need to answer "is this the same machine?": the
+:class:`repro.experiments.ExperimentStore` (disk keys must miss when the
+machine changes), the :mod:`repro.kernel` cost memo (a cached cost must
+never survive a cost-model change), and the UQ engine (perturbed
+ensembles must never collide with deterministic entries).  Before this
+module each hashed the parameters its own way — the store through the
+lossy ``params.describe()`` string, the memo not at all — so they could
+disagree.  Now all of them compose the same canonical helper:
+
+* :func:`loggp_fingerprint` — full-precision (``repr``-exact) hash input
+  for the five LogGP parameters, so machines differing in the 17th digit
+  still miss;
+* :func:`cost_model_fingerprint` — asks the model itself via its
+  ``fingerprint()`` method; models that cannot be fingerprinted (e.g.
+  host-timed :class:`~repro.core.costmodel.MeasuredCostModel`, whose
+  costs are wall-clock samples) return ``None``, which callers treat as
+  "do not cache across instances";
+* :func:`machine_fingerprint` — the composed ``(params, cost model,
+  extra)`` tag.  For un-fingerprintable models it falls back to the
+  store's legacy probe costs, preserving its keying behaviour.
+
+Invalidation story (tested in ``tests/test_kernel_memo.py``): a
+:class:`~repro.machine.perturbed.ScaledCostModel` folds its per-op
+factors into the fingerprint, a ``params.with_(...)`` copy changes the
+LogGP hash input, and a :class:`~repro.machine.perturbed.PerturbedMachine`
+replicate changes both — so every perturbation is a guaranteed miss,
+never a stale hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from .loggp import LogGPParameters
+
+__all__ = [
+    "FINGERPRINT_VERSION",
+    "loggp_fingerprint",
+    "cost_model_fingerprint",
+    "machine_fingerprint",
+]
+
+#: bumped whenever the canonical payload format changes (invalidates
+#: every store entry and memo bucket built with the old format)
+FINGERPRINT_VERSION = 1
+
+#: (op, b) probes for models that cannot self-fingerprint — the legacy
+#: :class:`repro.experiments.ExperimentStore` behaviour.
+_PROBES = (("op1", 16), ("op4", 16), ("op2", 64), ("op3", 64))
+
+
+def loggp_fingerprint(params: LogGPParameters) -> str:
+    """Canonical, full-precision hash input for the LogGP parameters.
+
+    Uses ``repr`` of the floats (round-trip exact), unlike the display
+    string ``params.describe()`` whose ``:g`` formatting collapses
+    nearby values onto one key.
+    """
+    return (
+        f"L={params.L!r};o={params.o!r};g={params.g!r};"
+        f"G={params.G!r};P={params.P};name={params.name}"
+    )
+
+
+def cost_model_fingerprint(cost_model) -> Optional[str]:
+    """The model's own stable identity, or ``None`` if it has none.
+
+    Any object exposing ``fingerprint() -> Optional[str]`` participates;
+    ``None`` (no method, or the method returns ``None`` — e.g. a
+    :class:`~repro.machine.perturbed.ScaledCostModel` wrapping an
+    un-fingerprintable base) means costs must not be shared across
+    instances, and the kernel memo bypasses the model entirely.
+    """
+    method = getattr(cost_model, "fingerprint", None)
+    if method is None:
+        return None
+    return method()
+
+
+def _probe_fingerprint(cost_model) -> str:
+    """Legacy fallback: class name plus four probe costs."""
+    costs = []
+    for op, b in _PROBES:
+        try:
+            costs.append(f"{cost_model.cost(op, b):.6f}")
+        except ValueError:
+            costs.append("n/a")
+    return "probe:" + type(cost_model).__name__ + ":" + ",".join(costs)
+
+
+def machine_fingerprint(
+    params: LogGPParameters,
+    cost_model,
+    *,
+    extra: Optional[str] = None,
+) -> str:
+    """The canonical 16-hex tag of one ``(machine, cost model)`` pair.
+
+    ``extra`` folds in caller-specific context (the store's version +
+    UQ tag).  Deterministic across processes for fingerprintable models;
+    for probe-fallback models it is as stable as the probe costs are.
+    """
+    cost_fp = cost_model_fingerprint(cost_model)
+    if cost_fp is None:
+        cost_fp = _probe_fingerprint(cost_model)
+    payload = "|".join(
+        [
+            f"fp{FINGERPRINT_VERSION}",
+            loggp_fingerprint(params),
+            cost_fp,
+            extra or "",
+        ]
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]

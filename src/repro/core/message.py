@@ -76,6 +76,9 @@ class CommPattern:
         self._messages: list[Message] = []
         self._uid = itertools.count()
         self._per_src_seq: dict[int, int] = {}
+        # cached remote/local views (hot in the simulators; invalidated by add)
+        self._remote: Optional[tuple[Message, ...]] = None
+        self._local: Optional[tuple[Message, ...]] = None
         if edges is not None:
             for edge in edges:
                 if len(edge) == 2:
@@ -96,6 +99,7 @@ class CommPattern:
         msg = Message(src=src, dst=dst, size=size, uid=next(self._uid), seq=seq)
         self._per_src_seq[src] = seq + 1
         self._messages.append(msg)
+        self._remote = self._local = None
         return msg
 
     # -- views ----------------------------------------------------------------
@@ -115,11 +119,19 @@ class CommPattern:
 
     def remote_messages(self) -> tuple[Message, ...]:
         """Messages with ``src != dst`` (the ones LogGP simulation models)."""
-        return tuple(m for m in self._messages if not m.is_local)
+        remote = self._remote
+        if remote is None:
+            remote = self._remote = tuple(
+                m for m in self._messages if not m.is_local
+            )
+        return remote
 
     def local_messages(self) -> tuple[Message, ...]:
         """Self-messages (local copies in real execution)."""
-        return tuple(m for m in self._messages if m.is_local)
+        local = self._local
+        if local is None:
+            local = self._local = tuple(m for m in self._messages if m.is_local)
+        return local
 
     def sends_of(self, proc: int) -> tuple[Message, ...]:
         """Outgoing messages of ``proc`` in program order."""

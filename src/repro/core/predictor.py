@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..apps.gauss import GEConfig, build_ge_trace
+from ..kernel import flags as _kernel_flags
 from ..layouts import LAYOUTS
 from ..machine.emulator import MachineEmulator, MeasuredReport
 from ..trace.program import ProgramTrace
@@ -119,8 +120,15 @@ def run_ge_point(
     """
     if layout_name not in LAYOUTS:
         raise ValueError(f"unknown layout {layout_name!r}; known: {sorted(LAYOUTS)}")
-    layout = LAYOUTS[layout_name](n // b, params.P)
-    trace = build_ge_trace(GEConfig(n=n, b=b, layout=layout))
+    if _kernel_flags.enabled:
+        # Rebuilt traces are bit-identical (per-pattern uid counters), so
+        # sweep/UQ replicates can share one cached copy per configuration.
+        from ..kernel.tracecache import ge_trace
+
+        trace = ge_trace(n, b, layout_name, params.P)
+    else:
+        layout = LAYOUTS[layout_name](n // b, params.P)
+        trace = build_ge_trace(GEConfig(n=n, b=b, layout=layout))
     predictor = RunningTimePredictor(params, cost_model, seed=seed)
     pred_std, pred_wc = predictor.predict_both(trace)
     measured = None

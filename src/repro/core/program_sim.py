@@ -29,6 +29,7 @@ from typing import Literal, Optional
 
 import numpy as np
 
+from ..kernel import flags as _kernel_flags
 from ..obs.events import get_tracer
 from ..trace.program import ProgramTrace, Step
 from .cache_extension import CachePredictionModel
@@ -161,11 +162,15 @@ class ProgramSimulator:
             for proc, sizes in trace.blocks_by_proc().items()
         }
 
-    def _comp_time(self, step: Step, proc: int, resident: dict[int, int]) -> float:
+    def _comp_time(
+        self, step: Step, proc: int, resident: dict[int, int], cost_model=None
+    ) -> float:
+        if cost_model is None:
+            cost_model = self.cost_model
         total = 0.0
         ops = step.work.get(proc, ())
         for w in ops:
-            cost = self.cost_model.cost(w.op, w.b)
+            cost = cost_model.cost(w.op, w.b)
             if self.cache_model is not None:
                 cost += self.cache_model.extra_cost(
                     w.op, w.b, resident.get(proc, 0)
@@ -191,6 +196,11 @@ class ProgramSimulator:
 
     def _run_traced(self, trace: ProgramTrace, tracer) -> PredictionReport:
         simulate = _SIMULATORS[self.mode]
+        cost_model = self.cost_model
+        if _kernel_flags.enabled:
+            from ..kernel.memo import memoize
+
+            cost_model = memoize(cost_model)
         rng = np.random.default_rng(self.seed)
         clocks = {p: 0.0 for p in range(trace.num_procs)}
         comp = {p: 0.0 for p in range(trace.num_procs)}
@@ -202,7 +212,7 @@ class ProgramSimulator:
         for step_idx, step in enumerate(trace.steps):
             step_comp: dict[int, float] = {}
             for proc in step.work:
-                t = self._comp_time(step, proc, resident)
+                t = self._comp_time(step, proc, resident, cost_model)
                 if t:
                     if traced:
                         tracer.slice(
@@ -243,8 +253,11 @@ class ProgramSimulator:
                         )
                         clocks[p] = max(starts[p] + busy, last_recv)
                 else:
+                    # One scan for all processors (bit-equal to per-proc
+                    # busy_time(): same per-proc summation order).
+                    busy = timeline.busy_times()
                     for p in participants:
-                        comm_busy[p] += timeline.busy_time(p)
+                        comm_busy[p] += busy.get(p, 0.0)
                         clocks[p] = result.ctimes.get(p, clocks[p])
 
             if self.keep_steps:

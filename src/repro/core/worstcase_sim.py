@@ -27,6 +27,7 @@ from typing import Mapping, Optional
 
 import numpy as np
 
+from ..kernel import flags as _kernel_flags
 from ..obs.events import get_tracer
 from .events import CommEvent, StepTimeline
 from .loggp import LogGPParameters, OpKind
@@ -83,6 +84,10 @@ def _simulate(
     start_times: Optional[Mapping[int, float]],
     rng: np.random.Generator,
 ) -> SimulationResult:
+    if _kernel_flags.enabled:
+        from ..kernel.fastsim import simulate_worstcase_fast
+
+        return simulate_worstcase_fast(params, pattern, start_times, rng)
     starts = dict(start_times or {})
     remote = pattern.remote_messages()
     local = pattern.local_messages()

@@ -33,7 +33,6 @@ store out across workers):
 from __future__ import annotations
 
 import json
-import hashlib
 import os
 import tempfile
 from contextlib import contextmanager
@@ -47,12 +46,16 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
 from .core.costmodel import CostModel
+from .core.fingerprint import machine_fingerprint
 from .core.loggp import LogGPParameters
 from .core.predictor import summarize_ge_point
 
 __all__ = ["STORE_VERSION", "PointSummary", "ExperimentStore"]
 
-STORE_VERSION = 1
+#: v2: keys use the canonical machine fingerprint (repr-exact LogGP floats
+#: plus the cost model's own identity) shared with the kernel memo and the
+#: UQ engine, replacing the lossy describe()+probe hash of v1.
+STORE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -118,29 +121,20 @@ class ExperimentStore:
         self._model_tag = self._fingerprint()
 
     def _fingerprint(self) -> str:
-        """Stable tag for (machine, cost model) so stale entries miss."""
-        probes = [
-            ("op1", 16),
-            ("op4", 16),
-            ("op2", 64),
-            ("op3", 64),
-        ]
-        costs = []
-        for op, b in probes:
-            try:
-                costs.append(f"{self.cost_model.cost(op, b):.6f}")
-            except ValueError:
-                costs.append("n/a")
-        payload = "|".join(
-            [
-                f"v{STORE_VERSION}",
-                self.params.describe(),
-                type(self.cost_model).__name__,
-                *costs,
-                *((self.extra_tag,) if self.extra_tag is not None else ()),
-            ]
+        """Stable tag for (machine, cost model) so stale entries miss.
+
+        Composes the canonical :func:`repro.core.fingerprint.machine_fingerprint`
+        — the same identity the kernel cost memo keys on — with the store
+        version and the caller's extra tag.  Fingerprintable cost models
+        hash their own exact contents; models without a ``fingerprint()``
+        method fall back to the probe costs, as the v1 store did.
+        """
+        extra = "|".join(
+            part
+            for part in (f"store-v{STORE_VERSION}", self.extra_tag)
+            if part is not None
         )
-        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+        return machine_fingerprint(self.params, self.cost_model, extra=extra)
 
     # -- keys and paths ------------------------------------------------------
     def key(

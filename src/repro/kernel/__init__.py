@@ -1,0 +1,88 @@
+"""The opt-in fast simulation kernel.
+
+Everything under :mod:`repro.kernel` is a *performance twin* of a
+reference implementation elsewhere in the package: same inputs, same
+outputs bit for bit, less interpreter overhead.  The hot modules
+(:mod:`repro.core.standard_sim`, :mod:`repro.core.worstcase_sim`,
+:mod:`repro.core.des_check`, :mod:`repro.core.program_sim`,
+:mod:`repro.machine.emulator`, :mod:`repro.core.predictor`) dispatch
+here when :data:`repro.kernel.flags.enabled` is set — via ``REPRO_FAST=1``
+in the environment or :func:`fast_path` / :func:`set_enabled` in code.
+
+Bit-identity is not an aspiration but a gate: the differential oracle
+(``tests/test_kernel_differential.py``) and the hypothesis property
+suite (``tests/test_kernel_property.py``) compare the fast and reference
+paths event-by-event on every application, layout and engine, and the
+sweep/UQ digests with the fast path on must equal the checked-in
+reference digests.  ``benchmarks/bench_kernel.py`` records the resulting
+steady-state throughput into ``BENCH_kernel.json`` for the CI guard.
+
+Submodules
+----------
+flags
+    The global switch (leaf module; safe to import from hot paths).
+memo
+    Fingerprint-keyed memoisation of pure cost functions.
+fastsim
+    Tight-loop twins of the two Figure 2-style step simulators.
+fastdes
+    Flat-heap, sequence-exact twin of the causal DES cross-check.
+tracecache
+    Shared GE program traces for sweep/UQ replicates.
+
+``fastsim``/``fastdes``/``tracecache`` import the modules they twin, so
+this ``__init__`` loads them lazily — the hot modules can import
+``repro.kernel`` at module scope without a cycle.
+"""
+
+from __future__ import annotations
+
+from . import flags
+from .flags import fast_path, is_enabled, set_enabled
+from .memo import MemoizedCostModel, clear_caches, memoize, send_durations
+
+__all__ = [
+    "flags",
+    "fast_path",
+    "is_enabled",
+    "set_enabled",
+    "MemoizedCostModel",
+    "memoize",
+    "send_durations",
+    "clear_caches",
+    "clear_all_caches",
+    "ge_trace",
+    "clear_trace_cache",
+    "simulate_standard_fast",
+    "simulate_worstcase_fast",
+    "simulate_causal_fast",
+]
+
+_LAZY = {
+    "ge_trace": "tracecache",
+    "clear_trace_cache": "tracecache",
+    "simulate_standard_fast": "fastsim",
+    "simulate_worstcase_fast": "fastsim",
+    "simulate_causal_fast": "fastdes",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module(f".{module}", __name__), name)
+    globals()[name] = value
+    return value
+
+
+def clear_all_caches() -> None:
+    """Reset every kernel cache (cost memos, send tables, traces)."""
+    clear_caches()
+    import sys
+
+    tracecache = sys.modules.get(f"{__name__}.tracecache")
+    if tracecache is not None:
+        tracecache.clear_trace_cache()

@@ -1,0 +1,293 @@
+"""Flat-heap causal simulator: the DES cross-check without coroutines.
+
+:func:`repro.core.des_check.simulate_causal` runs one generator coroutine
+per processor on :class:`repro.des.Environment`.  Each simulated action
+costs several kernel :class:`~repro.des.Event` allocations, callback
+lists, and generator suspensions — ~13 µs per event, all interpreter
+overhead.  This module replays the *same computation* as a flat state
+machine over plain tuples: the event slab.
+
+Equivalence is sequence-exact, not merely value-exact.  The reference
+engine orders same-time events by a global creation counter, and the
+machine emulator's jittered network draws latencies from one shared RNG
+in send-completion order — so any reordering of equal-time pops would
+change numeric results.  The fast path therefore allocates its sequence
+numbers at exactly the moments the reference engine calls
+``Environment._schedule``:
+
+====================  ==================================================
+reference event        slab entry (when, seq, kind, ...)
+====================  ==================================================
+``Initialize(proc)``   ``INIT_PROC`` — run the decision loop once
+``Timeout(recv gap)``  ``RECV_START`` — emit the RECV event, start it
+``Timeout(recv o)``    ``RECV_END`` — commit clock, count the receive
+``Timeout(send dur)``  ``SEND_END`` — commit clock, launch delivery
+``Initialize(deliver)````INIT_DELIVER`` — schedule the wire timeout
+``Timeout(wire)``      ``DELIVER`` — enqueue arrival, wake the receiver
+``wakeup.succeed()``   ``WAKEUP`` — resume a blocked processor
+``Timeout(send slot)`` ``SENDSLOT`` — the AnyOf's timeout arm
+``AnyOf.succeed()``    ``ANYOF_FIRE`` — resume the send-slot waiter
+``Process.succeed()``  *skipped push* — a pure no-op pop; the sequence
+                       number is still consumed so heap order and the
+                       ``des.events`` total stay identical
+====================  ==================================================
+
+Stale wakeups are real in the reference (a message landing between an
+``AnyOf`` firing and the processor resuming schedules a wakeup that
+resolves into nothing); per-processor wait generation counters replicate
+them as explicit no-op pops.
+
+Float discipline: a reference ``Timeout(delta)`` schedules at
+``now + delta`` where ``delta = target - now`` — which can differ from
+``target`` in the last ulp.  Slab entries therefore carry the *target*
+values (``recv_start``, ``last_end``) alongside the reference-exact heap
+``when``, exactly as the coroutine keeps them in locals across the wait.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from typing import Mapping, Optional
+
+from ..core.events import CommEvent, StepTimeline
+from ..core.loggp import LogGPParameters, OpKind
+from ..core.message import CommPattern
+from ..core.standard_sim import SimulationResult
+from ..obs.events import get_tracer
+from .memo import send_durations
+
+__all__ = ["simulate_causal_fast"]
+
+_INF = float("inf")
+_SEND = OpKind.SEND
+_RECV = OpKind.RECV
+
+# slab entry kinds (never compared by heapq: seq is unique)
+_INIT_PROC = 0
+_RECV_START = 1
+_RECV_END = 2
+_SEND_END = 3
+_INIT_DELIVER = 4
+_DELIVER = 5
+_WAKEUP = 6
+_SENDSLOT = 7
+_ANYOF_FIRE = 8
+
+# wait states
+_NO_WAIT = 0
+_PLAIN = 1   # `yield st.wakeup` — block until any delivery
+_ANYOF = 2   # `yield any_of([timeout, wakeup])` — send slot or delivery
+
+
+def simulate_causal_fast(
+    params: LogGPParameters,
+    pattern: CommPattern,
+    start_times: Optional[Mapping[int, float]] = None,
+    latency_of=None,
+) -> SimulationResult:
+    """Flat-heap replay of :func:`repro.core.des_check.simulate_causal`."""
+    if latency_of is None:
+        latency_of = lambda _msg: params.L  # noqa: E731 - mirrors reference
+    starts = dict(start_times or {})
+    remote = pattern.remote_messages()
+    local = pattern.local_messages()
+    procs = sorted({m.src for m in remote} | {m.dst for m in remote} | set(starts))
+
+    o = params.o
+    g = params.g
+    G = params.G
+    rs_gap = max(o, g) - o
+    sdur = send_durations(params)
+    sdur_get = sdur.get
+
+    # Per-processor state lives in flat lists indexed by the processor's
+    # rank in ``procs`` (list indexing beats dict hashing in the pop loop);
+    # heap entries carry the rank.  Ranks never participate in heap
+    # comparisons — ``seq`` is unique.
+    n_procs = len(procs)
+    rank_of = {p: i for i, p in enumerate(procs)}
+    expected = [0] * n_procs
+    received = [0] * n_procs
+    last_kind: list = [None] * n_procs
+    last_end = [starts.get(p, 0.0) for p in procs]
+    sends = [deque() for _ in range(n_procs)]
+    arrived: list = [[] for _ in range(n_procs)]
+    wait_state = [_NO_WAIT] * n_procs
+    wait_gen = [0] * n_procs
+    wakeup_live = [False] * n_procs
+    anyof_fired = [False] * n_procs
+    for m in remote:  # one pass; per-source order is the remote order
+        sends[rank_of[m.src]].append(m)
+        expected[rank_of[m.dst]] += 1
+
+    timeline = StepTimeline(
+        params=params,
+        start_times={p: last_end[i] for i, p in enumerate(procs)},
+    )
+    events = timeline.events
+    events_append = events.append
+
+    # One INIT_PROC per processor at t=0, seqs 0..P-1 — already heap-ordered.
+    heap: list[tuple] = [(0.0, i, _INIT_PROC, i) for i in range(n_procs)]
+    seq = n_procs
+
+    def decide(pid: int, now: float) -> None:
+        """One pass of the processor loop: loop-top to the next yield.
+
+        ``pid`` is the processor's rank in ``procs``.  Every branch of
+        the reference coroutine body ends in a yield (or terminates), so
+        one resume runs exactly one decision.
+        """
+        nonlocal seq
+        sq = sends[pid]
+        if not sq and received[pid] >= expected[pid]:
+            seq += 1  # Process completion event: pure no-op pop, skip push
+            return
+        lk = last_kind[pid]
+        le = last_end[pid]
+        if sq:
+            es = le if lk is None else (le + rs_gap if lk is _RECV else le + g)
+            send_start = max(now, es)
+        else:
+            send_start = _INF
+        arr = arrived[pid]
+        if arr:
+            es = le if lk is None else le + g
+            recv_start = max(now, arr[0][0], es)
+        else:
+            recv_start = _INF
+
+        if arr and recv_start <= send_start:
+            arrival, _, msg = heappop(arr)
+            if recv_start > now:
+                heappush(
+                    heap,
+                    (
+                        now + (recv_start - now),
+                        seq,
+                        _RECV_START,
+                        pid,
+                        recv_start,
+                        arrival,
+                        msg,
+                    ),
+                )
+                seq += 1
+            else:
+                events_append(
+                    CommEvent(procs[pid], _RECV, recv_start, o, msg, arrival=arrival)
+                )
+                heappush(heap, (now + o, seq, _RECV_END, pid, recv_start + o))
+                seq += 1
+        elif sq:
+            if send_start > now:
+                gen = wait_gen[pid] = wait_gen[pid] + 1
+                wait_state[pid] = _ANYOF
+                anyof_fired[pid] = False
+                wakeup_live[pid] = True
+                heappush(
+                    heap, (now + (send_start - now), seq, _SENDSLOT, pid, gen)
+                )
+                seq += 1
+            else:
+                msg = sq.popleft()
+                size = msg.size
+                duration = sdur_get(size)
+                if duration is None:
+                    duration = sdur[size] = o + (size - 1) * G
+                events_append(
+                    CommEvent(procs[pid], _SEND, send_start, duration, msg)
+                )
+                heappush(
+                    heap,
+                    (now + duration, seq, _SEND_END, pid, send_start + duration, msg),
+                )
+                seq += 1
+        else:
+            wait_gen[pid] += 1
+            wait_state[pid] = _PLAIN
+            wakeup_live[pid] = True
+
+    while heap:
+        item = heappop(heap)
+        t = item[0]
+        kind = item[2]
+        if kind == _RECV_END:
+            pid = item[3]
+            last_kind[pid] = _RECV
+            last_end[pid] = item[4]
+            received[pid] += 1
+            decide(pid, t)
+        elif kind == _SEND_END:
+            pid = item[3]
+            msg = item[5]
+            last_kind[pid] = _SEND
+            last_end[pid] = item[4]
+            # Wire latency is drawn *before* the delivery process is
+            # scheduled and before the next decision — the emulator's
+            # shared-RNG draw order depends on this.
+            wire = latency_of(msg)
+            heappush(heap, (t, seq, _INIT_DELIVER, rank_of[msg.dst], wire, msg))
+            seq += 1
+            decide(pid, t)
+        elif kind == _DELIVER:
+            dst = item[3]
+            msg = item[4]
+            heappush(arrived[dst], (t, msg.uid, msg))
+            if wakeup_live[dst]:
+                wakeup_live[dst] = False
+                heappush(heap, (t, seq, _WAKEUP, dst, wait_gen[dst]))
+                seq += 1
+            seq += 1  # delivery Process completion: no-op pop, skip push
+        elif kind == _INIT_DELIVER:
+            heappush(heap, (t + item[4], seq, _DELIVER, item[3], item[5]))
+            seq += 1
+        elif kind == _RECV_START:
+            pid = item[3]
+            recv_start = item[4]
+            events_append(
+                CommEvent(procs[pid], _RECV, recv_start, o, item[6], arrival=item[5])
+            )
+            heappush(heap, (t + o, seq, _RECV_END, pid, recv_start + o))
+            seq += 1
+        elif kind == _WAKEUP:
+            pid = item[3]
+            if item[4] == wait_gen[pid]:
+                ws = wait_state[pid]
+                if ws == _PLAIN:
+                    wait_state[pid] = _NO_WAIT
+                    decide(pid, t)
+                elif ws == _ANYOF and not anyof_fired[pid]:
+                    anyof_fired[pid] = True
+                    heappush(heap, (t, seq, _ANYOF_FIRE, pid))
+                    seq += 1
+            # else: stale wakeup — the reference pops it into a no-op too
+        elif kind == _SENDSLOT:
+            pid = item[3]
+            if (
+                item[4] == wait_gen[pid]
+                and wait_state[pid] == _ANYOF
+                and not anyof_fired[pid]
+            ):
+                anyof_fired[pid] = True
+                heappush(heap, (t, seq, _ANYOF_FIRE, pid))
+                seq += 1
+            # else: the AnyOf already fired via a wakeup — no-op pop
+        elif kind == _ANYOF_FIRE:
+            pid = item[3]
+            wait_state[pid] = _NO_WAIT
+            wakeup_live[pid] = False  # resume clears st.wakeup
+            decide(pid, t)
+        else:  # _INIT_PROC
+            decide(item[3], t)
+
+    ctimes = {p: last_end[i] for i, p in enumerate(procs)}
+    tracer = get_tracer()
+    if tracer.enabled:
+        # Every reference schedule maps to one consumed seq, so the final
+        # counter equals the engine's processed-event total.
+        tracer.count("des.events", seq)
+        tracer.count("sim.comm_steps.causal")
+        tracer.emit_comm_step(timeline, ctimes, algo="causal")
+    return SimulationResult(timeline=timeline, ctimes=ctimes, skipped_local=local)

@@ -1,0 +1,48 @@
+"""The fast-path switch (leaf module: importable from anywhere, imports nothing).
+
+``enabled`` is read directly by the hot paths (``flags.enabled`` is one
+attribute load), so keep it a plain module-level bool.  The initial value
+comes from ``REPRO_FAST=1`` in the environment — the same opt-in knob the
+benchmarks use for "make it fast"; here it additionally routes the step
+simulators and the DES cross-check through :mod:`repro.kernel`, which is
+proven bit-identical by ``tests/test_kernel_differential.py``, so the two
+meanings compose safely.
+
+Programmatic control (tests, benchmarks, sweep workers) goes through
+:func:`set_enabled` / :func:`fast_path`, because a worker process spawned
+without the environment variable must still honour the parent's setting.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["enabled", "is_enabled", "set_enabled", "fast_path"]
+
+#: the live switch; read as ``flags.enabled`` on hot paths
+enabled: bool = os.environ.get("REPRO_FAST", "") == "1"
+
+
+def is_enabled() -> bool:
+    """Current state of the fast-path switch."""
+    return enabled
+
+
+def set_enabled(on: bool) -> bool:
+    """Set the switch; returns the previous state."""
+    global enabled
+    prev = enabled
+    enabled = bool(on)
+    return prev
+
+
+@contextmanager
+def fast_path(on: bool = True) -> Iterator[None]:
+    """Scoped toggle — the differential tests' on/off lever."""
+    prev = set_enabled(on)
+    try:
+        yield
+    finally:
+        set_enabled(prev)

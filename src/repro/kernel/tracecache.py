@@ -1,0 +1,47 @@
+"""Steady-state trace cache for the GE sweep hot path.
+
+Every sweep / UQ replicate of one ``(n, b, layout, P)`` configuration
+rebuilds the identical GE program trace — identical *bit for bit*,
+because :class:`repro.core.message.CommPattern` allocates message uids
+from a per-pattern counter, so a rebuild reproduces every uid and seq.
+Rebuilding costs tens of milliseconds per point; a 200-replicate UQ run
+pays it 200 times for the same object.
+
+This cache shares one immutable-in-practice trace per configuration
+(LRU, small: a paper-scale study touches tens of configurations).  The
+simulators and the emulator only *read* traces, so sharing is safe; the
+differential harness proves the cached path bit-identical anyway.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..apps.gauss import GEConfig, build_ge_trace
+from ..layouts import LAYOUTS
+from ..trace.program import ProgramTrace
+
+__all__ = ["ge_trace", "clear_trace_cache"]
+
+_CACHE: OrderedDict[tuple[int, int, str, int], ProgramTrace] = OrderedDict()
+_MAX_TRACES = 32
+
+
+def ge_trace(n: int, b: int, layout_name: str, P: int) -> ProgramTrace:
+    """The (shared) GE trace of one configuration."""
+    key = (n, b, layout_name, P)
+    trace = _CACHE.get(key)
+    if trace is not None:
+        _CACHE.move_to_end(key)
+        return trace
+    layout = LAYOUTS[layout_name](n // b, P)
+    trace = build_ge_trace(GEConfig(n=n, b=b, layout=layout))
+    _CACHE[key] = trace
+    while len(_CACHE) > _MAX_TRACES:
+        _CACHE.popitem(last=False)
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop every cached trace."""
+    _CACHE.clear()

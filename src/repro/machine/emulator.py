@@ -42,6 +42,7 @@ from ..blockops.calibration import (
 from ..core.costmodel import CostModel
 from ..core.des_check import simulate_causal
 from ..core.loggp import LogGPParameters
+from ..kernel import flags as _kernel_flags
 from ..obs.events import get_tracer
 from ..trace.program import ProgramTrace
 from .cache import BlockCache
@@ -177,12 +178,20 @@ class MachineEmulator:
 
     def _run_traced(self, trace: ProgramTrace, tracer) -> MeasuredReport:
         traced = tracer.enabled
+        cost_model = self.cost_model
+        if _kernel_flags.enabled:
+            # Safe under timing noise: NodeCPU draws its noise factor
+            # separately and multiplies the (pure) cost — so memoising the
+            # cost changes nothing, including the RNG stream.
+            from ..kernel.memo import memoize
+
+            cost_model = memoize(cost_model)
         owned = trace.blocks_by_proc()
         cpus: dict[int, NodeCPU] = {}
         for p in range(trace.num_procs):
             cache = BlockCache(self.cache_bytes) if self.cache_bytes else None
             cpus[p] = NodeCPU(
-                cost_model=self.cost_model,
+                cost_model=cost_model,
                 cache=cache,
                 assigned_blocks=len(owned.get(p, {})),
                 line_bytes=self.line_bytes,

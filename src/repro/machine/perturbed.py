@@ -49,6 +49,22 @@ class ScaledCostModel:
         """The base cost scaled by this replicate's factor for ``op``."""
         return self.base.cost(op, b) * self.factors.get(op, 1.0)
 
+    def fingerprint(self):
+        """Base fingerprint plus the exact factor table, or ``None``.
+
+        Folding the ``repr``-exact factors in guarantees the kernel cost
+        memo misses between replicates; an un-fingerprintable base makes
+        this model un-fingerprintable too (memo bypass, probe fallback
+        in stores).
+        """
+        from ..core.fingerprint import cost_model_fingerprint
+
+        base_fp = cost_model_fingerprint(self.base)
+        if base_fp is None:
+            return None
+        factors = ";".join(f"{op}={f!r}" for op, f in sorted(self.factors.items()))
+        return f"scaled:[{base_fp}]:{factors}"
+
 
 @dataclass(frozen=True)
 class PerturbedMachine:

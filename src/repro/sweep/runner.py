@@ -39,6 +39,7 @@ from ..core.costmodel import CostModel
 from ..core.loggp import LogGPParameters
 from ..core.predictor import summarize_ge_point, summarize_uq_point
 from ..experiments import ExperimentStore, PointSummary
+from ..kernel import flags as _kernel_flags
 from ..obs import get_tracer
 from ..uq.spec import UQSpec
 from .points import SweepPoint
@@ -144,7 +145,11 @@ def _run_chunk(payload) -> list[tuple[int, PointSummary]]:
     worker re-opens the store from its directory so every process holds
     its own handle, coordinated only through the store's atomic writes.
     """
-    store_dir, params, cost_model, uq, indexed = payload
+    store_dir, params, cost_model, uq, fast, indexed = payload
+    # A spawn-context worker does not inherit a parent's set_enabled(), so
+    # the flag travels in the payload (proven result-neutral by the
+    # differential harness, but the dispatch must still be consistent).
+    _kernel_flags.set_enabled(fast)
     store = (
         ExperimentStore(
             store_dir, params, cost_model,
@@ -265,7 +270,7 @@ def run_sweep(
         size = chunk_size or max(1, math.ceil(len(pending) / (eff_workers * 4)))
         store_dir = str(store.directory) if store is not None else None
         payloads = [
-            (store_dir, params, cost_model, uq, chunk)
+            (store_dir, params, cost_model, uq, _kernel_flags.enabled, chunk)
             for chunk in _chunked(pending, size)
         ]
         n_chunks = len(payloads)

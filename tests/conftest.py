@@ -1,6 +1,20 @@
-"""Shared test fixtures."""
+"""Shared test fixtures and hypothesis profiles."""
+
+import os
 
 import pytest
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    settings = None
+
+if settings is not None:
+    # CI runs derandomized so a red build is reproducible from its log
+    # (select with HYPOTHESIS_PROFILE=ci); local runs keep the default
+    # randomized search, which explores more of the input space over time.
+    settings.register_profile("ci", derandomize=True)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture(autouse=True)

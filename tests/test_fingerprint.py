@@ -1,0 +1,159 @@
+"""The canonical machine fingerprint: one identity for stores, memos, UQ.
+
+``repro.core.fingerprint`` is the single answer to "is this the same
+machine?".  These tests pin its two contracts: *stability* (the same
+machine fingerprints identically across instances and processes — store
+resume depends on it) and *sensitivity* (any change to the parameters,
+the cost model, or the UQ spec changes the key — cache safety depends on
+it).  The round-trip tests close the loop the ISSUE asked for: a UQ spec
+serialised into a manifest and re-loaded lands in the same store
+keyspace.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import MEIKO_CS2, CalibratedCostModel
+from repro.core.costmodel import FlopCostModel, TableCostModel
+from repro.core.fingerprint import (
+    FINGERPRINT_VERSION,
+    cost_model_fingerprint,
+    loggp_fingerprint,
+    machine_fingerprint,
+)
+from repro.experiments import ExperimentStore
+from repro.kernel import memoize
+from repro.machine.perturbed import ScaledCostModel
+from repro.uq import UQSpec
+
+
+# -- stability ---------------------------------------------------------------
+
+def test_loggp_fingerprint_is_repr_exact():
+    fp = loggp_fingerprint(MEIKO_CS2)
+    assert fp == loggp_fingerprint(MEIKO_CS2.with_())
+    # a change below the %g display precision must still miss
+    nudged = MEIKO_CS2.with_(G=MEIKO_CS2.G * (1 + 1e-15))
+    assert loggp_fingerprint(nudged) != fp
+
+
+def test_cost_model_fingerprint_stable_across_instances():
+    assert cost_model_fingerprint(CalibratedCostModel()) == cost_model_fingerprint(
+        CalibratedCostModel()
+    )
+    table = {"op1": {16: 1.25, 32: 9.5}, "op4": {16: 2.0}}
+    assert cost_model_fingerprint(TableCostModel(table)) == cost_model_fingerprint(
+        TableCostModel(json.loads(json.dumps(table), object_hook=_int_keys))
+    )
+
+
+def _int_keys(doc):
+    return {int(k) if k.lstrip("-").isdigit() else k: v for k, v in doc.items()}
+
+
+def test_machine_fingerprint_versioned_and_deterministic():
+    a = machine_fingerprint(MEIKO_CS2, CalibratedCostModel())
+    b = machine_fingerprint(MEIKO_CS2.with_(), CalibratedCostModel())
+    assert a == b
+    assert len(a) == 16
+    assert FINGERPRINT_VERSION == 1
+
+
+# -- sensitivity -------------------------------------------------------------
+
+def test_machine_fingerprint_misses_on_any_change():
+    cm = CalibratedCostModel()
+    base = machine_fingerprint(MEIKO_CS2, cm)
+    assert machine_fingerprint(MEIKO_CS2.with_(L=10.0), cm) != base
+    assert machine_fingerprint(MEIKO_CS2, FlopCostModel()) != base
+    assert machine_fingerprint(MEIKO_CS2, ScaledCostModel(cm, {"op1": 1.1})) != base
+    assert machine_fingerprint(MEIKO_CS2, cm, extra="uq-abc") != base
+
+
+def test_table_model_fingerprint_reflects_contents():
+    t1 = TableCostModel({"op1": {16: 1.0}})
+    t2 = TableCostModel({"op1": {16: 1.0 + 1e-12}})
+    assert cost_model_fingerprint(t1) != cost_model_fingerprint(t2)
+
+
+def test_probe_fallback_for_unfingerprintable_models():
+    class Raw:
+        def cost(self, op, b):
+            return 3.0 * b
+
+    # no fingerprint() → None at the model layer, probe fallback in the
+    # composed machine fingerprint (stable for a deterministic model)
+    assert cost_model_fingerprint(Raw()) is None
+    a = machine_fingerprint(MEIKO_CS2, Raw())
+    assert a == machine_fingerprint(MEIKO_CS2, Raw())
+
+
+# -- store keys ride on the canonical helper ---------------------------------
+
+def test_store_key_stable_across_instances(tmp_path):
+    s1 = ExperimentStore(tmp_path, MEIKO_CS2, CalibratedCostModel())
+    s2 = ExperimentStore(tmp_path, MEIKO_CS2.with_(), CalibratedCostModel())
+    key = s1.key(240, 30, "diagonal", seed=0)
+    assert key == s2.key(240, 30, "diagonal", seed=0)
+    assert key.endswith(".json")
+
+
+def test_store_key_misses_on_machine_or_tag_change(tmp_path):
+    cm = CalibratedCostModel()
+    base = ExperimentStore(tmp_path, MEIKO_CS2, cm).key(240, 30, "diagonal")
+    assert ExperimentStore(tmp_path, MEIKO_CS2.with_(g=15.0), cm).key(
+        240, 30, "diagonal"
+    ) != base
+    assert ExperimentStore(tmp_path, MEIKO_CS2, FlopCostModel()).key(
+        240, 30, "diagonal"
+    ) != base
+    assert ExperimentStore(tmp_path, MEIKO_CS2, cm, extra_tag="uq-x").key(
+        240, 30, "diagonal"
+    ) != base
+
+
+def test_store_and_memo_agree_on_model_identity():
+    """The memo buckets and the store keyspace hinge on the same string."""
+    cm = CalibratedCostModel()
+    assert memoize(cm).fingerprint() == cost_model_fingerprint(cm)
+    scaled = ScaledCostModel(cm, {"op2": 1.3})
+    assert memoize(scaled).fingerprint() == cost_model_fingerprint(scaled)
+
+
+# -- UQ spec round trip ------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        UQSpec(),
+        UQSpec(sigma=0.05, op_sigma=0.03, jitter_sigma=0.1),
+        UQSpec(param_sigma={"G": 0.3}, straggler_prob=0.02, straggler_factor=4.0),
+    ],
+    ids=["identity", "noisy", "bandwidth-stragglers"],
+)
+def test_uq_spec_json_round_trip_preserves_keyspace(spec, tmp_path):
+    doc = json.loads(json.dumps(spec.to_dict()))
+    loaded = UQSpec.from_dict(doc)
+    assert loaded == spec
+    assert loaded.fingerprint() == spec.fingerprint()
+    assert loaded.store_tag() == spec.store_tag()
+    cm = CalibratedCostModel()
+    original = ExperimentStore(tmp_path, MEIKO_CS2, cm, extra_tag=spec.store_tag())
+    reloaded = ExperimentStore(tmp_path, MEIKO_CS2, cm, extra_tag=loaded.store_tag())
+    assert original.key(240, 30, "diagonal") == reloaded.key(240, 30, "diagonal")
+
+
+def test_identity_spec_shares_the_plain_sweep_keyspace(tmp_path):
+    cm = CalibratedCostModel()
+    plain = ExperimentStore(tmp_path, MEIKO_CS2, cm)
+    identity = ExperimentStore(
+        tmp_path, MEIKO_CS2, cm, extra_tag=UQSpec().store_tag()
+    )
+    perturbed = ExperimentStore(
+        tmp_path, MEIKO_CS2, cm, extra_tag=UQSpec(sigma=0.1).store_tag()
+    )
+    assert identity.key(240, 30, "diagonal") == plain.key(240, 30, "diagonal")
+    assert perturbed.key(240, 30, "diagonal") != plain.key(240, 30, "diagonal")
