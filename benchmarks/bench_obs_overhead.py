@@ -1,37 +1,44 @@
 """Observability overhead guard.
 
-The tracing hooks threaded through the simulators must be free when
-nobody is listening: the ambient tracer defaults to a ``NullTracer`` and
-every emission site either reads ``get_tracer().enabled`` once per run or
-branches on a local boolean.  This bench quantifies that claim on the
-Figure 7 prediction sweep:
+PR 1 made the simulators observable; PR 6's ring-buffer tracer makes
+observability affordable.  This bench quantifies both halves of that
+claim on the Figure 7 prediction sweep:
 
 * ``disabled_overhead_pct`` — an upper bound on what the disabled hooks
   cost, computed as (number of emission-site checks) x (measured cost of
   one ``get_tracer().enabled`` check) relative to the sweep time.  The
   check count is bounded by the events an *enabled* run emits, since
   every disabled site corresponds to at most one suppressed event.
-  Target (asserted): **< 5%**.
+  Target (asserted always): **< 5%**.
 * ``enabled_overhead_pct`` — the honest price of recording: the same
-  sweep under a live tracer, relative to the disabled run.
-* ``events_per_sec`` — simulator throughput with tracing on (the number
-  CI tracks against ``benchmarks/baselines/obs_throughput.json``).
+  sweep under a live default-config tracer, relative to the disabled
+  run.  Target (asserted on >= 4-CPU hosts, and CI-gated by
+  ``check_throughput.py --obs-enabled``): **<= 10%**.  The pre-ring-buffer
+  tracer measured 109% here.
+* ``per_event_emit_ns`` — the marginal recording cost per retained
+  event, ``(enabled_s - disabled_s) / events``.
+* ``sampled`` — the same sweep again under ``--trace-sample 16``-style
+  config, demonstrating what deterministic sampling buys on top.
 
 Results are printed and recorded into ``BENCH_obs.json`` at the repo
-root — the first entry of the ``BENCH_*`` perf trajectory.
+root — the perf-trajectory entry CI checks.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
 from _shared import BLOCK_SIZES, COST_MODEL, FAST, MATRIX_N, PARAMS, scale_banner
 
 from repro.core import run_ge_point
-from repro.obs import RunRecord, Tracer, get_tracer, loggp_dict, tracing
+from repro.obs import RunRecord, TraceConfig, Tracer, get_tracer, loggp_dict, tracing
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
-TARGET_PCT = 5.0
+TARGET_DISABLED_PCT = 5.0
+TARGET_ENABLED_PCT = 10.0
+#: the sampled demonstration config (1-in-16 on the per-message categories)
+SAMPLE_SPEC = "send=16,recv=16"
 
 
 def _kernel():
@@ -59,19 +66,42 @@ def _per_check_cost_s(checks: int = 1_000_000) -> float:
     return (time.perf_counter() - t0) / checks
 
 
-def test_obs_disabled_overhead(benchmark):
+def _traced_sweep(config=None, repeats=2):
+    """Best-of-``repeats`` enabled sweep: (seconds, retained events, tracer).
+
+    A fresh tracer per repeat (the previous one is freed before the next
+    run starts), so each repetition pays the same cold-buffer cost and
+    the minimum is comparable with ``_best_of`` on the disabled side.
+    """
+    best = float("inf")
+    tracer = None
+    for _ in range(repeats):
+        tracer = Tracer(config=config)
+        with tracing(tracer):
+            t0 = time.perf_counter()
+            _kernel()
+            best = min(best, time.perf_counter() - t0)
+    return best, len(tracer.events), tracer
+
+
+def test_obs_overhead(benchmark):
     _kernel()  # warm calibration tables and trace builders
 
     disabled_s = _best_of(_kernel, repeats=3)
-
-    tracer = Tracer()
-    with tracing(tracer):
-        enabled_s = _best_of(_kernel, repeats=1)
-    events = len(tracer.events)
+    # sampled first: the default-config tracer below retains millions of
+    # records, and holding those while timing the sampled sweep would
+    # charge the smaller run for the bigger run's memory pressure
+    sampled_s, sampled_events, _ = _traced_sweep(
+        TraceConfig.parse(sample=SAMPLE_SPEC)
+    )
+    enabled_s, events, tracer = _traced_sweep()
 
     per_check_s = _per_check_cost_s()
+    per_event_emit_ns = 1e9 * (enabled_s - disabled_s) / events if events else 0.0
     disabled_overhead_pct = 100.0 * (events * per_check_s) / disabled_s
     enabled_overhead_pct = 100.0 * (enabled_s - disabled_s) / disabled_s
+    sampled_overhead_pct = 100.0 * (sampled_s - disabled_s) / disabled_s
+    cpu_count = os.cpu_count() or 1
 
     benchmark.pedantic(_kernel, rounds=1, iterations=1)
 
@@ -81,14 +111,25 @@ def test_obs_disabled_overhead(benchmark):
         "fast": FAST,
         "n": MATRIX_N,
         "block_sizes": list(BLOCK_SIZES),
+        "cpu_count": cpu_count,
+        "categories": "all",
+        "sample_rate": 1,
         "sweep_disabled_s": disabled_s,
         "sweep_enabled_s": enabled_s,
         "events": events,
         "events_per_sec": events / enabled_s if enabled_s else None,
         "per_check_ns": per_check_s * 1e9,
+        "per_event_emit_ns": per_event_emit_ns,
         "disabled_overhead_pct": disabled_overhead_pct,
         "enabled_overhead_pct": enabled_overhead_pct,
-        "target_disabled_pct": TARGET_PCT,
+        "target_disabled_pct": TARGET_DISABLED_PCT,
+        "target_enabled_pct": TARGET_ENABLED_PCT,
+        "sampled": {
+            "sample": SAMPLE_SPEC,
+            "sweep_s": sampled_s,
+            "events": sampled_events,
+            "overhead_pct": sampled_overhead_pct,
+        },
     }
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
     manifest = RunRecord.begin("bench:obs_overhead")
@@ -96,7 +137,8 @@ def test_obs_disabled_overhead(benchmark):
         params=loggp_dict(PARAMS), engine="standard",
         workload={"n": MATRIX_N, "block_sizes": list(BLOCK_SIZES), "fast": FAST},
         disabled_overhead_pct=disabled_overhead_pct,
-    ).finish()
+        enabled_overhead_pct=enabled_overhead_pct,
+    ).finish(tracer=tracer)
     # the meaningful wall time is the traced sweep, not begin()->finish()
     manifest.note(
         wall_s=enabled_s, event_count=events, events_per_sec=events / enabled_s
@@ -106,12 +148,20 @@ def test_obs_disabled_overhead(benchmark):
     print(f"observability overhead — {scale_banner()}")
     print(f"  sweep, tracing disabled : {disabled_s:8.3f} s")
     print(f"  sweep, tracing enabled  : {enabled_s:8.3f} s "
-          f"({enabled_overhead_pct:+.1f}%)")
+          f"({enabled_overhead_pct:+.1f}%, target <= {TARGET_ENABLED_PCT}%)")
+    print(f"  sweep, sampled {SAMPLE_SPEC:>14s} : {sampled_s:8.3f} s "
+          f"({sampled_overhead_pct:+.1f}%, {sampled_events} events)")
     print(f"  events recorded         : {events} "
           f"({events / enabled_s:,.0f} events/s)")
+    print(f"  per-event emission      : {per_event_emit_ns:.1f} ns")
     print(f"  disabled-site check     : {per_check_s * 1e9:.1f} ns")
     print(f"  disabled overhead bound : {disabled_overhead_pct:.3f}% "
-          f"(target < {TARGET_PCT}%)")
+          f"(target < {TARGET_DISABLED_PCT}%)")
     print(f"  recorded -> {BENCH_JSON.name}")
 
-    assert disabled_overhead_pct < TARGET_PCT
+    assert disabled_overhead_pct < TARGET_DISABLED_PCT
+    if cpu_count >= 4:
+        assert enabled_overhead_pct <= TARGET_ENABLED_PCT
+    else:
+        print(f"  note: {cpu_count} CPU(s) < 4 — enabled gate left to CI's "
+              "check_throughput --obs-enabled")

@@ -4,6 +4,7 @@ Usage::
 
     python benchmarks/check_throughput.py MANIFEST [BASELINE]
     python benchmarks/check_throughput.py --kernel [BENCH_JSON [BASELINE]]
+    python benchmarks/check_throughput.py --obs-enabled [BENCH_JSON [BASELINE]]
 
 In the default mode ``MANIFEST`` is a ``RunRecord`` JSON written by
 ``repro observe``; ``BASELINE`` defaults to
@@ -20,8 +21,19 @@ with fewer than 4 CPUs the check is skipped with a notice (wall-clock
 on small runners is too noisy to gate — bit-identity is still enforced
 inside the bench itself).
 
-``REPRO_THROUGHPUT_TOLERANCE`` overrides either tolerance, e.g. for
-noisier runners.
+``--obs-enabled`` guards the always-on tracing promise instead:
+``BENCH_JSON`` defaults to ``BENCH_obs.json`` at the repo root (written
+by ``benchmarks/bench_obs_overhead.py``) and ``BASELINE`` to
+``benchmarks/baselines/obs_enabled.json``.  The check fails when
+``enabled_overhead_pct`` (the cost of the default-config ring-buffer
+tracer on the Fig. 7 sweep) exceeds the baseline's
+``max_enabled_overhead_pct`` (10%), or when the bench's
+``disabled_overhead_pct`` exceeds its own recorded target.  Like the
+kernel gate, the overhead comparison is skipped with a notice on hosts
+with fewer than 4 CPUs.
+
+``REPRO_THROUGHPUT_TOLERANCE`` overrides either throughput tolerance,
+e.g. for noisier runners.
 """
 
 from __future__ import annotations
@@ -35,6 +47,10 @@ DEFAULT_BASELINE = Path(__file__).resolve().parent / "baselines" / "obs_throughp
 KERNEL_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
 KERNEL_BASELINE = (
     Path(__file__).resolve().parent / "baselines" / "kernel_throughput.json"
+)
+OBS_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+OBS_ENABLED_BASELINE = (
+    Path(__file__).resolve().parent / "baselines" / "obs_enabled.json"
 )
 
 
@@ -81,9 +97,57 @@ def check_kernel(argv: list[str]) -> int:
     return 0
 
 
+def check_obs_enabled(argv: list[str]) -> int:
+    """The ``--obs-enabled`` mode: guard the enabled-tracing overhead."""
+    if len(argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    bench_path = Path(argv[0]) if argv else OBS_BENCH_JSON
+    baseline_path = Path(argv[1]) if len(argv) == 2 else OBS_ENABLED_BASELINE
+    record = json.loads(bench_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+
+    got = record.get("enabled_overhead_pct")
+    disabled = record.get("disabled_overhead_pct")
+    ceiling = float(baseline["max_enabled_overhead_pct"])
+    cpus = record.get("cpu_count", 0)
+
+    if got is None or disabled is None:
+        print(
+            f"FAIL: {bench_path} lacks enabled/disabled overhead fields — "
+            "regenerate with benchmarks/bench_obs_overhead.py"
+        )
+        return 1
+    print(
+        f"obs overhead: enabled {got:+.1f}% (ceiling {ceiling:.0f}%), "
+        f"disabled bound {disabled:.3f}% "
+        f"(target < {record.get('target_disabled_pct', 5.0)}%), "
+        f"{record.get('per_event_emit_ns', 0.0):.1f} ns/event on {cpus} CPUs"
+    )
+    if disabled >= float(record.get("target_disabled_pct", 5.0)):
+        print("FAIL: disabled-tracing overhead bound exceeds its target")
+        return 1
+    if cpus < 4:
+        print(
+            f"SKIP: bench ran on {cpus} CPU(s) — below 4, wall-clock too noisy "
+            "to gate the enabled-overhead ratio"
+        )
+        return 0
+    if got > ceiling:
+        print(
+            f"FAIL: enabled tracing costs {got:.1f}% > {ceiling:.0f}% — "
+            "the always-on tracing promise regressed"
+        )
+        return 1
+    print("OK")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     if argv and argv[0] == "--kernel":
         return check_kernel(argv[1:])
+    if argv and argv[0] == "--obs-enabled":
+        return check_obs_enabled(argv[1:])
     if not argv or len(argv) > 2:
         print(__doc__, file=sys.stderr)
         return 2

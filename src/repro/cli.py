@@ -72,7 +72,9 @@ from .core import (
 from .core.units import us_to_s
 from .layouts import LAYOUTS
 from .obs import (
+    CATEGORIES,
     RunRecord,
+    TraceConfig,
     Tracer,
     bucket_sums,
     loggp_dict,
@@ -120,6 +122,20 @@ def _add_obs_args(parser: argparse.ArgumentParser, exports: bool = False) -> Non
         grp.add_argument(
             "--trace-out", metavar="PATH",
             help="write a Chrome/Perfetto trace JSON of the run",
+        )
+        grp.add_argument(
+            "--trace-categories", metavar="CATS",
+            help="comma-separated event categories to record "
+                 f"(default: all of {','.join(CATEGORIES)})",
+        )
+        grp.add_argument(
+            "--trace-sample", metavar="SPEC",
+            help="deterministic 1-in-N event sampling: a global rate "
+                 "('16') or per-category rates ('send=16,recv=16')",
+        )
+        grp.add_argument(
+            "--trace-seed", type=int, default=0, metavar="SEED",
+            help="seed of the deterministic sampling hash (default: 0)",
         )
     grp.add_argument(
         "--manifest-out", metavar="PATH",
@@ -169,14 +185,30 @@ def _record(args: argparse.Namespace) -> RunRecord:
     return rec
 
 
-def _wants_trace(args: argparse.Namespace) -> Optional[Tracer]:
-    """A fresh tracer when ``--trace-out`` asked for one, else ``None``.
+def _trace_config(args: argparse.Namespace) -> TraceConfig:
+    """The run's :class:`TraceConfig`, parsed from the CLI flags."""
+    return TraceConfig.parse(
+        categories=getattr(args, "trace_categories", None),
+        sample=getattr(args, "trace_sample", None),
+        seed=getattr(args, "trace_seed", 0),
+    )
 
-    The tracer is stashed on ``args`` so :func:`main` can fold its event
-    count and metrics into the run manifest.
+
+def _wants_trace(args: argparse.Namespace) -> Optional[Tracer]:
+    """A fresh tracer when the run asked for one, else ``None``.
+
+    ``--trace-out`` requests an export; ``--trace-categories`` /
+    ``--trace-sample`` alone still enable tracing so the run manifest
+    captures the (filtered, sampled) telemetry without writing a trace
+    file.  The tracer is stashed on ``args`` so :func:`main` can fold its
+    event count, telemetry block and metrics into the manifest.
     """
-    if getattr(args, "trace_out", None):
-        tracer = Tracer()
+    if (
+        getattr(args, "trace_out", None)
+        or getattr(args, "trace_categories", None)
+        or getattr(args, "trace_sample", None)
+    ):
+        tracer = Tracer(config=_trace_config(args))
         args.obs_tracer = tracer
         return tracer
     return None
@@ -635,7 +667,7 @@ def _cmd_observe(args: argparse.Namespace) -> int:
     layout = LAYOUTS[args.layout](args.n // args.b, params.P)
     trace = build_ge_trace(_GEConfig(n=args.n, b=args.b, layout=layout))
 
-    tracer = Tracer()
+    tracer = Tracer(config=_trace_config(args))
     args.obs_tracer = tracer
     with tracer.span("observe.simulate"):
         profile = profile_program(

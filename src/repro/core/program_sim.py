@@ -207,7 +207,7 @@ class ProgramSimulator:
         comm_busy = {p: 0.0 for p in range(trace.num_procs)}
         resident = self._resident_bytes(trace) if self.cache_model else {}
         records: list[StepRecord] = []
-        traced = tracer.enabled
+        traced = tracer.enabled and tracer.wants("compute")
 
         for step_idx, step in enumerate(trace.steps):
             step_comp: dict[int, float] = {}
@@ -272,7 +272,7 @@ class ProgramSimulator:
                 )
 
         total = max(clocks.values(), default=0.0)
-        if traced:
+        if tracer.enabled:
             tracer.count("sim.program_steps", len(trace.steps))
             tracer.count("sim.program_runs")
         return PredictionReport(

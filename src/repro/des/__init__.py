@@ -17,7 +17,6 @@ from .engine import (
     SimulationError,
     Timeout,
 )
-from .monitor import Monitor, TraceRecord
 from .resources import PriorityStore, Resource, Store
 
 __all__ = [
@@ -29,8 +28,6 @@ __all__ = [
     "Process",
     "SimulationError",
     "Timeout",
-    "Monitor",
-    "TraceRecord",
     "PriorityStore",
     "Resource",
     "Store",

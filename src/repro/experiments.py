@@ -49,6 +49,7 @@ from .core.costmodel import CostModel
 from .core.fingerprint import machine_fingerprint
 from .core.loggp import LogGPParameters
 from .core.predictor import summarize_ge_point
+from .obs.events import get_tracer
 
 __all__ = ["STORE_VERSION", "PointSummary", "ExperimentStore"]
 
@@ -223,8 +224,10 @@ class ExperimentStore:
         path = self._path(
             summary.n, summary.b, summary.layout, summary.seed, with_measured
         )
-        with self._entry_lock(path):
-            self._atomic_write(path, json.dumps(summary.__dict__))
+        tracer = get_tracer()
+        with tracer.span("store.put", n=summary.n, b=summary.b):
+            with self._entry_lock(path):
+                self._atomic_write(path, json.dumps(summary.__dict__))
         return path
 
     def contains(

@@ -177,7 +177,9 @@ class MachineEmulator:
             return self._run_traced(trace, tracer)
 
     def _run_traced(self, trace: ProgramTrace, tracer) -> MeasuredReport:
-        traced = tracer.enabled
+        # the two slice categories this loop emits, hoisted out of it
+        traced = tracer.enabled and tracer.wants("compute")
+        traced_copy = tracer.enabled and tracer.wants("local_copy")
         cost_model = self.cost_model
         if _kernel_flags.enabled:
             # Safe under timing noise: NodeCPU draws its noise factor
@@ -238,7 +240,7 @@ class MachineEmulator:
                     clocks[p] = result.ctimes.get(p, clocks[p])
             for msg in step.pattern.local_messages():
                 cost = self.network.local_copy_us(msg)
-                if traced:
+                if traced_copy:
                     tracer.slice(
                         "local_copy", proc=msg.src, ts=clocks[msg.src],
                         dur=cost, bytes=msg.size, step=step_idx,
@@ -246,7 +248,7 @@ class MachineEmulator:
                 clocks[msg.src] += cost
                 local_acc[msg.src] += cost
 
-        if traced:
+        if tracer.enabled:
             tracer.count("emulator.runs")
             tracer.count("emulator.steps", len(trace.steps))
         return MeasuredReport(

@@ -28,6 +28,7 @@ Quick start::
 """
 
 from .aggregate import BUCKET_NAMES, bucket_sums, profile_from_events
+from .config import CATEGORIES, TraceConfig, category_of
 from .events import (
     NULL_TRACER,
     NullTracer,
@@ -47,10 +48,16 @@ from .export import (
 )
 from .manifest import RunRecord, default_manifest_path, loggp_dict
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .ringbuf import CHUNK_SLOTS, RingBuffer
 
 __all__ = [
     "TraceEvent",
     "Tracer",
+    "TraceConfig",
+    "CATEGORIES",
+    "category_of",
+    "RingBuffer",
+    "CHUNK_SLOTS",
     "NullTracer",
     "NULL_TRACER",
     "get_tracer",

@@ -1,0 +1,207 @@
+"""Trace configuration: category filters and deterministic sampling.
+
+Every event the tracer can emit belongs to exactly one **category**:
+
+=============  ==========================================================
+``compute``    per-step kernel work: the simulators' and the emulator's
+               computation-phase slices (alias: ``kernel_step``)
+``comm``       the enclosing per-processor communication-phase slices
+``send``       individual send operation slices
+``recv``       individual receive operation slices
+``local_copy`` the emulator's self-message memory-transfer slices
+``instant``    all point events (collective markers, ...)
+``wall``       wall-clock self-instrumentation spans (simulator phases,
+               sweep-engine chunks, store writes)
+``other``      any slice name the core taxonomy does not know
+=============  ==========================================================
+
+A :class:`TraceConfig` decides, per category, whether events are recorded
+at all (the filter) and, when they are, whether only a deterministic
+1-in-N subset is retained (the sampler).  Sampling decisions are a pure
+function of event *content* (processor, timestamp, message uid) and the
+config's ``seed`` — never of emission order or process identity — so a
+sweep traced under 1 worker and under 8 workers retains the identical
+event set.
+
+The config round-trips through JSON (:meth:`to_dict`/:meth:`from_dict`)
+so it can travel to sweep worker processes and into run manifests, and
+parses from the CLI flag syntax (:meth:`parse`):
+
+* ``--trace-categories comm,send,recv`` — only those categories;
+* ``--trace-sample 16`` — keep 1-in-16 of every category;
+* ``--trace-sample send=16,recv=16`` — per-category rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence, Union
+
+__all__ = ["CATEGORIES", "TraceConfig", "category_of"]
+
+#: the category taxonomy, in reporting order
+CATEGORIES = (
+    "compute",
+    "comm",
+    "send",
+    "recv",
+    "local_copy",
+    "instant",
+    "wall",
+    "other",
+)
+
+#: accepted spellings that map onto a canonical category
+_ALIASES = {"kernel_step": "compute", "span": "wall"}
+
+#: slice names the core taxonomy knows (anything else is ``other``)
+_NAME_CATEGORY = {
+    "compute": "compute",
+    "comm": "comm",
+    "send": "send",
+    "recv": "recv",
+    "local_copy": "local_copy",
+}
+
+#: reserved track for wall-clock spans (mirrors events.WALL_TRACK; kept
+#: here so this module stays import-leaf)
+_WALL_TRACK = "wall"
+
+
+def category_of(name: str, kind: str, track: str) -> str:
+    """The category of an event with the given name/kind/track."""
+    if kind == "instant":
+        return "instant"
+    if track == _WALL_TRACK:
+        return "wall"
+    return _NAME_CATEGORY.get(name, "other")
+
+
+def _canonical(name: str) -> str:
+    cat = _ALIASES.get(name, name)
+    if cat not in CATEGORIES:
+        raise ValueError(
+            f"unknown trace category {name!r}; expected one of "
+            f"{', '.join(CATEGORIES)} (or alias "
+            f"{', '.join(sorted(_ALIASES))})"
+        )
+    return cat
+
+
+def _parse_rate(text: str, what: str) -> int:
+    try:
+        rate = int(text)
+    except ValueError:
+        raise ValueError(f"trace sample rate {what} must be an integer, got {text!r}")
+    if rate < 1:
+        raise ValueError(f"trace sample rate {what} must be >= 1, got {rate}")
+    return rate
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Which categories a tracer records, and at what sampling rate.
+
+    ``categories=None`` means *all* categories are on.  ``sample`` maps a
+    category to its 1-in-N retention rate; ``sample_default`` applies to
+    categories without an explicit rate (1 = keep everything).  ``seed``
+    perturbs the deterministic retention hash, so distinct studies can
+    retain distinct (but internally reproducible) subsets.
+    """
+
+    categories: Optional[frozenset[str]] = None
+    sample: tuple[tuple[str, int], ...] = ()
+    sample_default: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.categories is not None:
+            object.__setattr__(
+                self, "categories", frozenset(_canonical(c) for c in self.categories)
+            )
+        norm = tuple(sorted((_canonical(c), int(r)) for c, r in self.sample))
+        for cat, rate in norm:
+            if rate < 1:
+                raise ValueError(f"sample rate for {cat!r} must be >= 1, got {rate}")
+        object.__setattr__(self, "sample", norm)
+        if self.sample_default < 1:
+            raise ValueError(
+                f"sample_default must be >= 1, got {self.sample_default}"
+            )
+
+    # -- queries ------------------------------------------------------------
+    def enabled(self, category: str) -> bool:
+        """True when events of ``category`` are recorded at all."""
+        return self.categories is None or category in self.categories
+
+    def rate_of(self, category: str) -> int:
+        """The 1-in-N retention rate of ``category`` (1 = keep all)."""
+        for cat, rate in self.sample:
+            if cat == category:
+                return rate
+        return self.sample_default
+
+    def is_default(self) -> bool:
+        """True for the record-everything config (no filter, no sampling)."""
+        return self.categories is None and not self.sample and self.sample_default == 1
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def parse(
+        cls,
+        categories: Union[str, Sequence[str], None] = None,
+        sample: Union[str, int, Mapping[str, int], None] = None,
+        seed: int = 0,
+    ) -> "TraceConfig":
+        """Build a config from the CLI flag syntax (see module docstring)."""
+        cats: Optional[frozenset[str]] = None
+        if categories is not None:
+            if isinstance(categories, str):
+                names = [c.strip() for c in categories.split(",") if c.strip()]
+            else:
+                names = list(categories)
+            if names and names != ["all"]:
+                cats = frozenset(_canonical(c) for c in names)
+
+        pairs: list[tuple[str, int]] = []
+        default = 1
+        if sample is not None:
+            if isinstance(sample, int):
+                default = sample
+                if default < 1:
+                    raise ValueError(f"trace sample rate must be >= 1, got {default}")
+            elif isinstance(sample, Mapping):
+                pairs = [(c, int(r)) for c, r in sample.items()]
+            else:
+                for part in (p.strip() for p in sample.split(",")):
+                    if not part:
+                        continue
+                    if "=" in part:
+                        cat, _, rate = part.partition("=")
+                        pairs.append((cat.strip(), _parse_rate(rate, f"for {cat!r}")))
+                    else:
+                        default = _parse_rate(part, "")
+        return cls(
+            categories=cats, sample=tuple(pairs), sample_default=default, seed=seed
+        )
+
+    # -- serialisation ------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready document (what run manifests and sweep workers see)."""
+        return {
+            "categories": sorted(self.categories) if self.categories is not None else None,
+            "sample": {cat: rate for cat, rate in self.sample},
+            "sample_default": self.sample_default,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "TraceConfig":
+        """Inverse of :meth:`to_dict`."""
+        cats = doc.get("categories")
+        return cls(
+            categories=frozenset(cats) if cats is not None else None,
+            sample=tuple((c, int(r)) for c, r in dict(doc.get("sample") or {}).items()),
+            sample_default=int(doc.get("sample_default", 1)),
+            seed=int(doc.get("seed", 0)),
+        )

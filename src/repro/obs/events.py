@@ -13,6 +13,29 @@ Simulated timestamps are microseconds, like everything else in the
 package.  Wall-clock spans live on the reserved ``"wall"`` track and are
 excluded from bucket aggregation.
 
+Production-cost recording
+-------------------------
+The tracer is built to stay on during real sweeps.  Three mechanisms
+keep an *enabled* run close to the disabled one:
+
+1. **Ring buffer of packed tuples.**  Emission writes a plain tuple into
+   a preallocated chunk slot (:mod:`repro.obs.ringbuf`); no dataclass,
+   no per-event dict beyond what the caller already built.
+2. **Deferred encoding.**  :class:`TraceEvent` objects — and everything
+   downstream of them (Perfetto/JSONL/CSV serialisation, bucket
+   aggregation) — materialise lazily when :attr:`Tracer.events` is first
+   consumed, bit-exactly equal to what eager emission produced.  Whole
+   communication steps are recorded as *one* packed record holding the
+   step timeline, so the per-message expansion (the bulk of a traced
+   sweep) happens entirely at export time.
+3. **Category filters and deterministic sampling.**  A
+   :class:`repro.obs.config.TraceConfig` turns categories off (zero
+   buffer writes, tallied in ``obs.dropped.<category>``) or retains a
+   deterministic 1-in-N subset (content-keyed, so retention is identical
+   across worker counts; rejects tallied in ``obs.sampled.<category>``).
+   Retained counts appear as ``obs.events.<category>`` once the stream
+   is materialised.
+
 The ambient tracer
 ------------------
 Instrumented code asks for the current tracer with :func:`get_tracer` and
@@ -32,10 +55,12 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator, Mapping, Optional
 
+from .config import CATEGORIES, TraceConfig, category_of
 from .metrics import MetricsRegistry
+from .ringbuf import RingBuffer
 
 __all__ = [
     "TraceEvent",
@@ -51,6 +76,17 @@ __all__ = [
 
 #: reserved track for wall-clock self-instrumentation spans
 WALL_TRACK = "wall"
+
+# -- packed record tags (first element of every ring-buffer tuple) ----------
+_R_SLICE = 0     # (_R_SLICE, name, ts, dur, proc, track, attrs)
+_R_INSTANT = 1   # (_R_INSTANT, name, ts, proc, track, attrs)
+_R_COMM = 2      # (_R_COMM, algo, track, events, ctimes, start_times)
+
+#: per-category codes feeding the retention hash (stable across processes)
+_CAT_CODE = {cat: i + 1 for i, cat in enumerate(CATEGORIES)}
+
+_M64 = 0xFFFFFFFFFFFFFFFF
+_MIX = 0x9E3779B97F4A7C15
 
 
 @dataclass(frozen=True, slots=True)
@@ -77,21 +113,121 @@ class TraceEvent:
         return self.ts + self.dur
 
 
+def _expand_comm_step(
+    algo: str,
+    track: str,
+    events,
+    ctimes: Mapping[int, float],
+    start_times: Mapping[int, float],
+) -> Iterator[TraceEvent]:
+    """Deferred encoder of one communication step.
+
+    Reproduces, event for event, what the eager tracer used to emit: per
+    participating processor an enclosing ``comm`` phase slice, with the
+    individual ``send``/``recv`` operation slices nested inside.  Any
+    change here breaks the bit-exact golden-export regression
+    (``tests/test_obs_sampling.py``).
+    """
+    by_proc: dict[int, list] = {}
+    for e in events:
+        by_proc.setdefault(e.proc, []).append(e)
+    for p in sorted(set(start_times) | set(by_proc)):
+        ops = by_proc.get(p, ())
+        start = start_times.get(p, ops[0].start if ops else 0.0)
+        finish = ctimes.get(p, start)
+        if not ops and finish <= start:
+            continue  # mentioned in start clocks but did nothing
+        yield TraceEvent(
+            name="comm", kind="slice", ts=start, dur=finish - start,
+            proc=p, track=track, attrs={"algo": algo},
+        )
+        for e in ops:
+            kind = e.kind.value  # "send" | "recv"
+            peer = e.message.dst if kind == "send" else e.message.src
+            attrs = {"peer": peer, "bytes": e.message.size, "uid": e.message.uid}
+            if kind == "recv" and e.arrival is not None:
+                attrs["arrival"] = e.arrival
+            yield TraceEvent(
+                name=kind, kind="slice", ts=e.start, dur=e.duration,
+                proc=e.proc, track=track, attrs=attrs,
+            )
+
+
 class Tracer:
-    """Collects :class:`TraceEvent` records and metrics during a run.
+    """Collects packed event records and metrics during a run.
 
     One tracer is one event stream; exporters and aggregators consume
-    :attr:`events` after the traced section completes.  ``enabled`` is a
-    plain attribute so hot paths can gate on it cheaply.
+    :attr:`events` (materialised on demand) after the traced section
+    completes.  ``enabled`` is a plain attribute so hot paths can gate on
+    it cheaply; ``config`` selects categories and sampling rates (the
+    default records everything).
     """
 
     enabled: bool = True
 
-    def __init__(self, metrics: Optional[MetricsRegistry] = None):
-        self.events: list[TraceEvent] = []
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        config: Optional[TraceConfig] = None,
+    ):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.config = config if config is not None else TraceConfig()
         #: current track name; use :meth:`in_track` to switch temporarily
         self.track: str = "sim"
+        self._buf = RingBuffer()
+        #: (on, rate, code) per category, resolved once from the config
+        self._plans = {
+            cat: (self.config.enabled(cat), self.config.rate_of(cat), _CAT_CODE[cat])
+            for cat in CATEGORIES
+        }
+        #: whole-step deferral is valid while every comm category is
+        #: unfiltered — sampling (content-keyed, order-independent) can be
+        #: applied equally well at materialisation time, so only a filter,
+        #: whose contract is zero buffer writes, forces eager expansion
+        self._comm_deferred = all(
+            self._plans[c][0] for c in ("comm", "send", "recv")
+        )
+        self._comm_sampled = any(
+            self._plans[c][1] > 1 for c in ("comm", "send", "recv")
+        )
+        self._seed_mix = (self.config.seed * 0x94D049BB133111EB) & _M64
+        self._ops_counters: dict[str, Any] = {}
+        self._dropped: dict[str, Any] = {}
+        self._sampled: dict[str, Any] = {}
+        # incremental materialisation state
+        self._mat: list[TraceEvent] = []
+        self._mat_records = 0
+        self._retained: dict[str, int] = {}
+
+    # -- retention ----------------------------------------------------------
+    def wants(self, category: str) -> bool:
+        """True when events of ``category`` are recorded (possibly sampled).
+
+        Emission sites with per-run loops hoist this check so a filtered
+        category costs nothing per event.
+        """
+        return self._plans[category][0]
+
+    def _keep(self, code: int, rate: int, proc: int, ts: float, uid: int = 0) -> bool:
+        """Deterministic 1-in-``rate`` retention, keyed on event content.
+
+        Pure integer arithmetic over (proc, quantised ts, uid, category,
+        seed) — no string hashing, no emission-order counters — so the
+        same event is retained or rejected identically in every process.
+        """
+        h = (
+            (int(ts * 1024.0) + uid * 7919 + (proc + 2) * 2654435761 + code * 40503
+             + self._seed_mix)
+            * _MIX
+        ) & _M64
+        h ^= h >> 29
+        return h % rate == 0
+
+    def _tally(self, cache: dict, prefix: str, category: str, amount: int) -> None:
+        c = cache.get(category)
+        if c is None:
+            c = cache[category] = self.metrics.counter(prefix + category)
+        c.inc(amount)
 
     # -- emission -----------------------------------------------------------
     def slice(
@@ -104,30 +240,28 @@ class Tracer:
         **attrs: Any,
     ) -> None:
         """Record a named interval ``[ts, ts + dur)`` on ``proc``'s track."""
-        self.events.append(
-            TraceEvent(
-                name=name,
-                kind="slice",
-                ts=ts,
-                dur=dur,
-                proc=proc,
-                track=track if track is not None else self.track,
-                attrs=attrs or None,
-            )
-        )
+        if track is None:
+            track = self.track
+        cat = category_of(name, "slice", track)
+        on, rate, code = self._plans[cat]
+        if not on:
+            self._tally(self._dropped, "obs.dropped.", cat, 1)
+            return
+        if rate > 1 and not self._keep(code, rate, proc, ts):
+            self._tally(self._sampled, "obs.sampled.", cat, 1)
+            return
+        self._buf.append((_R_SLICE, name, ts, dur, proc, track, attrs or None))
 
     def instant(self, name: str, ts: float, proc: int = -1, **attrs: Any) -> None:
         """Record a named point in (simulated) time."""
-        self.events.append(
-            TraceEvent(
-                name=name,
-                kind="instant",
-                ts=ts,
-                proc=proc,
-                track=self.track,
-                attrs=attrs or None,
-            )
-        )
+        on, rate, code = self._plans["instant"]
+        if not on:
+            self._tally(self._dropped, "obs.dropped.", "instant", 1)
+            return
+        if rate > 1 and not self._keep(code, rate, proc, ts):
+            self._tally(self._sampled, "obs.sampled.", "instant", 1)
+            return
+        self._buf.append((_R_INSTANT, name, ts, proc, self.track, attrs or None))
 
     def count(self, name: str, value: float = 1.0) -> None:
         """Increment the counter ``name`` in the metrics registry."""
@@ -170,37 +304,249 @@ class Tracer:
 
     # -- domain helpers -----------------------------------------------------
     def emit_comm_step(self, timeline, ctimes: Mapping[int, float], algo: str) -> None:
-        """Emit one simulated communication step as structured events.
+        """Record one simulated communication step.
 
-        For every participating processor: an enclosing ``comm`` phase
-        slice from its start clock to its finish clock, with the
-        individual ``send``/``recv`` operation slices nested inside.
+        While ``comm``/``send``/``recv`` are all unfiltered (sampled or
+        not) this appends a *single* packed record referencing the step's
+        timeline — the per-processor ``comm`` phases and nested
+        ``send``/``recv`` operation slices materialise (and sampling, a
+        pure function of event content, applies) only at
+        export/aggregation time.  With a comm-category *filter* active —
+        whose contract is zero buffer writes for the filtered category —
+        the step expands eagerly instead, writing only retained events.
+
         ``timeline`` is a :class:`repro.core.events.StepTimeline` (duck
         typed: ``events`` with ``proc``/``kind``/``start``/``duration``/
         ``message``, and ``start_times``).
         """
+        events = timeline.events
+        if self._comm_deferred:
+            # Snapshots guard against callers reusing the dicts; the event
+            # list is copied into a tuple so later timeline.add() calls
+            # (none exist today) could not corrupt the deferred record.
+            self._buf.append(
+                (_R_COMM, algo, self.track, tuple(events),
+                 dict(ctimes), dict(timeline.start_times))
+            )
+            try:
+                ops_counter = self._ops_counters[algo]
+            except KeyError:
+                ops_counter = self._ops_counters[algo] = self.metrics.counter(
+                    f"sim.ops.{algo}"
+                )
+            ops_counter.inc(len(events))
+            return
+        self._emit_comm_step_filtered(events, timeline.start_times, ctimes, algo)
+
+    def _emit_comm_step_filtered(self, events, start_times, ctimes, algo) -> None:
+        """The non-default path: expand now, keeping only retained events."""
+        comm_on, comm_rate, comm_code = self._plans["comm"]
+        send_on, send_rate, send_code = self._plans["send"]
+        recv_on, recv_rate, recv_code = self._plans["recv"]
+        track = self.track
+        append = self._buf.append
+        keep = self._keep
+        dropped = {"comm": 0, "send": 0, "recv": 0}
+        sampled = {"comm": 0, "send": 0, "recv": 0}
+
         by_proc: dict[int, list] = {}
-        for e in timeline.events:
+        for e in events:
             by_proc.setdefault(e.proc, []).append(e)
-        start_times = timeline.start_times
         for p in sorted(set(start_times) | set(by_proc)):
             ops = by_proc.get(p, ())
             start = start_times.get(p, ops[0].start if ops else 0.0)
             finish = ctimes.get(p, start)
             if not ops and finish <= start:
                 continue  # mentioned in start clocks but did nothing
-            self.slice("comm", proc=p, ts=start, dur=finish - start, algo=algo)
+            if not comm_on:
+                dropped["comm"] += 1
+            elif comm_rate > 1 and not keep(comm_code, comm_rate, p, start):
+                sampled["comm"] += 1
+            else:
+                append(
+                    (_R_SLICE, "comm", start, finish - start, p, track,
+                     {"algo": algo})
+                )
             for e in ops:
                 kind = e.kind.value  # "send" | "recv"
-                peer = e.message.dst if kind == "send" else e.message.src
-                attrs = {"peer": peer, "bytes": e.message.size, "uid": e.message.uid}
+                if kind == "send":
+                    on, rate, code = send_on, send_rate, send_code
+                else:
+                    on, rate, code = recv_on, recv_rate, recv_code
+                msg = e.message
+                if not on:
+                    dropped[kind] += 1
+                    continue
+                if rate > 1 and not keep(code, rate, e.proc, e.start, uid=msg.uid):
+                    sampled[kind] += 1
+                    continue
+                peer = msg.dst if kind == "send" else msg.src
+                attrs = {"peer": peer, "bytes": msg.size, "uid": msg.uid}
                 if kind == "recv" and e.arrival is not None:
                     attrs["arrival"] = e.arrival
-                self.slice(kind, proc=p, ts=e.start, dur=e.duration, **attrs)
-            self.count(f"sim.ops.{algo}", len(ops))
+                append((_R_SLICE, kind, e.start, e.duration, e.proc, track, attrs))
+
+        for cat, n in dropped.items():
+            if n:
+                self._tally(self._dropped, "obs.dropped.", cat, n)
+        for cat, n in sampled.items():
+            if n:
+                self._tally(self._sampled, "obs.sampled.", cat, n)
+        # the sim.* ops metric counts simulated operations, not retained ones
+        self.metrics.counter(f"sim.ops.{algo}").inc(len(events))
+
+    def _expand_comm_step_sampled(
+        self, algo, track, events, ctimes, start_times
+    ) -> Iterator[TraceEvent]:
+        """Deferred expansion of one comm step with sampling applied.
+
+        Same ordering and skip rules as :func:`_expand_comm_step`; the
+        content-keyed :meth:`_keep` makes applying the sampler here (at
+        materialisation) indistinguishable from applying it at emission,
+        while the traced run itself pays only the one-record append.
+        Rejects are tallied into ``obs.sampled.<cat>`` as they surface.
+        """
+        _, comm_rate, comm_code = self._plans["comm"]
+        _, send_rate, send_code = self._plans["send"]
+        _, recv_rate, recv_code = self._plans["recv"]
+        keep = self._keep
+        sampled = {"comm": 0, "send": 0, "recv": 0}
+
+        by_proc: dict[int, list] = {}
+        for e in events:
+            by_proc.setdefault(e.proc, []).append(e)
+        for p in sorted(set(start_times) | set(by_proc)):
+            ops = by_proc.get(p, ())
+            start = start_times.get(p, ops[0].start if ops else 0.0)
+            finish = ctimes.get(p, start)
+            if not ops and finish <= start:
+                continue  # mentioned in start clocks but did nothing
+            if comm_rate > 1 and not keep(comm_code, comm_rate, p, start):
+                sampled["comm"] += 1
+            else:
+                yield TraceEvent(
+                    name="comm", kind="slice", ts=start, dur=finish - start,
+                    proc=p, track=track, attrs={"algo": algo},
+                )
+            for e in ops:
+                kind = e.kind.value  # "send" | "recv"
+                rate, code = (
+                    (send_rate, send_code) if kind == "send"
+                    else (recv_rate, recv_code)
+                )
+                msg = e.message
+                if rate > 1 and not keep(code, rate, e.proc, e.start, uid=msg.uid):
+                    sampled[kind] += 1
+                    continue
+                peer = msg.dst if kind == "send" else msg.src
+                attrs = {"peer": peer, "bytes": msg.size, "uid": msg.uid}
+                if kind == "recv" and e.arrival is not None:
+                    attrs["arrival"] = e.arrival
+                yield TraceEvent(
+                    name=kind, kind="slice", ts=e.start, dur=e.duration,
+                    proc=e.proc, track=track, attrs=attrs,
+                )
+        for cat, n in sampled.items():
+            if n:
+                self._tally(self._sampled, "obs.sampled.", cat, n)
+
+    # -- materialisation ----------------------------------------------------
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The recorded events as :class:`TraceEvent` objects.
+
+        Packed records are decoded lazily and incrementally: the first
+        access after new emissions expands only the new records.  The
+        returned list is the tracer's materialisation cache — treat it as
+        read-only.
+        """
+        total = self._buf.count()
+        if self._mat_records != total:
+            self._materialize(total)
+        return self._mat
+
+    def _materialize(self, upto: int) -> None:
+        out = self._mat
+        fresh_from = len(out)
+        for rec in self._buf.iter_from(self._mat_records):
+            tag = rec[0]
+            if tag == _R_SLICE:
+                out.append(
+                    TraceEvent(
+                        name=rec[1], kind="slice", ts=rec[2], dur=rec[3],
+                        proc=rec[4], track=rec[5], attrs=rec[6],
+                    )
+                )
+            elif tag == _R_INSTANT:
+                out.append(
+                    TraceEvent(
+                        name=rec[1], kind="instant", ts=rec[2], proc=rec[3],
+                        track=rec[4], attrs=rec[5],
+                    )
+                )
+            elif self._comm_sampled:
+                out.extend(
+                    self._expand_comm_step_sampled(
+                        rec[1], rec[2], rec[3], rec[4], rec[5]
+                    )
+                )
+            else:
+                out.extend(_expand_comm_step(rec[1], rec[2], rec[3], rec[4], rec[5]))
+        self._mat_records = upto
+        # fold the newly materialised span into the per-category tallies
+        fresh: dict[str, int] = {}
+        for e in out[fresh_from:]:
+            cat = category_of(e.name, e.kind, e.track)
+            fresh[cat] = fresh.get(cat, 0) + 1
+        for cat, n in fresh.items():
+            self._retained[cat] = self._retained.get(cat, 0) + n
+            self.metrics.counter(f"obs.events.{cat}").inc(n)
+
+    def category_counts(self) -> dict[str, int]:
+        """Retained events per category (materialises the stream)."""
+        self.events  # noqa: B018 - force materialisation
+        return dict(self._retained)
+
+    def telemetry(self) -> dict:
+        """JSON-ready summary of what was kept, dropped and sampled out."""
+        self.events  # noqa: B018 - force materialisation
+        dropped = {cat: c.value for cat, c in self._dropped.items()}
+        sampled = {cat: c.value for cat, c in self._sampled.items()}
+        return {
+            "config": self.config.to_dict(),
+            "events_by_category": dict(self._retained),
+            "dropped_by_category": dropped,
+            "sampled_out_by_category": sampled,
+        }
+
+    # -- cross-process shipping ---------------------------------------------
+    def export_rows(self) -> list[tuple]:
+        """The materialised stream as plain picklable tuples.
+
+        Sweep workers trace their chunks locally (with the parent's
+        config, so filters and sampling have already been applied) and
+        ship these rows back for :meth:`absorb_rows`.
+        """
+        return [
+            (e.name, e.kind, e.ts, e.dur, e.proc, e.track,
+             dict(e.attrs) if e.attrs else None)
+            for e in self.events
+        ]
+
+    def absorb_rows(self, rows) -> None:
+        """Append rows from :meth:`export_rows` (no re-filtering)."""
+        append = self._buf.append
+        for name, kind, ts, dur, proc, track, attrs in rows:
+            if kind == "slice":
+                append((_R_SLICE, name, ts, dur, proc, track, attrs))
+            else:
+                append((_R_INSTANT, name, ts, proc, track, attrs))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Tracer events={len(self.events)} track={self.track!r}>"
+        return (
+            f"<Tracer records={self._buf.count()} track={self.track!r} "
+            f"config={'default' if self.config.is_default() else self.config.to_dict()}>"
+        )
 
 
 class NullTracer(Tracer):
@@ -214,6 +560,9 @@ class NullTracer(Tracer):
 
     def __init__(self):
         super().__init__(metrics=MetricsRegistry())
+
+    def wants(self, category: str) -> bool:
+        return False
 
     def slice(self, *args: Any, **kwargs: Any) -> None:
         pass

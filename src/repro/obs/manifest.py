@@ -67,6 +67,12 @@ class RunRecord:
     the perturbation spec document, replicate count, CI level, the
     summary digest gating worker-count equivalence, and whether the spec
     was deterministic (empty for non-UQ runs).
+
+    ``trace`` is the telemetry block of traced runs: the
+    :class:`repro.obs.config.TraceConfig` document plus retained /
+    dropped / sampled-out tallies per category (empty for untraced
+    runs).  It is filled automatically by :meth:`finish` when the tracer
+    exposes :meth:`repro.obs.Tracer.telemetry`.
     """
 
     command: str
@@ -79,6 +85,7 @@ class RunRecord:
     uq: dict = field(default_factory=dict)
     makespan_us: Optional[float] = None
     event_count: int = 0
+    trace: dict = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
     wall_s: Optional[float] = None
     events_per_sec: Optional[float] = None
@@ -115,6 +122,11 @@ class RunRecord:
         if t0 is not None:
             self.wall_s = time.perf_counter() - t0
         if tracer is not None:
+            # telemetry() materialises the stream, which updates the
+            # per-category obs.events.* counters *before* the snapshot
+            telemetry = getattr(tracer, "telemetry", None)
+            if callable(telemetry):
+                self.trace = telemetry()
             self.event_count = len(tracer.events)
             self.metrics = tracer.metrics.snapshot()
         if self.wall_s and self.event_count:

@@ -133,5 +133,29 @@ class MetricsRegistry:
             },
         }
 
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histogram aggregates are additive (min/max fold
+        through comparison); gauges take the incoming value, last writer
+        wins.  Sweep workers trace their chunks in separate processes and
+        ship snapshots back for merging, so a parallel traced sweep ends
+        with the same totals a serial one accumulates directly.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, agg in snapshot.get("histograms", {}).items():
+            if not agg.get("count"):
+                continue
+            h = self.histogram(name)
+            h.count += agg["count"]
+            h.total += agg["sum"]
+            if agg["min"] < h.min:
+                h.min = agg["min"]
+            if agg["max"] > h.max:
+                h.max = agg["max"]
+
     def __len__(self) -> int:
         return len(self._counters) + len(self._gauges) + len(self._histograms)

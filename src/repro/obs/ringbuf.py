@@ -1,0 +1,82 @@
+"""The tracer's storage: a chunked, append-only ring buffer of packed tuples.
+
+The pre-ring-buffer tracer allocated one frozen dataclass (plus one attrs
+dict) per event; on the Figure 7 sweep that doubled the runtime of an
+enabled run.  This buffer stores *packed records* — plain tuples written
+into preallocated list slots — and defers all interpretation (dataclass
+materialisation, Perfetto/JSONL/CSV encoding, bucket aggregation) to
+export time:
+
+* **Preallocated chunks.**  Slots come from fixed-size lists allocated a
+  chunk at a time, so an append is one bounds check, one slot store and
+  one integer bump — no per-event container growth beyond the amortised
+  chunk allocation.
+* **Append-only.**  Records are never moved or overwritten; iteration
+  order is emission order, which the deferred encoder relies on to
+  reproduce the eager tracer's output bit for bit.
+* **Indexable tail.**  Consumers track how many records they have seen
+  (:meth:`count`) and resume iteration from there
+  (:meth:`iter_from`), which is how the tracer materialises
+  incrementally instead of re-decoding the whole run on every access.
+
+The record vocabulary (first element of every tuple) is defined by the
+tracer (:mod:`repro.obs.events`); the buffer itself is payload-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["RingBuffer", "CHUNK_SLOTS"]
+
+#: slots per preallocated chunk (a compromise between allocation
+#: amortisation and worst-case wasted tail memory)
+CHUNK_SLOTS = 1 << 14
+
+
+class RingBuffer:
+    """Chunked append-only storage of packed record tuples."""
+
+    __slots__ = ("_chunks", "_tail", "_pos")
+
+    def __init__(self) -> None:
+        self._tail: list = [None] * CHUNK_SLOTS
+        self._chunks: list[list] = [self._tail]
+        #: next free slot in the tail chunk
+        self._pos: int = 0
+
+    def append(self, record: tuple) -> None:
+        """Write ``record`` into the next slot (growing by one chunk if full)."""
+        pos = self._pos
+        if pos == CHUNK_SLOTS:
+            self._tail = [None] * CHUNK_SLOTS
+            self._chunks.append(self._tail)
+            pos = 0
+        self._tail[pos] = record
+        self._pos = pos + 1
+
+    def count(self) -> int:
+        """Number of records appended so far."""
+        return (len(self._chunks) - 1) * CHUNK_SLOTS + self._pos
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def iter_from(self, start: int = 0) -> Iterator[tuple]:
+        """Yield records ``start``, ``start + 1``, ... in emission order."""
+        total = self.count()
+        if start >= total:
+            return
+        chunk_idx, pos = divmod(start, CHUNK_SLOTS)
+        for ci in range(chunk_idx, len(self._chunks)):
+            chunk = self._chunks[ci]
+            end = self._pos if ci == len(self._chunks) - 1 else CHUNK_SLOTS
+            for i in range(pos, end):
+                yield chunk[i]
+            pos = 0
+
+    def __iter__(self) -> Iterator[tuple]:
+        return self.iter_from(0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RingBuffer records={self.count()} chunks={len(self._chunks)}>"

@@ -40,7 +40,7 @@ from ..core.loggp import LogGPParameters
 from ..core.predictor import summarize_ge_point, summarize_uq_point
 from ..experiments import ExperimentStore, PointSummary
 from ..kernel import flags as _kernel_flags
-from ..obs import get_tracer
+from ..obs import TraceConfig, Tracer, get_tracer, tracing
 from ..uq.spec import UQSpec
 from .points import SweepPoint
 
@@ -138,14 +138,22 @@ def _evaluate_point(
     )
 
 
-def _run_chunk(payload) -> list[tuple[int, PointSummary]]:
+def _run_chunk(payload):
     """Worker entrypoint: evaluate one chunk of (index, point) pairs.
 
     Module-level (hence picklable by reference) and self-contained: the
     worker re-opens the store from its directory so every process holds
     its own handle, coordinated only through the store's atomic writes.
+
+    When the parent sweep is traced, its :class:`TraceConfig` travels in
+    the payload: the worker traces its chunk locally (filters and
+    deterministic sampling applied here, so retention cannot depend on
+    the worker count) and ships the materialised rows plus a metrics
+    snapshot back for the parent to absorb.  Returns
+    ``(chunk_no, results, rows, metrics_snapshot)`` with the last two
+    ``None`` for untraced sweeps.
     """
-    store_dir, params, cost_model, uq, fast, indexed = payload
+    store_dir, params, cost_model, uq, fast, trace_doc, chunk_no, indexed = payload
     # A spawn-context worker does not inherit a parent's set_enabled(), so
     # the flag travels in the payload (proven result-neutral by the
     # differential harness, but the dispatch must still be consistent).
@@ -158,10 +166,28 @@ def _run_chunk(payload) -> list[tuple[int, PointSummary]]:
         if store_dir is not None
         else None
     )
-    return [
-        (idx, _evaluate_point(point, params, cost_model, store, uq))
-        for idx, point in indexed
-    ]
+    if trace_doc is None:
+        results = [
+            (idx, _evaluate_point(point, params, cost_model, store, uq))
+            for idx, point in indexed
+        ]
+        return chunk_no, results, None, None
+    tracer = Tracer(config=TraceConfig.from_dict(trace_doc))
+    with tracing(tracer):
+        with tracer.span("sweep.chunk", chunk=chunk_no, points=len(indexed)):
+            results = [
+                (idx, _evaluate_point(point, params, cost_model, store, uq))
+                for idx, point in indexed
+            ]
+    rows = tracer.export_rows()
+    snap = tracer.metrics.snapshot()
+    # the parent re-counts obs.events.* when it materialises the absorbed
+    # rows; shipping the worker's copies too would double the tallies
+    snap["counters"] = {
+        k: v for k, v in snap["counters"].items()
+        if not k.startswith("obs.events.")
+    }
+    return chunk_no, results, rows, snap
 
 
 def _chunked(items: list, size: int) -> Iterator[list]:
@@ -260,26 +286,44 @@ def run_sweep(
 
     n_chunks = 0
     if pending and workers <= 1:
-        for idx, point in pending:
-            finish_point(
-                idx, point, _evaluate_point(point, params, cost_model, store, uq)
-            )
+        with tracer.span("sweep.chunk", chunk=0, points=len(pending)):
+            for idx, point in pending:
+                finish_point(
+                    idx, point, _evaluate_point(point, params, cost_model, store, uq)
+                )
         n_chunks = len(pending)
     elif pending:
         eff_workers = min(workers, len(pending))
         size = chunk_size or max(1, math.ceil(len(pending) / (eff_workers * 4)))
         store_dir = str(store.directory) if store is not None else None
+        trace_doc = tracer.config.to_dict() if tracer.enabled else None
         payloads = [
-            (store_dir, params, cost_model, uq, _kernel_flags.enabled, chunk)
-            for chunk in _chunked(pending, size)
+            (store_dir, params, cost_model, uq, _kernel_flags.enabled,
+             trace_doc, chunk_no, chunk)
+            for chunk_no, chunk in enumerate(_chunked(pending, size))
         ]
         n_chunks = len(payloads)
         index_of = dict(pending)
+        chunk_rows: list = [None] * n_chunks
+        chunk_metrics: list = [None] * n_chunks
         ctx = multiprocessing.get_context(mp_context)
         with ctx.Pool(processes=eff_workers) as pool:
-            for chunk_result in pool.imap_unordered(_run_chunk, payloads):
+            for chunk_no, chunk_result, rows, snap in pool.imap_unordered(
+                _run_chunk, payloads
+            ):
+                chunk_rows[chunk_no] = rows
+                chunk_metrics[chunk_no] = snap
                 for idx, summary in chunk_result:
                     finish_point(idx, index_of[idx], summary)
+        # Chunks are contiguous slices of ``pending`` in grid order, so
+        # absorbing their event rows in chunk order reproduces exactly the
+        # stream a serial sweep emits inline — completion order never shows.
+        if tracer.enabled:
+            for rows, snap in zip(chunk_rows, chunk_metrics):
+                if rows:
+                    tracer.absorb_rows(rows)
+                if snap:
+                    tracer.metrics.merge(snap)
 
     missing = [i for i, s in enumerate(summaries) if s is None]
     if missing:  # pragma: no cover - defensive: a worker dropped results

@@ -1,0 +1,67 @@
+"""Regenerate the observability golden exports (``obs_golden/``).
+
+Run from the repo root only after an *intentional* change to what the
+tracer records (new event fields, changed attrs, different ordering):
+
+    PYTHONPATH=src python tests/data/regen_obs_golden.py
+
+The goldens pin the exact Chrome-trace / JSONL / CSV bytes of an
+unfiltered traced run — one ``ProgramSimulator`` (standard mode), one
+DES cross-check run (causal mode), one ``MachineEmulator`` execution and
+one tree-broadcast on the active-message machine, all into a single
+tracer.  Everything in the run is seeded and simulated-time only (no
+wall-clock spans), so the exports are bit-reproducible across hosts.
+
+``tests/test_obs_sampling.py`` compares fresh exports against these
+files byte for byte; the ring-buffer tracer's deferred encoding must be
+indistinguishable from the original eager dataclass emission.
+"""
+
+from pathlib import Path
+
+from repro.apps.gauss import GEConfig, build_ge_trace
+from repro.core import MEIKO_CS2, CalibratedCostModel
+from repro.core.collectives import binomial_broadcast_pattern, simulate_tree_broadcast
+from repro.core.program_sim import ProgramSimulator
+from repro.layouts import LAYOUTS
+from repro.machine import MachineEmulator
+from repro.obs import (
+    Tracer,
+    tracing,
+    write_chrome_trace,
+    write_events_csv,
+    write_events_jsonl,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "obs_golden"
+
+#: the pinned workload — mirror any change in test_obs_sampling.py
+N, B, LAYOUT, P = 120, 24, "block2d", 4
+
+
+def record() -> Tracer:
+    """The golden run: every engine family into one event stream."""
+    trace = build_ge_trace(GEConfig(n=N, b=B, layout=LAYOUTS[LAYOUT](N // B, P)))
+    tracer = Tracer()
+    with tracing(tracer):
+        ProgramSimulator(MEIKO_CS2, CalibratedCostModel(), mode="standard").run(trace)
+        ProgramSimulator(MEIKO_CS2, CalibratedCostModel(), mode="causal").run(trace)
+        MachineEmulator(MEIKO_CS2, CalibratedCostModel()).run(trace)
+        simulate_tree_broadcast(MEIKO_CS2, binomial_broadcast_pattern(P, size=1160))
+    return tracer
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    tracer = record()
+    # metrics are deliberately not embedded: the goldens pin the *event*
+    # stream; the metrics registry gained per-category telemetry counters
+    # after these files were first recorded.
+    write_chrome_trace(tracer.events, GOLDEN_DIR / "chrome.json")
+    write_events_jsonl(tracer.events, GOLDEN_DIR / "events.jsonl")
+    write_events_csv(tracer.events, GOLDEN_DIR / "events.csv")
+    print(f"wrote {GOLDEN_DIR}: {len(tracer.events)} events")
+
+
+if __name__ == "__main__":
+    main()

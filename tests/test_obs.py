@@ -169,13 +169,12 @@ class TestExporters:
         path = tmp_path / "t.json"
         tr = Tracer()
         tr.count("x")
-        for e in _some_events():
-            tr.events.append(e)
-        write_chrome_trace(tr.events, path, metrics=tr.metrics)
+        events = _some_events()
+        write_chrome_trace(events, path, metrics=tr.metrics)
         doc = json.loads(path.read_text())
         assert doc["otherData"]["metrics"]["counters"]["x"] == 1
         back = events_from_chrome_trace(doc)
-        orig_sums, orig_mk = bucket_sums(tr.events, num_procs=1)
+        orig_sums, orig_mk = bucket_sums(events, num_procs=1)
         back_sums, back_mk = bucket_sums(back, num_procs=1)
         assert back_sums == orig_sums and back_mk == orig_mk
 

@@ -1,18 +1,17 @@
-"""Tests for unit helpers and the DES monitor."""
+"""Tests for unit helpers, plus the Monitor-to-Tracer migration.
 
-import warnings
+The DES ``Monitor`` shim (deprecated in PR 1, removed in PR 6) recorded
+tagged payloads stamped with simulation time.  Its use case — point
+observations inside a DES process — is covered by the observability
+tracer's ``instant`` events; ``TestMonitorMigration`` pins that the
+replacement actually supports the old consumer patterns.
+"""
 
 import pytest
 
 from repro.core.units import approx_ge, approx_le, ms_to_us, s_to_us, us_to_ms, us_to_s
-from repro.des import Environment, Monitor
-
-
-def make_monitor(env):
-    """Monitor is deprecated (superseded by repro.obs); hush the warning."""
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        return Monitor(env)
+from repro.des import Environment
+from repro.obs import Tracer, get_tracer, tracing
 
 
 class TestUnits:
@@ -32,64 +31,39 @@ class TestUnits:
         assert not approx_ge(0.9, 1.0)
 
 
-class TestMonitor:
-    def test_records_stamped_with_sim_time(self):
+class TestMonitorMigration:
+    """Tracer instants replace Monitor records (same DES-time stamping)."""
+
+    def test_monitor_shim_is_gone(self):
+        import repro.des
+
+        assert not hasattr(repro.des, "Monitor")
+        assert not hasattr(repro.des, "TraceRecord")
+
+    def test_instants_stamped_with_sim_time(self):
         env = Environment()
-        mon = make_monitor(env)
+        tracer = Tracer()
 
         def proc(env):
             yield env.timeout(3.0)
-            mon.record("tick", 1)
+            get_tracer().instant("tick", ts=env.now, value=1)
             yield env.timeout(2.0)
-            mon.record("tick", 2)
+            get_tracer().instant("tick", ts=env.now, value=2)
 
-        env.process(proc(env))
-        env.run()
-        assert [(r.time, r.payload) for r in mon.filter("tick")] == [(3.0, 1), (5.0, 2)]
+        with tracing(tracer):
+            env.process(proc(env))
+            env.run()
+        ticks = [e for e in tracer.events if e.name == "tick"]
+        assert [(e.ts, e.attrs["value"]) for e in ticks] == [(3.0, 1), (5.0, 2)]
 
-    def test_filter_by_tag(self):
-        env = Environment()
-        mon = make_monitor(env)
-        mon.record("a", 1)
-        mon.record("b", 2)
-        assert len(mon.filter("a")) == 1
+    def test_filter_by_name(self):
+        tracer = Tracer()
+        tracer.instant("a", ts=0.0, value=1)
+        tracer.instant("b", ts=0.0, value=2)
+        assert len([e for e in tracer.events if e.name == "a"]) == 1
 
     def test_series_extraction(self):
-        env = Environment()
-        mon = make_monitor(env)
-        mon.record("x", {"v": 10.0})
-        assert mon.series("x", key=lambda p: p["v"]) == [(0.0, 10.0)]
-
-    def test_clear(self):
-        env = Environment()
-        mon = make_monitor(env)
-        mon.record("a")
-        mon.clear()
-        assert mon.records == []
-
-    def test_construction_warns_deprecated(self):
-        with pytest.warns(DeprecationWarning, match="repro.obs.Tracer"):
-            Monitor(Environment())
-
-    def test_series_rejects_none_payload(self):
-        mon = make_monitor(Environment())
-        mon.record("x")  # payload defaults to None
-        with pytest.raises(TypeError, match=r"series\('x'\).*not numeric"):
-            mon.series("x")
-
-    def test_series_rejects_structured_payload_without_key(self):
-        mon = make_monitor(Environment())
-        mon.record("x", {"v": 10.0})
-        with pytest.raises(TypeError, match="pass key="):
-            mon.series("x")
-
-    def test_series_names_offending_tag_and_chains_cause(self):
-        mon = make_monitor(Environment())
-        mon.record("bad", object())
-        try:
-            mon.series("bad")
-        except TypeError as exc:
-            assert "'bad'" in str(exc)
-            assert exc.__cause__ is not None
-        else:  # pragma: no cover
-            pytest.fail("expected TypeError")
+        tracer = Tracer()
+        tracer.instant("x", ts=0.0, v=10.0)
+        series = [(e.ts, e.attrs["v"]) for e in tracer.events if e.name == "x"]
+        assert series == [(0.0, 10.0)]
