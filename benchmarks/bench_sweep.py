@@ -1,22 +1,37 @@
-"""Serial vs parallel wall-clock of the Figure 7 sweep.
+"""Combined kernel + executor wall-clock of the Figure 7 sweep.
 
-The sweep engine (:mod:`repro.sweep`) exists to make paper-scale grid
-studies as fast as the hardware allows; this bench quantifies that on
-the headline workload — the full Figure 7 GE sweep (every block size ×
+The headline workload — the full Figure 7 GE sweep (every block size ×
 both layouts, predictions *and* the emulated "measured" run), cold
-cache (no experiment store attached):
+cache, no experiment store — run three ways:
 
-* ``serial_s``    — ``run_sweep(..., workers=1)``, the in-process
-  reference engine;
-* ``parallel_s``  — ``run_sweep(..., workers=4)`` (override with
-  ``REPRO_SWEEP_WORKERS``);
-* ``identical``   — whether the two engines produced bit-identical
-  summaries on every point.  **This is the hard gate**: the bench fails
-  if parallel results drift from serial ones by any amount.
-* ``speedup``     — serial / parallel.  Target ≥ 2× with 4 workers;
-  asserted only on hosts with ≥ 4 CPUs, because process parallelism
-  cannot speed up a CPU-bound sweep on fewer cores (``cpu_count`` is
-  recorded so the number can be judged in context).
+* ``reference_s``   — ``run_sweep(..., workers=1)`` with the fast path
+  **off**: the seed engine, the bit-identity anchor everything else is
+  judged against.
+* ``serial_fast_s`` — ``executor="serial"`` with the fast path on: the
+  vectorized batch kernel, no pool.
+* ``auto_s``        — ``executor="auto"`` with the fast path on: the
+  self-tuning executor probes one point, estimates the grid, measures
+  spawn overhead and picks its strategy (recorded in ``decision``).
+
+Gates:
+
+* ``identical``         — all three produce the same ``results_sha256``.
+  **The hard gate**: any drift fails the bench on every host.
+* ``combined_speedup``  — ``reference_s / auto_s``.  Target 10× at
+  paper scale, but the pool's makespan is *critical-path bound*: the
+  heaviest point (b=10, ≈ 23% of the grid's :func:`point_weight`) runs
+  on one worker start-to-finish, so no CPU count can push ``auto_s``
+  below ``serial_fast_s × heaviest_share``.  The bench computes that
+  bound (``attainable_speedup``) from the measured serial time, the
+  analytic weight share, and the CPU count, and hard-gates at
+  ``min(target, 0.75 × attainable)`` — honest on every host, while
+  recording how far the host physically allows.  Gated only at paper
+  scale on ≥ 4 CPUs; at reduced ``REPRO_FAST`` scale (cheap points
+  shrink the kernel's share) the numbers are recorded but not asserted.
+* ``serial_regression`` — on a 1-CPU host auto must not lose to forced
+  serial by more than 5% (the 0.87x regression this executor exists to
+  prevent: auto resolves to serial there, so the two runs share a code
+  path).
 
 Results land in ``BENCH_sweep.json`` at the repo root (CI regenerates
 and uploads it as an artifact).  Run standalone with
@@ -42,29 +57,52 @@ from _shared import (  # noqa: E402
     scale_banner,
 )
 
+from repro.kernel import clear_all_caches, fast_path  # noqa: E402
+from repro.kernel.memo import point_weight  # noqa: E402
 from repro.obs import RunRecord, loggp_dict  # noqa: E402
 from repro.sweep import expand_grid, run_sweep  # noqa: E402
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
-WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "4"))
-TARGET_SPEEDUP = 2.0
+TARGET_SPEEDUP = 10.0
+SERIAL_SLACK = 1.05
 
 
-def _timed_sweep(grid, workers: int):
-    t0 = time.perf_counter()
-    result = run_sweep(grid, PARAMS, COST_MODEL, workers=workers, store=None)
-    return result, time.perf_counter() - t0
+def _timed_sweep(grid, fast: bool, **kwargs):
+    clear_all_caches()
+    with fast_path(fast):
+        t0 = time.perf_counter()
+        result = run_sweep(grid, PARAMS, COST_MODEL, store=None, **kwargs)
+        elapsed = time.perf_counter() - t0
+    return result, elapsed
 
 
 def run_bench() -> dict:
     grid = expand_grid(MATRIX_N, BLOCK_SIZES, LAYOUTS, with_measured=True)
     cpus = os.cpu_count() or 1
 
-    serial, serial_s = _timed_sweep(grid, workers=1)
-    parallel, parallel_s = _timed_sweep(grid, workers=WORKERS)
+    reference, reference_s = _timed_sweep(grid, fast=False, workers=1)
+    serial_fast, serial_fast_s = _timed_sweep(grid, fast=True, executor="serial")
+    auto, auto_s = _timed_sweep(grid, fast=True, executor="auto", workers=None)
 
-    identical = serial.summaries == parallel.summaries
-    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    ref_digest = reference.digest()
+    identical = (
+        serial_fast.digest() == ref_digest and auto.digest() == ref_digest
+    )
+    combined = reference_s / auto_s if auto_s else float("inf")
+
+    # Critical-path bound on the pool: the heaviest point runs on one
+    # worker start-to-finish, so the makespan can't drop below the larger
+    # of (serial work / cpus) and (heaviest point's share of serial work).
+    weights = [point_weight(p.n, p.b, p.with_measured) for p in grid]
+    heaviest_share = max(weights) / sum(weights) if weights else 0.0
+    makespan_floor_s = max(
+        serial_fast_s / cpus, serial_fast_s * heaviest_share
+    )
+    attainable = (
+        reference_s / makespan_floor_s if makespan_floor_s else float("inf")
+    )
+    effective_target = min(TARGET_SPEEDUP, 0.75 * attainable)
+
     record = {
         "bench": "sweep",
         "scale": scale_banner(),
@@ -74,14 +112,23 @@ def run_bench() -> dict:
         "layouts": list(LAYOUTS),
         "points": len(grid),
         "cpu_count": cpus,
-        "workers": WORKERS,
-        "serial_s": serial_s,
-        "parallel_s": parallel_s,
-        "speedup": speedup,
+        "reference_s": reference_s,
+        "serial_fast_s": serial_fast_s,
+        "auto_s": auto_s,
+        "kernel_speedup": reference_s / serial_fast_s if serial_fast_s else float("inf"),
+        "executor_speedup": serial_fast_s / auto_s if auto_s else float("inf"),
+        "combined_speedup": combined,
         "target_speedup": TARGET_SPEEDUP,
-        "speedup_gated": cpus >= 4,
+        "heaviest_point_share": heaviest_share,
+        "makespan_floor_s": makespan_floor_s,
+        "attainable_speedup": attainable,
+        "effective_target": effective_target,
+        "speedup_gated": cpus >= 4 and not FAST,
+        "serial_slack": SERIAL_SLACK,
+        "serial_regression_gated": cpus == 1,
+        "decision": auto.stats.decision,
         "identical": identical,
-        "results_sha256": parallel.digest(),
+        "results_sha256": ref_digest,
     }
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
 
@@ -91,39 +138,61 @@ def run_bench() -> dict:
         workload={"n": MATRIX_N, "block_sizes": list(BLOCK_SIZES),
                   "layouts": list(LAYOUTS), "fast": FAST},
         **{k: record[k] for k in
-           ("points", "cpu_count", "workers", "serial_s", "parallel_s",
-            "speedup", "identical", "results_sha256")},
+           ("points", "cpu_count", "reference_s", "serial_fast_s", "auto_s",
+            "combined_speedup", "decision", "identical", "results_sha256")},
     ).finish().write()
 
     print()
     print(f"sweep engine — {scale_banner()}")
-    print(f"  grid points               : {len(grid)}")
-    print(f"  serial   (workers=1)      : {serial_s:8.3f} s")
-    print(f"  parallel (workers={WORKERS})      : {parallel_s:8.3f} s")
-    print(f"  speedup                   : {speedup:.2f}x "
-          f"(target >= {TARGET_SPEEDUP}x, {cpus} CPUs"
-          f"{'' if cpus >= 4 else ' — below 4, target not gated'})")
-    print(f"  parallel == serial        : {identical}")
+    print(f"  grid points                 : {len(grid)}")
+    print(f"  reference (seed engine)     : {reference_s:8.3f} s")
+    print(f"  serial + batch kernel       : {serial_fast_s:8.3f} s "
+          f"({record['kernel_speedup']:.2f}x)")
+    print(f"  auto executor               : {auto_s:8.3f} s "
+          f"-> {auto.stats.executor} x{auto.stats.workers}")
+    print(f"  combined speedup            : {combined:.2f}x "
+          f"(target {TARGET_SPEEDUP}x; host bound {attainable:.2f}x, "
+          f"gate >= {effective_target:.2f}x, {cpus} CPUs"
+          f"{'' if record['speedup_gated'] else ' — not gated'})")
+    print(f"  all digests == reference    : {identical}")
     print(f"  recorded -> {BENCH_JSON.name}")
     return record
 
 
-def test_sweep_parallel_speedup():
+def test_sweep_combined_speedup():
     record = run_bench()
-    assert record["identical"], "parallel sweep drifted from serial results"
+    assert record["identical"], "fast/auto sweep drifted from the seed engine"
     if record["speedup_gated"]:
-        assert record["speedup"] >= TARGET_SPEEDUP, (
-            f"speedup {record['speedup']:.2f}x below {TARGET_SPEEDUP}x "
-            f"with {record['workers']} workers on {record['cpu_count']} CPUs"
+        assert record["combined_speedup"] >= record["effective_target"], (
+            f"combined speedup {record['combined_speedup']:.2f}x below "
+            f"gate {record['effective_target']:.2f}x "
+            f"(host bound {record['attainable_speedup']:.2f}x, "
+            f"target {TARGET_SPEEDUP}x) on {record['cpu_count']} CPUs"
+        )
+    if record["serial_regression_gated"]:
+        assert record["auto_s"] <= record["serial_fast_s"] * SERIAL_SLACK, (
+            f"auto {record['auto_s']:.2f}s is more than "
+            f"{SERIAL_SLACK - 1:.0%} slower than serial "
+            f"{record['serial_fast_s']:.2f}s on a 1-CPU host"
         )
 
 
 if __name__ == "__main__":
     rec = run_bench()
     if not rec["identical"]:
-        sys.exit("FAIL: parallel sweep results differ from serial results")
-    if rec["speedup_gated"] and rec["speedup"] < TARGET_SPEEDUP:
+        sys.exit("FAIL: fast/auto sweep results differ from the seed engine")
+    if rec["speedup_gated"] and rec["combined_speedup"] < rec["effective_target"]:
         sys.exit(
-            f"FAIL: speedup {rec['speedup']:.2f}x below target "
-            f"{TARGET_SPEEDUP}x with {rec['workers']} workers"
+            f"FAIL: combined speedup {rec['combined_speedup']:.2f}x below "
+            f"gate {rec['effective_target']:.2f}x "
+            f"(host bound {rec['attainable_speedup']:.2f}x, "
+            f"target {TARGET_SPEEDUP}x)"
+        )
+    if rec["serial_regression_gated"] and (
+        rec["auto_s"] > rec["serial_fast_s"] * SERIAL_SLACK
+    ):
+        sys.exit(
+            f"FAIL: auto executor {rec['auto_s']:.2f}s regressed more than "
+            f"{SERIAL_SLACK - 1:.0%} vs serial {rec['serial_fast_s']:.2f}s "
+            "on a 1-CPU host"
         )

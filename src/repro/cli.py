@@ -6,7 +6,9 @@ Subcommands
                (the paper's Figures 4/5 for any pattern)
 ``predict``    predict a GE configuration (both algorithms + emulated run)
 ``sweep``      block-size sweep for GE, with optimum report (Figure 7);
-               ``--workers N`` fans the grid across worker processes and
+               ``--workers auto`` (default) self-tunes the execution
+               strategy, ``--workers N`` forces the legacy process pool,
+               ``--executor auto|serial|thread|process`` overrides, and
                ``--store DIR --resume`` makes interrupted sweeps restart
                where they stopped (see :mod:`repro.sweep`)
 ``uq``         Monte Carlo uncertainty bands around the sweep: seeded
@@ -147,12 +149,48 @@ def _add_obs_args(parser: argparse.ArgumentParser, exports: bool = False) -> Non
     )
 
 
+def _workers_arg(value: str):
+    """``--workers`` accepts an integer or ``auto`` (the default)."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be an integer or 'auto', got {value!r}"
+        )
+
+
+def _resolve_executor(args: argparse.Namespace):
+    """``(workers, executor)`` for :func:`run_sweep` from the CLI flags.
+
+    An explicit ``--workers N`` without ``--executor`` keeps the legacy
+    contract (N alone picks serial vs process pool); ``--workers auto``
+    — the default — hands the choice to the self-tuning executor.
+    """
+    workers, executor = args.workers, args.executor
+    if executor is not None:
+        return (None if workers == "auto" else workers), executor
+    if workers == "auto":
+        return None, "auto"
+    return workers, None
+
+
 def _add_sweep_engine_args(parser: argparse.ArgumentParser) -> None:
     """The execution knobs shared by ``sweep`` and ``uq``."""
     grp = parser.add_argument_group("sweep engine")
     grp.add_argument(
-        "-w", "--workers", type=int, default=1,
-        help="worker processes (1 = in-process serial, the reference engine)",
+        "-w", "--workers", type=_workers_arg, default="auto",
+        help="worker processes: an integer (1 = in-process serial, the "
+             "reference engine; N > 1 = process pool) or 'auto' (default: "
+             "let the calibrated executor decide)",
+    )
+    grp.add_argument(
+        "--executor", choices=("auto", "serial", "thread", "process"),
+        default=None,
+        help="execution strategy (default: auto when --workers is auto, "
+             "else the legacy workers-count behaviour); every strategy "
+             "is bit-identical — only wall time differs",
     )
     grp.add_argument(
         "--store", metavar="DIR",
@@ -443,11 +481,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         with_measured=not args.no_measured,
     )
     show_progress = _sweep_progress(args)
+    workers, executor = _resolve_executor(args)
     tracer = _wants_trace(args)
     with tracing(tracer) if tracer else nullcontext():
         result = run_sweep(
             grid, params, CalibratedCostModel(),
-            workers=args.workers,
+            workers=workers,
+            executor=executor,
             store=args.store,
             resume=args.resume,
             chunk_size=args.chunk_size,
@@ -508,6 +548,7 @@ def _cmd_uq(args: argparse.Namespace) -> int:
         straggler_factor=args.straggler_factor,
     )
     cost_model = CalibratedCostModel()
+    workers, executor = _resolve_executor(args)
     tracer = _wants_trace(args)
     with tracing(tracer) if tracer else nullcontext():
         result = run_uq(
@@ -517,7 +558,8 @@ def _cmd_uq(args: argparse.Namespace) -> int:
             ci=args.ci,
             base_seed=args.seed,
             with_measured=not args.no_measured,
-            workers=args.workers,
+            workers=workers,
+            executor=executor,
             store=args.store,
             resume=args.resume,
             chunk_size=args.chunk_size,

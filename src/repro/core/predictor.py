@@ -121,6 +121,30 @@ def run_ge_point(
     if layout_name not in LAYOUTS:
         raise ValueError(f"unknown layout {layout_name!r}; known: {sorted(LAYOUTS)}")
     if _kernel_flags.enabled:
+        from ..obs.events import get_tracer
+
+        if not get_tracer().enabled:
+            # Fast and untraced: the batch kernel's width-1 lane, which
+            # runs the identical float-operation sequence over a shared
+            # compiled plan (the traced path below stays the sole source
+            # of the event stream).
+            from ..kernel.vector import ge_plan, simulate_programs_batch
+
+            plan = ge_plan(n, b, layout_name, params.P)
+            reports = simulate_programs_batch(plan, [(params, cost_model)], [seed])[0]
+            measured = None
+            if with_measured:
+                measured = _measured_report(
+                    plan.trace, params, cost_model, seed, emulator=emulator
+                )
+            return GERow(
+                n=n,
+                b=b,
+                layout=layout_name,
+                pred_standard=reports["standard"],
+                pred_worstcase=reports["worstcase"],
+                measured=measured,
+            )
         # Rebuilt traces are bit-identical (per-pattern uid counters), so
         # sweep/UQ replicates can share one cached copy per configuration.
         from ..kernel.tracecache import ge_trace
@@ -133,9 +157,7 @@ def run_ge_point(
     pred_std, pred_wc = predictor.predict_both(trace)
     measured = None
     if with_measured:
-        if emulator is None:
-            emulator = MachineEmulator(params=params, cost_model=cost_model, seed=seed)
-        measured = emulator.run(trace)
+        measured = _measured_report(trace, params, cost_model, seed, emulator=emulator)
     return GERow(
         n=n,
         b=b,
@@ -144,6 +166,52 @@ def run_ge_point(
         pred_worstcase=pred_wc,
         measured=measured,
     )
+
+
+def _measured_report(
+    trace: ProgramTrace,
+    params: LogGPParameters,
+    cost_model: CostModel,
+    seed: int,
+    emulator: Optional[MachineEmulator] = None,
+) -> MeasuredReport:
+    """The emulated "measured" run of one point (scalar and batch paths)."""
+    if emulator is None:
+        emulator = MachineEmulator(params=params, cost_model=cost_model, seed=seed)
+    return emulator.run(trace)
+
+
+def _uq_machine(
+    params: LogGPParameters,
+    cost_model: CostModel,
+    spec,
+    seed: int,
+    with_measured: bool = True,
+):
+    """The perturbed ``(params, cost_model, emulator)`` of one UQ replicate.
+
+    Single source of the replicate's machine for the scalar
+    (:func:`summarize_uq_point`) and batch
+    (:func:`repro.kernel.vector.evaluate_ge_points_batch`) pipelines.
+    ``emulator`` is ``None`` unless the spec overrides the network (the
+    default emulator is built later, against the perturbed machine).
+    """
+    from ..machine.perturbed import PerturbedMachine
+
+    p_params, p_cost = PerturbedMachine(params, cost_model, spec).sample(seed)
+    emulator = None
+    if with_measured:
+        overrides = spec.network_overrides()
+        if overrides:
+            from ..machine.network import JitteredNetwork
+
+            emulator = MachineEmulator(
+                params=p_params,
+                cost_model=p_cost,
+                network=JitteredNetwork(params=p_params, seed=seed, **overrides),
+                seed=seed,
+            )
+    return p_params, p_cost, emulator
 
 
 def summarize_ge_point(
@@ -218,21 +286,9 @@ def summarize_uq_point(
             n, b, layout_name, params, cost_model,
             with_measured=with_measured, seed=seed,
         )
-    from ..machine.perturbed import PerturbedMachine
-
-    p_params, p_cost = PerturbedMachine(params, cost_model, spec).sample(seed)
-    emulator = None
-    if with_measured:
-        overrides = spec.network_overrides()
-        if overrides:
-            from ..machine.network import JitteredNetwork
-
-            emulator = MachineEmulator(
-                params=p_params,
-                cost_model=p_cost,
-                network=JitteredNetwork(params=p_params, seed=seed, **overrides),
-                seed=seed,
-            )
+    p_params, p_cost, emulator = _uq_machine(
+        params, cost_model, spec, seed, with_measured=with_measured
+    )
     row = run_ge_point(
         n, b, layout_name, p_params, p_cost,
         with_measured=with_measured, seed=seed, emulator=emulator,

@@ -139,6 +139,7 @@ class ProgramSimulator:
         cache_model: Optional[CachePredictionModel] = None,
         iter_overhead_us: float = 0.0,
         keep_steps: bool = False,
+        rng: Optional[np.random.Generator] = None,
     ):
         if mode not in _SIMULATORS:
             raise ValueError(f"unknown mode {mode!r}; expected one of {sorted(_SIMULATORS)}")
@@ -152,6 +153,11 @@ class ProgramSimulator:
         self.cache_model = cache_model
         self.iter_overhead_us = iter_overhead_us
         self.keep_steps = keep_steps
+        #: optional pre-seeded tie-break generator; replaces the
+        #: ``default_rng(seed)`` a run would build, so a caller can
+        #: inspect the consumed stream afterwards (the RNG-equivalence
+        #: property tests do).  Stateful across runs when injected.
+        self.rng = rng
 
     # -- internals --------------------------------------------------------------
     @staticmethod
@@ -201,7 +207,7 @@ class ProgramSimulator:
             from ..kernel.memo import memoize
 
             cost_model = memoize(cost_model)
-        rng = np.random.default_rng(self.seed)
+        rng = self.rng if self.rng is not None else np.random.default_rng(self.seed)
         clocks = {p: 0.0 for p in range(trace.num_procs)}
         comp = {p: 0.0 for p in range(trace.num_procs)}
         comm_busy = {p: 0.0 for p in range(trace.num_procs)}

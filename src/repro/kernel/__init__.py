@@ -29,8 +29,10 @@ fastdes
     Flat-heap, sequence-exact twin of the causal DES cross-check.
 tracecache
     Shared GE program traces for sweep/UQ replicates.
+vector
+    Structure-of-arrays batch simulator: many sweep points per step.
 
-``fastsim``/``fastdes``/``tracecache`` import the modules they twin, so
+``fastsim``/``fastdes``/``tracecache``/``vector`` import the modules they twin, so
 this ``__init__`` loads them lazily — the hot modules can import
 ``repro.kernel`` at module scope without a cycle.
 """
@@ -56,6 +58,11 @@ __all__ = [
     "simulate_standard_fast",
     "simulate_worstcase_fast",
     "simulate_causal_fast",
+    "ge_plan",
+    "clear_plan_cache",
+    "compile_plan",
+    "simulate_programs_batch",
+    "evaluate_ge_points_batch",
 ]
 
 _LAZY = {
@@ -64,6 +71,11 @@ _LAZY = {
     "simulate_standard_fast": "fastsim",
     "simulate_worstcase_fast": "fastsim",
     "simulate_causal_fast": "fastdes",
+    "ge_plan": "vector",
+    "clear_plan_cache": "vector",
+    "compile_plan": "vector",
+    "simulate_programs_batch": "vector",
+    "evaluate_ge_points_batch": "vector",
 }
 
 
@@ -79,10 +91,13 @@ def __getattr__(name: str):
 
 
 def clear_all_caches() -> None:
-    """Reset every kernel cache (cost memos, send tables, traces)."""
+    """Reset every kernel cache (cost memos, send tables, traces, plans)."""
     clear_caches()
     import sys
 
     tracecache = sys.modules.get(f"{__name__}.tracecache")
     if tracecache is not None:
         tracecache.clear_trace_cache()
+    vector = sys.modules.get(f"{__name__}.vector")
+    if vector is not None:
+        vector.clear_plan_cache()

@@ -42,7 +42,12 @@ from ..core.standard_sim import SimulationResult
 from ..obs.events import get_tracer
 from .memo import send_durations
 
-__all__ = ["simulate_standard_fast", "simulate_worstcase_fast"]
+__all__ = [
+    "simulate_standard_fast",
+    "simulate_worstcase_fast",
+    "simulate_standard_lean",
+    "simulate_worstcase_lean",
+]
 
 _INF = float("inf")
 _SEND = OpKind.SEND
@@ -179,6 +184,129 @@ def simulate_standard_fast(
     return SimulationResult(timeline=timeline, ctimes=ctimes, skipped_local=local)
 
 
+def simulate_standard_lean(
+    params: LogGPParameters,
+    pattern: CommPattern,
+    start_times: Optional[Mapping[int, float]],
+    rng: np.random.Generator,
+) -> tuple[dict[int, float], dict[int, float]]:
+    """The Figure 2 algorithm without event materialisation.
+
+    Identical schedule, clocks and RNG consumption as
+    :func:`simulate_standard_fast`, but instead of building the
+    :class:`CommEvent` stream it folds each processor's engaged time on
+    the fly — the same per-processor left-fold over the same durations
+    in the same order as ``StepTimeline.busy_times()`` over the events,
+    so both outputs are bit-equal to the full simulation's.  Returns
+    ``(ctimes, busy)``.
+
+    For the untraced batch path only: no timeline exists to trace, so
+    callers must not use this while the observability tracer is enabled.
+    """
+    starts = dict(start_times or {})
+    remote = pattern.remote_messages()
+    procs = sorted({m.src for m in remote} | {m.dst for m in remote} | set(starts))
+
+    o = params.o
+    g = params.g
+    L = params.L
+    G = params.G
+    rs_gap = max(o, g) - o
+    sdur = send_durations(params)
+    sdur_get = sdur.get
+
+    ctime: dict[int, float] = {}
+    busy: dict[int, float] = {}
+    last_kind: dict[int, Optional[OpKind]] = {}
+    send_q: dict[int, deque] = {}
+    recv_h: dict[int, list] = {}
+    for p in procs:
+        ctime[p] = starts.get(p, 0.0)
+        busy[p] = 0.0
+        last_kind[p] = None
+        send_q[p] = deque()
+        recv_h[p] = []
+    for m in remote:
+        send_q[m.src].append(m)
+
+    while True:
+        senders = []
+        min_ct = _INF
+        for p in procs:
+            if send_q[p]:
+                senders.append(p)
+                c = ctime[p]
+                if c < min_ct:
+                    min_ct = c
+        if not senders:
+            break
+        if len(senders) == 1:
+            proc = senders[0]
+            other_min = _INF
+        else:
+            tied = [p for p in senders if ctime[p] == min_ct]
+            proc = tied[0] if len(tied) == 1 else int(rng.choice(tied))
+            other_min = _INF
+            for p in senders:
+                if p != proc and ctime[p] < other_min:
+                    other_min = ctime[p]
+
+        sq = send_q[proc]
+        rh = recv_h[proc]
+        ct = ctime[proc]
+        lk = last_kind[proc]
+        bz = busy[proc]
+        while True:
+            if rh:
+                arrival = rh[0][0]
+                start_recv = max(arrival, ct if lk is None else ct + g)
+            else:
+                start_recv = _INF
+            start_send = (
+                ct if lk is None else (ct + rs_gap if lk is _RECV else ct + g)
+            )
+
+            if start_send < start_recv:
+                msg = sq.popleft()
+                size = msg.size
+                duration = sdur_get(size)
+                if duration is None:
+                    duration = sdur[size] = o + (size - 1) * G
+                bz += duration
+                ct = start_send + duration
+                lk = _SEND
+                heappush(recv_h[msg.dst], (ct + L, msg.uid, msg))
+            else:
+                arrival, _, msg = heappop(rh)
+                bz += o
+                ct = start_recv + o
+                lk = _RECV
+            if not sq or not ct < other_min:
+                break
+        ctime[proc] = ct
+        last_kind[proc] = lk
+        busy[proc] = bz
+
+    for p in procs:
+        rh = recv_h[p]
+        if not rh:
+            continue
+        ct = ctime[p]
+        lk = last_kind[p]
+        bz = busy[p]
+        while rh:
+            arrival, _, msg = heappop(rh)
+            start = max(arrival, ct if lk is None else ct + g)
+            bz += o
+            ct = start + o
+            lk = _RECV
+        ctime[p] = ct
+        last_kind[p] = lk
+        busy[p] = bz
+
+    return ctime, busy
+
+
 def simulate_worstcase_fast(
     params: LogGPParameters,
     pattern: CommPattern,
@@ -305,3 +433,127 @@ def simulate_worstcase_fast(
         tracer.count("sim.comm_steps.worstcase")
         tracer.emit_comm_step(timeline, ctimes, algo="worstcase")
     return SimulationResult(timeline=timeline, ctimes=ctimes, skipped_local=local)
+
+
+def simulate_worstcase_lean(
+    params: LogGPParameters,
+    pattern: CommPattern,
+    start_times: Optional[Mapping[int, float]],
+    rng: np.random.Generator,
+) -> tuple[dict[int, float], dict[int, float]]:
+    """The §4.2 overestimation algorithm without event materialisation.
+
+    The :func:`simulate_standard_lean` counterpart for the worst-case
+    engine: same schedule, clocks and RNG draws as
+    :func:`simulate_worstcase_fast`, engaged time folded on the fly.
+    Returns ``(ctimes, busy)``; untraced batch path only.
+    """
+    starts = dict(start_times or {})
+    remote = pattern.remote_messages()
+    procs = sorted({m.src for m in remote} | {m.dst for m in remote} | set(starts))
+
+    o = params.o
+    g = params.g
+    L = params.L
+    G = params.G
+    rs_gap = max(o, g) - o
+    sdur = send_durations(params)
+    sdur_get = sdur.get
+
+    ctime: dict[int, float] = {}
+    busy: dict[int, float] = {}
+    last_kind: dict[int, Optional[OpKind]] = {}
+    send_q: dict[int, deque] = {}
+    recv_h: dict[int, list] = {}
+    expected: dict[int, int] = {}
+    for p in procs:
+        ctime[p] = starts.get(p, 0.0)
+        busy[p] = 0.0
+        last_kind[p] = None
+        send_q[p] = deque()
+        recv_h[p] = []
+        expected[p] = 0
+    for m in remote:
+        send_q[m.src].append(m)
+        expected[m.dst] += 1
+    remaining = len(remote)
+
+    def drain_recvs(proc: int) -> None:
+        rh = recv_h[proc]
+        ct = ctime[proc]
+        lk = last_kind[proc]
+        bz = busy[proc]
+        while rh:
+            arrival, _, msg = heappop(rh)
+            start = max(arrival, ct if lk is None else ct + g)
+            bz += o
+            ct = start + o
+            lk = _RECV
+        ctime[proc] = ct
+        last_kind[proc] = lk
+        busy[proc] = bz
+
+    while remaining:
+        ready = []
+        receivers = []
+        for p in procs:
+            if recv_h[p]:
+                receivers.append(p)
+            elif send_q[p] and expected[p] == 0:
+                ready.append(p)
+        if not ready:
+            if receivers:
+                for p in receivers:
+                    drain_recvs(p)
+                continue
+            blocked = [p for p in procs if send_q[p]]
+            victim = blocked[0] if len(blocked) == 1 else int(rng.choice(blocked))
+            msg = send_q[victim].popleft()
+            lk = last_kind[victim]
+            ct = ctime[victim]
+            start = ct if lk is None else (ct + rs_gap if lk is _RECV else ct + g)
+            size = msg.size
+            duration = sdur_get(size)
+            if duration is None:
+                duration = sdur[size] = o + (size - 1) * G
+            busy[victim] += duration
+            end = start + duration
+            ctime[victim] = end
+            last_kind[victim] = _SEND
+            heappush(recv_h[msg.dst], (end + L, msg.uid, msg))
+            expected[msg.dst] -= 1
+            remaining -= 1
+            continue
+
+        for p in ready:
+            sq = send_q[p]
+            ct = ctime[p]
+            lk = last_kind[p]
+            bz = busy[p]
+            remaining -= len(sq)
+            while sq:
+                msg = sq.popleft()
+                start = (
+                    ct if lk is None else (ct + rs_gap if lk is _RECV else ct + g)
+                )
+                size = msg.size
+                duration = sdur_get(size)
+                if duration is None:
+                    duration = sdur[size] = o + (size - 1) * G
+                bz += duration
+                ct = start + duration
+                lk = _SEND
+                heappush(recv_h[msg.dst], (ct + L, msg.uid, msg))
+                expected[msg.dst] -= 1
+            ctime[p] = ct
+            last_kind[p] = lk
+            busy[p] = bz
+        for p in procs:
+            if recv_h[p]:
+                drain_recvs(p)
+
+    for p in procs:
+        if recv_h[p]:
+            drain_recvs(p)
+
+    return ctime, busy

@@ -21,16 +21,32 @@ its fingerprint and a perturbed ``params.with_(...)`` changes the float
 tuple, so UQ replicates sharing one worker process each hit their own
 bucket (regression-tested in ``tests/test_kernel_memo.py``).  Buckets
 are capped to keep long Monte Carlo runs bounded.
+
+The module also keeps the sweep executor's *point-cost* observations: a
+calibrated seconds-per-weight rate (EWMA over measured evaluations)
+that turns a GE configuration into a wall-time estimate.  This is the
+paper's own idea pointed at ourselves — predict the cost of a
+simulation before deciding how to schedule it.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 from ..core.fingerprint import cost_model_fingerprint
 from ..core.loggp import LogGPParameters
 
-__all__ = ["MemoizedCostModel", "memoize", "send_durations", "clear_caches"]
+__all__ = [
+    "MemoizedCostModel",
+    "memoize",
+    "send_durations",
+    "clear_caches",
+    "point_weight",
+    "observe_point_cost",
+    "estimate_point_cost",
+    "clear_cost_observations",
+]
 
 #: per-fingerprint (op, b) -> us buckets
 _COST_CACHES: dict[str, dict[tuple[str, int], float]] = {}
@@ -108,7 +124,70 @@ def send_durations(params: LogGPParameters) -> dict[int, float]:
     return table
 
 
+#: EWMA of observed seconds per weight unit (None until first observation)
+_POINT_RATE: Optional[float] = None
+_POINT_OBSERVATIONS = 0
+_RATE_LOCK = threading.Lock()
+#: smoothing factor: heavy enough to converge in a few points, light
+#: enough that one noisy measurement (GC pause, cold cache) fades fast
+_EWMA_ALPHA = 0.3
+
+
+def point_weight(n: int, b: int, with_measured: bool = True) -> float:
+    """Relative cost weight of one GE sweep point.
+
+    The simulators' work is dominated by per-message scheduling over the
+    ``m = n/b`` block grid: messages per step scale with ``m``-ish
+    fan-outs over ``O(m)`` steps with ``O(m^2)`` block updates, so a
+    cubic-plus-quadratic polynomial in ``m`` tracks measured wall times
+    well across the Figure 7 grid.  The emulated "measured" run roughly
+    doubles a point (profiled: emulator ≈ prediction cost).  Only
+    *relative* accuracy matters — the calibrated rate absorbs the unit.
+    """
+    m = max(1.0, n / b)
+    w = m * m * (m + 8.0)
+    return w * 2.0 if with_measured else w
+
+
+def observe_point_cost(n: int, b: int, with_measured: bool, seconds: float) -> None:
+    """Fold one measured point evaluation into the calibrated rate."""
+    if seconds <= 0.0:
+        return
+    rate = seconds / point_weight(n, b, with_measured)
+    global _POINT_RATE, _POINT_OBSERVATIONS
+    with _RATE_LOCK:
+        if _POINT_RATE is None:
+            _POINT_RATE = rate
+        else:
+            _POINT_RATE = _POINT_RATE + _EWMA_ALPHA * (rate - _POINT_RATE)
+        _POINT_OBSERVATIONS += 1
+
+
+def estimate_point_cost(n: int, b: int, with_measured: bool = True) -> Optional[float]:
+    """Estimated wall seconds of one point; ``None`` before calibration."""
+    with _RATE_LOCK:
+        rate = _POINT_RATE
+    if rate is None:
+        return None
+    return rate * point_weight(n, b, with_measured)
+
+
+def cost_observation_count() -> int:
+    """How many point evaluations have calibrated the rate."""
+    with _RATE_LOCK:
+        return _POINT_OBSERVATIONS
+
+
+def clear_cost_observations() -> None:
+    """Forget the calibrated point-cost rate (tests)."""
+    global _POINT_RATE, _POINT_OBSERVATIONS
+    with _RATE_LOCK:
+        _POINT_RATE = None
+        _POINT_OBSERVATIONS = 0
+
+
 def clear_caches() -> None:
     """Drop every memo bucket (tests and long-lived processes)."""
     _COST_CACHES.clear()
     _SEND_TABLES.clear()
+    clear_cost_observations()

@@ -10,11 +10,15 @@ pays it 200 times for the same object.
 This cache shares one immutable-in-practice trace per configuration
 (LRU, small: a paper-scale study touches tens of configurations).  The
 simulators and the emulator only *read* traces, so sharing is safe; the
-differential harness proves the cached path bit-identical anyway.
+differential harness proves the cached path bit-identical anyway.  The
+bookkeeping is lock-guarded so the thread executor's workers can share
+one table (a racing rebuild would be bit-identical, but the OrderedDict
+reordering itself is not thread-safe).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from ..apps.gauss import GEConfig, build_ge_trace
@@ -24,24 +28,34 @@ from ..trace.program import ProgramTrace
 __all__ = ["ge_trace", "clear_trace_cache"]
 
 _CACHE: OrderedDict[tuple[int, int, str, int], ProgramTrace] = OrderedDict()
+_LOCK = threading.Lock()
 _MAX_TRACES = 32
 
 
 def ge_trace(n: int, b: int, layout_name: str, P: int) -> ProgramTrace:
-    """The (shared) GE trace of one configuration."""
+    """The (shared) GE trace of one configuration.  Thread-safe."""
     key = (n, b, layout_name, P)
-    trace = _CACHE.get(key)
-    if trace is not None:
-        _CACHE.move_to_end(key)
-        return trace
+    with _LOCK:
+        trace = _CACHE.get(key)
+        if trace is not None:
+            _CACHE.move_to_end(key)
+            return trace
+    # Build outside the lock: rebuilds are bit-identical, so a race
+    # costs a redundant build, never a wrong trace.
     layout = LAYOUTS[layout_name](n // b, P)
     trace = build_ge_trace(GEConfig(n=n, b=b, layout=layout))
-    _CACHE[key] = trace
-    while len(_CACHE) > _MAX_TRACES:
-        _CACHE.popitem(last=False)
+    with _LOCK:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            _CACHE.move_to_end(key)
+            return cached
+        _CACHE[key] = trace
+        while len(_CACHE) > _MAX_TRACES:
+            _CACHE.popitem(last=False)
     return trace
 
 
 def clear_trace_cache() -> None:
     """Drop every cached trace."""
-    _CACHE.clear()
+    with _LOCK:
+        _CACHE.clear()

@@ -20,11 +20,16 @@ Quick start::
     for point, summary in zip(result.points, result.summaries):
         print(point.describe(), summary.pred_standard_total)
 
-The CLI front-end is ``python -m repro sweep --workers N [--store DIR
---resume]``; the differential test suite pins ``run_sweep`` results to
-the serial :func:`repro.core.predictor.run_ge_point` bit for bit.
+The CLI front-end is ``python -m repro sweep [--workers auto|N]
+[--executor auto|serial|thread|process] [--store DIR --resume]``; the
+differential test suite pins ``run_sweep`` results to the serial
+:func:`repro.core.predictor.run_ge_point` bit for bit, under every
+executor.  ``--workers auto`` (the default) lets a calibrated cost
+model of the sweep itself choose the strategy — see
+:mod:`repro.sweep.executor`.
 """
 
+from .executor import EXECUTORS, ExecutorDecision, decide_executor
 from .points import SweepPoint, expand_grid
 from .runner import SweepResult, SweepStats, run_sweep
 
@@ -34,4 +39,7 @@ __all__ = [
     "SweepResult",
     "SweepStats",
     "run_sweep",
+    "EXECUTORS",
+    "ExecutorDecision",
+    "decide_executor",
 ]

@@ -4,6 +4,13 @@ The paper's headline result (Figures 7-9) is a 14-block-size ×
 multi-layout GE sweep; serially that is minutes of simulation.  This
 runner executes the same grid across ``workers`` processes:
 
+* **Self-tuning execution.**  With ``executor="auto"`` the runner
+  predicts the grid's serial cost from the memo layer's calibrated
+  point-cost model (probing one point when cold), measures the pool
+  spawn overhead once, and picks vectorized-serial, a thread pool
+  (shared trace/plan/memo caches), or the process pool — recording the
+  decision in the stats (hence the run manifest) and a ``sweep.decide``
+  span.  See :mod:`repro.sweep.executor`.
 * **Chunked scheduling.**  Pending points are split into contiguous
   chunks (default: ~4 chunks per worker) dispatched to a process pool as
   workers free up, so a few slow points (large ``b``, measured runs)
@@ -28,9 +35,9 @@ from __future__ import annotations
 
 import hashlib
 import json
-import math
 import multiprocessing
 import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Iterator, Optional, Sequence, Union
@@ -40,8 +47,15 @@ from ..core.loggp import LogGPParameters
 from ..core.predictor import summarize_ge_point, summarize_uq_point
 from ..experiments import ExperimentStore, PointSummary
 from ..kernel import flags as _kernel_flags
+from ..kernel.memo import observe_point_cost, point_weight
 from ..obs import TraceConfig, Tracer, get_tracer, tracing
 from ..uq.spec import UQSpec
+from .executor import (
+    ExecutorDecision,
+    available_cpus,
+    decide_executor,
+    estimate_grid_cost,
+)
 from .points import SweepPoint
 
 __all__ = ["SweepStats", "SweepResult", "run_sweep"]
@@ -63,6 +77,11 @@ class SweepStats:
     workers: int
     chunks: int
     wall_s: float = 0.0
+    #: strategy that ran the pending points: serial | thread | process
+    executor: str = "serial"
+    #: the :class:`~repro.sweep.executor.ExecutorDecision` that picked it
+    #: (None when nothing was pending)
+    decision: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -167,6 +186,16 @@ def _run_chunk(payload):
         else None
     )
     if trace_doc is None:
+        if fast:
+            # Untraced + fast: run the whole chunk through the SoA batch
+            # evaluator, same as the serial fast branch — per-point width-1
+            # lanes would forfeit the kernel's cross-point win.
+            collected: list = []
+            _evaluate_pending_batch(
+                indexed, params, cost_model, store, uq,
+                lambda idx, point, summary: collected.append((idx, summary)),
+            )
+            return chunk_no, collected, None, None
         results = [
             (idx, _evaluate_point(point, params, cost_model, store, uq))
             for idx, point in indexed
@@ -195,12 +224,115 @@ def _chunked(items: list, size: int) -> Iterator[list]:
         yield items[start:start + size]
 
 
+def _weight_chunks(
+    pending: list[tuple[int, SweepPoint]], target_chunks: int
+) -> list[list[tuple[int, SweepPoint]]]:
+    """Contiguous chunks balanced by point *weight*, not point count.
+
+    Grid cost is heavily skewed — at n=960 the b=10 point alone is ~23%
+    of the whole Figure 7 sweep — so equal-count chunks leave one worker
+    holding most of the work.  Cutting chunk boundaries when the
+    accumulated :func:`point_weight` reaches an equal share keeps cheap
+    tail points batched while heavy points travel alone.  Chunks remain
+    contiguous slices of ``pending`` in grid order, so the traced
+    absorb-in-chunk-order invariant (and result reassembly) is untouched;
+    with uniform weights this degrades to exactly the equal-count split.
+    """
+    total = sum(point_weight(p.n, p.b, p.with_measured) for _, p in pending)
+    if total <= 0.0 or target_chunks <= 1:
+        return [list(pending)]
+    goal = total / target_chunks
+    chunks: list[list[tuple[int, SweepPoint]]] = []
+    current: list[tuple[int, SweepPoint]] = []
+    acc = 0.0
+    for item in pending:
+        w = point_weight(item[1].n, item[1].b, item[1].with_measured)
+        # close *before* overshooting, so a heavy point never rides on an
+        # already-loaded chunk (it would become the makespan's long pole)
+        if current and acc + w > goal and len(chunks) < target_chunks - 1:
+            chunks.append(current)
+            current = []
+            acc = 0.0
+        current.append(item)
+        acc += w
+        if acc >= goal and len(chunks) < target_chunks - 1:
+            chunks.append(current)
+            current = []
+            acc = 0.0
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def _evaluate_pending_batch(
+    pending: list[tuple[int, SweepPoint]],
+    params: LogGPParameters,
+    cost_model: CostModel,
+    store: Optional[ExperimentStore],
+    uq: Optional[UQSpec],
+    finish_point,
+) -> int:
+    """Serial evaluation through the vectorized batch kernel.
+
+    Mirrors :func:`_evaluate_point` exactly — per point: store get,
+    compute on miss, store put — but computes the misses together via
+    :func:`repro.kernel.vector.evaluate_ge_points_batch`, so replicate
+    lanes sharing a configuration advance in lockstep over one compiled
+    plan.  Results are emitted in pending order, and the measured wall
+    time calibrates the executor's point-cost model.  Untraced + fast
+    path only.  Returns the number of batch calls made (chunk count).
+    """
+    from ..kernel.vector import evaluate_ge_points_batch
+
+    results: dict[int, PointSummary] = {}
+    misses: list[tuple[int, SweepPoint]] = []
+    for idx, point in pending:
+        hit = (
+            store.get(
+                point.n, point.b, point.layout,
+                seed=point.seed, with_measured=point.with_measured,
+            )
+            if store is not None
+            else None
+        )
+        if hit is not None:
+            results[idx] = hit
+        else:
+            misses.append((idx, point))
+    if misses:
+        t0 = time.perf_counter()
+        summaries = evaluate_ge_points_batch(
+            [pt for _, pt in misses], params, cost_model, uq=uq
+        )
+        elapsed = time.perf_counter() - t0
+        # Apportion the batch's wall time across its points by weight:
+        # each observation then carries the batch's mean rate, which is
+        # what the executor's EWMA wants to track.
+        total_w = sum(
+            point_weight(pt.n, pt.b, pt.with_measured) for _, pt in misses
+        )
+        rate = elapsed / total_w if total_w > 0.0 else 0.0
+        for (idx, point), summary_dict in zip(misses, summaries):
+            summary = PointSummary(**summary_dict)
+            if store is not None:
+                store.put(summary, with_measured=point.with_measured)
+            results[idx] = summary
+            observe_point_cost(
+                point.n, point.b, point.with_measured,
+                rate * point_weight(point.n, point.b, point.with_measured),
+            )
+    for idx, point in pending:
+        finish_point(idx, point, results[idx])
+    return 1 if misses else 0
+
+
 def run_sweep(
     points: Sequence[SweepPoint],
     params: LogGPParameters,
     cost_model: CostModel,
     *,
-    workers: int = 1,
+    workers: Optional[int] = 1,
+    executor: Optional[str] = None,
     store: StoreLike = None,
     resume: bool = True,
     chunk_size: Optional[int] = None,
@@ -218,6 +350,15 @@ def run_sweep(
     workers:
         Process count.  ``<= 1`` runs in-process (no pool, no pickling)
         — the reference path the differential tests compare against.
+        With ``executor`` set, ``workers`` merely caps the pool width
+        and may be ``None`` (use every available CPU).
+    executor:
+        Execution strategy: ``None`` keeps the legacy behaviour (the
+        ``workers`` count alone decides serial vs process pool);
+        ``"serial"`` / ``"thread"`` / ``"process"`` force a strategy;
+        ``"auto"`` lets the calibrated cost model choose (see
+        :mod:`repro.sweep.executor`).  Every strategy is bit-identical
+        — only wall time differs.
     store:
         An :class:`ExperimentStore`, a directory for one, or ``None``
         (compute-only).  Workers persist what they compute.
@@ -241,8 +382,15 @@ def run_sweep(
         behaves exactly like ``None``.
     """
     points = tuple(points)
-    if workers < 0:
+    if workers is not None and workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
+    if executor is not None and executor not in ("auto", "serial", "thread", "process"):
+        raise ValueError(
+            f"unknown executor {executor!r}; "
+            "expected auto, serial, thread or process"
+        )
+    if executor is None and workers is None:
+        workers = 1
     if isinstance(store, (str, Path)):
         store = ExperimentStore(
             store, params, cost_model,
@@ -285,22 +433,122 @@ def run_sweep(
             progress(done, total, point, "computed")
 
     n_chunks = 0
-    if pending and workers <= 1:
-        with tracer.span("sweep.chunk", chunk=0, points=len(pending)):
-            for idx, point in pending:
-                finish_point(
-                    idx, point, _evaluate_point(point, params, cost_model, store, uq)
+    decision: Optional[ExecutorDecision] = None
+    if pending:
+        if executor is None:
+            # Legacy contract: the workers count alone picks the strategy
+            # (CLI `--workers N` and every pre-executor caller).
+            legacy_serial = workers <= 1
+            decision = ExecutorDecision(
+                executor="serial" if legacy_serial else "process",
+                requested="legacy",
+                workers=1 if legacy_serial else min(workers, len(pending)),
+                reason=f"workers={workers} without an executor keeps the "
+                       "legacy strategy",
+                cpu_count=available_cpus(),
+            )
+        else:
+            if (
+                executor == "auto"
+                and len(pending) > 1
+                and available_cpus() > 1
+                and estimate_grid_cost([pt for _, pt in pending]) is None
+            ):
+                # Cold cost model: evaluate the *median-weight* pending
+                # point serially, timed, so the decision below runs
+                # calibrated.  The heaviest point would pay the grid's
+                # critical path before the pool even spawns; the lightest
+                # measures mostly fixed overhead and inflates the
+                # per-weight rate by orders of magnitude.
+                by_weight = sorted(
+                    range(len(pending)),
+                    key=lambda i: point_weight(
+                        pending[i][1].n, pending[i][1].b,
+                        pending[i][1].with_measured,
+                    ),
                 )
-        n_chunks = len(pending)
+                probe_pos = by_weight[len(by_weight) // 2]
+                probe_idx, probe_point = pending[probe_pos]
+                with tracer.span("sweep.probe", points=1):
+                    t0_probe = time.perf_counter()
+                    probe_summary = _evaluate_point(
+                        probe_point, params, cost_model, store, uq
+                    )
+                    probe_s = time.perf_counter() - t0_probe
+                observe_point_cost(
+                    probe_point.n, probe_point.b,
+                    probe_point.with_measured, probe_s,
+                )
+                finish_point(probe_idx, probe_point, probe_summary)
+                pending = pending[:probe_pos] + pending[probe_pos + 1:]
+            with tracer.span(
+                "sweep.decide", requested=executor, points=len(pending)
+            ):
+                decision = decide_executor(
+                    [pt for _, pt in pending], executor, workers,
+                    traced=tracer.enabled,
+                    store_attached=store is not None,
+                    mp_context=mp_context,
+                )
+            tracer.count(f"sweep.decision.{decision.executor}")
+
+    if pending and decision.executor == "serial":
+        if _kernel_flags.enabled and not tracer.enabled and executor is not None:
+            n_chunks = _evaluate_pending_batch(
+                pending, params, cost_model, store, uq, finish_point
+            )
+        else:
+            with tracer.span("sweep.chunk", chunk=0, points=len(pending)):
+                for idx, point in pending:
+                    t0_point = time.perf_counter()
+                    summary = _evaluate_point(point, params, cost_model, store, uq)
+                    observe_point_cost(
+                        point.n, point.b, point.with_measured,
+                        time.perf_counter() - t0_point,
+                    )
+                    finish_point(idx, point, summary)
+            n_chunks = len(pending)
+    elif pending and decision.executor == "thread":
+        # Same chunking as the process pool, but the workers share this
+        # process's trace/plan/memo caches and store handle; results are
+        # applied on the main thread, so ordering logic is unchanged.
+        if chunk_size:
+            chunks = list(_chunked(pending, chunk_size))
+        else:
+            chunks = _weight_chunks(pending, decision.workers * 4)
+        n_chunks = len(chunks)
+        index_of = dict(pending)
+
+        def _thread_chunk(chunk):
+            if _kernel_flags.enabled:
+                collected: list = []
+                _evaluate_pending_batch(
+                    chunk, params, cost_model, store, uq,
+                    lambda idx, point, summary: collected.append((idx, summary)),
+                )
+                return collected
+            return [
+                (idx, _evaluate_point(point, params, cost_model, store, uq))
+                for idx, point in chunk
+            ]
+
+        with ThreadPoolExecutor(max_workers=decision.workers) as tpool:
+            futures = [tpool.submit(_thread_chunk, c) for c in chunks]
+            for future in as_completed(futures):
+                for idx, summary in future.result():
+                    finish_point(idx, index_of[idx], summary)
     elif pending:
-        eff_workers = min(workers, len(pending))
-        size = chunk_size or max(1, math.ceil(len(pending) / (eff_workers * 4)))
+        eff_workers = min(decision.workers, len(pending))
+        if chunk_size:
+            chunks = list(_chunked(pending, chunk_size))
+        else:
+            chunks = _weight_chunks(pending, eff_workers * 4)
         store_dir = str(store.directory) if store is not None else None
         trace_doc = tracer.config.to_dict() if tracer.enabled else None
         payloads = [
             (store_dir, params, cost_model, uq, _kernel_flags.enabled,
              trace_doc, chunk_no, chunk)
-            for chunk_no, chunk in enumerate(_chunked(pending, size))
+            for chunk_no, chunk in enumerate(chunks)
         ]
         n_chunks = len(payloads)
         index_of = dict(pending)
@@ -331,12 +579,18 @@ def run_sweep(
 
     wall_s = time.perf_counter() - t0
     tracer.observe("sweep.wall_s", wall_s)
+    if executor is None:
+        stats_workers = max(1, workers)
+    else:
+        stats_workers = decision.workers if decision is not None else 1
     stats = SweepStats(
         total=total,
         cached=cached,
         computed=total - cached,
-        workers=max(1, workers),
+        workers=stats_workers,
         chunks=n_chunks,
         wall_s=wall_s,
+        executor=decision.executor if decision is not None else "serial",
+        decision=decision.to_dict() if decision is not None else None,
     )
     return SweepResult(points=points, summaries=summaries, stats=stats)

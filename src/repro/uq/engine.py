@@ -94,7 +94,8 @@ def run_uq(
     ci: float = 0.95,
     base_seed: int = 0,
     with_measured: bool = True,
-    workers: int = 1,
+    workers: Optional[int] = 1,
+    executor: Optional[str] = None,
     store=None,
     resume: bool = True,
     chunk_size: Optional[int] = None,
@@ -123,7 +124,7 @@ def run_uq(
     )
     result = run_sweep(
         grid, params, cost_model,
-        workers=workers, store=store, resume=resume,
+        workers=workers, executor=executor, store=store, resume=resume,
         chunk_size=chunk_size, progress=progress,
         mp_context=mp_context, uq=spec,
     )

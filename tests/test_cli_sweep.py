@@ -124,3 +124,62 @@ class TestProgressAndChunking:
         assert main([*BASE, "--workers", "2", "--chunk-size", "1",
                      "--no-manifest"]) == 0
         assert capsys.readouterr().out == plain
+
+
+class TestExecutorFlag:
+    def test_executor_outputs_equal_legacy_serial(self, capsys):
+        legacy = run_json([*BASE, "--workers", "1"], capsys)
+        for executor in ("serial", "thread", "process", "auto"):
+            got = run_json([*BASE, "--executor", executor, "--workers", "2"],
+                           capsys)
+            assert got == legacy, executor
+
+    def test_workers_default_is_auto(self, tmp_path, capsys):
+        # no --workers: the self-tuning executor decides, and the manifest
+        # records both the strategy and the full decision rationale
+        m = tmp_path / "auto.json"
+        assert main([*BASE, "--manifest-out", str(m)]) == 0
+        capsys.readouterr()
+        stats = json.loads(m.read_text())["extra"]["sweep"]
+        assert stats["executor"] in ("serial", "thread", "process")
+        decision = stats["decision"]
+        assert decision["requested"] == "auto"
+        assert decision["executor"] == stats["executor"]
+        assert decision["reason"]
+        assert decision["cpu_count"] >= 1
+
+    def test_workers_auto_equals_default(self, capsys):
+        assert run_json([*BASE, "--workers", "auto"], capsys) == run_json(
+            BASE, capsys
+        )
+
+    def test_forced_executor_recorded_in_manifest(self, tmp_path, capsys):
+        m = tmp_path / "forced.json"
+        assert main([*BASE, "--executor", "process", "--workers", "2",
+                     "--manifest-out", str(m)]) == 0
+        capsys.readouterr()
+        stats = json.loads(m.read_text())["extra"]["sweep"]
+        assert stats["executor"] == "process"
+        assert stats["workers"] == 2
+        assert stats["decision"]["reason"] == "forced by caller"
+
+    def test_bad_workers_value_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([*BASE, "--workers", "many", "--no-manifest"])
+        assert exc.value.code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_bad_executor_value_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([*BASE, "--executor", "gpu", "--no-manifest"])
+        assert exc.value.code == 2
+
+    def test_legacy_workers_keeps_legacy_strategy(self, tmp_path, capsys):
+        # explicit --workers N without --executor must not consult the
+        # cost model: N alone picks serial vs process, as it always did
+        m = tmp_path / "legacy.json"
+        assert main([*BASE, "--workers", "2", "--manifest-out", str(m)]) == 0
+        capsys.readouterr()
+        stats = json.loads(m.read_text())["extra"]["sweep"]
+        assert stats["decision"]["requested"] == "legacy"
+        assert stats["executor"] == "process"

@@ -183,3 +183,76 @@ class TestUQDigests:
     def test_perturbed_ensemble_digests(self):
         """Perturbed replicates (scaled costs, jittered nets) stay bit-equal."""
         assert self._run(True) == self._run(False)
+
+class TestBatchLanes:
+    """The vectorized batch kernel joins the oracle: every app trace,
+    every lane of a multi-machine batch, bit-equal to the reference."""
+
+    MACHINES = [
+        MEIKO_CS2,
+        MEIKO_CS2.with_(L=4.0, o=2.0),
+        MEIKO_CS2.with_(g=25.0, G=0.1),
+    ]
+    SEEDS = (0, 3, 7)
+
+    @pytest.mark.parametrize(
+        "trace,params,cost_model",
+        [c[1:] for c in TRACE_CASES],
+        ids=TRACE_IDS,
+    )
+    def test_batch_lanes_bit_identical_to_reference(self, trace, params, cost_model):
+        from repro.kernel.vector import GE_MODES, compile_plan, simulate_programs_batch
+
+        plan = compile_plan(trace)
+        lanes = [(params.with_(L=m.L, o=m.o, g=m.g, G=m.G), cost_model)
+                 for m in self.MACHINES]
+        clear_all_caches()
+        batch = simulate_programs_batch(plan, lanes, list(self.SEEDS), modes=GE_MODES)
+
+        for (lane_params, _), seed, reports in zip(lanes, self.SEEDS, batch):
+            for mode in GE_MODES:
+                clear_all_caches()
+                with fast_path(False):
+                    ref = ProgramSimulator(
+                        lane_params, cost_model, mode=mode, seed=seed
+                    ).run(trace)
+                got = reports[mode]
+                assert repr(got.total_us) == repr(ref.total_us), (mode, seed)
+                assert repr(got.per_proc_total_us) == repr(ref.per_proc_total_us)
+                assert repr(got.per_proc_comp_us) == repr(ref.per_proc_comp_us)
+                assert repr(got.per_proc_comm_busy_us) == repr(
+                    ref.per_proc_comm_busy_us
+                )
+
+
+class TestExecutorDigests:
+    """Every executor strategy agrees with the fast-off serial reference."""
+
+    GRID = expand_grid([120], [20, 30], ["diagonal", "stripped"], seeds=(0,))
+
+    def test_all_executors_match_reference(self):
+        with fast_path(False):
+            ref = run_sweep(self.GRID, MEIKO_CS2, CM, workers=1).digest()
+        for executor in ("serial", "thread", "process", "auto"):
+            clear_all_caches()
+            with fast_path(True):
+                result = run_sweep(
+                    self.GRID, MEIKO_CS2, CM, executor=executor, workers=2
+                )
+            assert result.digest() == ref, executor
+
+    def test_uq_executor_matches_reference(self):
+        spec = UQSpec(sigma=0.05, op_sigma=0.03, jitter_sigma=0.1)
+
+        def run(fast, executor):
+            clear_all_caches()
+            with fast_path(fast):
+                r = run_uq(
+                    [120], [30], ["diagonal"], MEIKO_CS2, CM,
+                    spec=spec, replicates=3, executor=executor,
+                )
+            return r.replicate_digest(), r.summary_digest()
+
+        ref = run(False, None)
+        for executor in ("serial", "auto"):
+            assert run(True, executor) == ref, executor
