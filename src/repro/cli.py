@@ -16,6 +16,11 @@ Subcommands
                through the sweep engine, reduced to mean/CI envelopes
                plus an optional LogGP sensitivity ranking
                (see :mod:`repro.uq`)
+``serve``      run the prediction server: JSON over HTTP with a layered
+               cache (in-memory LRU -> experiment store -> sweep engine),
+               single-flighted misses and request batching
+               (see :mod:`repro.serve`); ``--check`` runs an in-process
+               self-test and exits
 ``ops``        print the basic-operation cost table (Figure 6)
 ``trace``      generate a GE trace and save it as JSON
 ``observe``    run one GE configuration under the tracer and export the
@@ -36,6 +41,8 @@ Examples
     python -m repro sweep -n 480 --layout diagonal stripped
     python -m repro sweep -n 960 --workers 4 --store .repro/store --resume
     python -m repro uq -n 960 --layout block2d --replicates 64 --sigma 0.1
+    python -m repro serve --store .repro/store --port 8787
+    python -m repro serve --check --json
     python -m repro uq -n 480 --replicates 32 --sigma 0.15 --sensitivity --json
     python -m repro ops -b 10 20 40 80 160 --source calibrated
     python -m repro trace -n 240 -b 24 --layout diagonal -o ge.json
@@ -345,6 +352,52 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_args(p)
     _add_obs_args(p, exports=True)
 
+    p = sub.add_parser(
+        "serve", help="run the prediction server (JSON over HTTP)"
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8787, help="bind port (0 = ephemeral)")
+    p.add_argument(
+        "--store", metavar="DIR",
+        help="experiment-store directory (tier 2; omit for memory + compute only)",
+    )
+    p.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="entries held by the in-memory LRU (tier 1)",
+    )
+    p.add_argument(
+        "--batch-window-ms", type=float, default=10.0,
+        help="how long the first miss waits to coalesce a batch",
+    )
+    p.add_argument(
+        "--batch-max", type=int, default=64,
+        help="most misses coalesced into one batch",
+    )
+    grp = p.add_argument_group("sweep engine")
+    grp.add_argument(
+        "-w", "--workers", type=_workers_arg, default="auto",
+        help="worker processes per batch sweep (integer or 'auto')",
+    )
+    grp.add_argument(
+        "--executor", choices=("auto", "serial", "thread", "process"),
+        default=None, help="batch execution strategy (default: auto)",
+    )
+    p.add_argument(
+        "--serve-manifests", metavar="DIR",
+        help="write per-request and per-batch run manifests under DIR",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="self-test: answer one request in process twice "
+             "(cold then cached), print the stats document and exit",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable --check output (stats document only)",
+    )
+    _add_machine_args(p)
+    _add_obs_args(p)
+
     p = sub.add_parser("ops", help="basic-operation cost table (Figure 6)")
     p.add_argument("-b", "--blocks", type=int, nargs="+", default=[10, 20, 40, 60, 80, 160])
     p.add_argument("--source", choices=["calibrated", "measured"], default="calibrated")
@@ -637,6 +690,72 @@ def _cmd_uq(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import PredictionClient, PredictionService, ServeConfig, serve_http
+
+    params = _machine(args)
+    workers, executor = _resolve_executor(args)
+    config = ServeConfig(
+        store_dir=args.store,
+        cache_size=args.cache_size,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        batch_max=args.batch_max,
+        workers=workers,
+        executor=executor,
+        manifest_dir=args.serve_manifests,
+        machine=params,
+    )
+    _record(args).note(
+        params=loggp_dict(params), engine="serve",
+        workload={
+            "host": args.host, "port": args.port, "store": args.store,
+            "cache_size": args.cache_size, "batch_max": args.batch_max,
+            "batch_window_ms": args.batch_window_ms, "check": args.check,
+        },
+    )
+    if args.check:
+        with PredictionService(config) as service:
+            client = PredictionClient.in_process(service)
+            cold = client.predict(n=120, b=30, layout="diagonal")
+            warm = client.predict(n=120, b=30, layout="diagonal")
+            ok = cold.digest == warm.digest and warm.cache_tier == "memory"
+            stats = service.stats()
+        _record(args).note(digest=cold.digest, serve=stats)
+        doc = {
+            "status": "ok" if ok else "error",
+            "digest": cold.digest,
+            "tiers": [cold.cache_tier, warm.cache_tier],
+            "stats": stats,
+        }
+        if args.json:
+            print(json.dumps(doc, indent=2))
+        else:
+            print(
+                f"serve self-test: {doc['status']} "
+                f"(tiers {cold.cache_tier} -> {warm.cache_tier}, "
+                f"digest {cold.digest[:16]}...)"
+            )
+        return 0 if ok else 1
+    service = PredictionService(config)
+    server = serve_http(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"repro serve listening on http://{host}:{port} "
+        f"(store={args.store or 'none'}, cache={args.cache_size}, "
+        f"window={args.batch_window_ms:g}ms)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
+        service.close()
+        _record(args).note(serve=service.stats())
+    return 0
+
+
 def _cmd_ops(args: argparse.Namespace) -> int:
     if args.source == "calibrated":
         table = calibrated_table(args.blocks)
@@ -808,6 +927,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "sweep": _cmd_sweep,
     "uq": _cmd_uq,
+    "serve": _cmd_serve,
     "ops": _cmd_ops,
     "trace": _cmd_trace,
     "profile": _cmd_profile,

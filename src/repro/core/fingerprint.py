@@ -41,6 +41,7 @@ __all__ = [
     "loggp_fingerprint",
     "cost_model_fingerprint",
     "machine_fingerprint",
+    "request_fingerprint",
 ]
 
 #: bumped whenever the canonical payload format changes (invalidates
@@ -112,6 +113,42 @@ def machine_fingerprint(
             loggp_fingerprint(params),
             cost_fp,
             extra or "",
+        ]
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def request_fingerprint(
+    n: int,
+    b: int,
+    layout: str,
+    params: LogGPParameters,
+    cost_model,
+    *,
+    seed: int = 0,
+    with_measured: bool = True,
+    extra: Optional[str] = None,
+) -> str:
+    """The canonical cache key of one *prediction request*.
+
+    Composes the evaluation point — exactly the fields that determine a
+    :class:`repro.experiments.PointSummary` — with the canonical machine
+    fingerprint, so the prediction service (:mod:`repro.serve`), the
+    :class:`~repro.experiments.ExperimentStore` and the kernel memo all
+    agree on "same machine".  Presentation-only request fields (response
+    projection, transport framing) must stay *out* of this key: two wire
+    requests meaning the same evaluation share the fingerprint.
+
+    ``extra`` folds in evaluation context beyond the point itself — the
+    serve layer passes the UQ spec's tag for perturbed-replicate
+    requests, mirroring the store's ``extra_tag`` keying.
+    """
+    payload = "|".join(
+        [
+            f"req{FINGERPRINT_VERSION}",
+            f"n={n};b={b};layout={layout};seed={seed};"
+            f"measured={1 if with_measured else 0}",
+            machine_fingerprint(params, cost_model, extra=extra),
         ]
     )
     return hashlib.sha256(payload.encode()).hexdigest()[:16]

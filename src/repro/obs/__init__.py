@@ -47,7 +47,7 @@ from .export import (
     write_events_jsonl,
 )
 from .manifest import RunRecord, default_manifest_path, loggp_dict
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, QuantileTracker
 from .ringbuf import CHUNK_SLOTS, RingBuffer
 
 __all__ = [
@@ -67,6 +67,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "QuantileTracker",
     "MetricsRegistry",
     "to_chrome_trace",
     "write_chrome_trace",

@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 from typing import Union
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "QuantileTracker", "MetricsRegistry"]
 
 Number = Union[int, float]
 
@@ -89,6 +89,71 @@ class Histogram:
             "max": self.max,
             "mean": self.mean,
         }
+
+
+class QuantileTracker:
+    """Quantiles over a bounded window of the most recent observations.
+
+    :class:`Histogram` keeps O(1) aggregates and therefore cannot answer
+    p50/p99 — which is exactly what a serving layer reports about its
+    request latencies.  This tracker keeps the last ``capacity``
+    observations in a ring (O(capacity) memory regardless of traffic) and
+    computes quantiles on demand by sorting the window.  It is not
+    registered in :class:`MetricsRegistry` snapshots (those stay additive
+    and mergeable); callers embed :meth:`snapshot` where they need it,
+    e.g. the prediction server's ``/v1/stats`` document.
+    """
+
+    __slots__ = ("name", "capacity", "_ring", "_pos", "_count")
+
+    def __init__(self, name: str, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self._ring: list[float] = [0.0] * capacity
+        self._pos = 0
+        self._count = 0
+
+    def observe(self, value: Number) -> None:
+        """Fold one observation into the window (evicting the oldest)."""
+        self._ring[self._pos] = float(value)
+        self._pos = (self._pos + 1) % self.capacity
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations seen (not capped at the window size)."""
+        return self._count
+
+    def window(self) -> list[float]:
+        """The retained observations (unordered; at most ``capacity``)."""
+        if self._count >= self.capacity:
+            return list(self._ring)
+        return self._ring[: self._pos]
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile of the window (nearest-rank; 0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        window = sorted(self.window())
+        if not window:
+            return 0.0
+        rank = min(len(window) - 1, max(0, math.ceil(q * len(window)) - 1))
+        return window[rank]
+
+    def snapshot(self, quantiles: tuple[float, ...] = (0.5, 0.9, 0.99)) -> dict:
+        """JSON-ready window summary with the requested quantiles."""
+        window = sorted(self.window())
+        doc: dict = {"count": self._count, "window": len(window)}
+        for q in quantiles:
+            key = f"p{q * 100:g}".replace(".", "_")
+            if window:
+                rank = min(len(window) - 1, max(0, math.ceil(q * len(window)) - 1))
+                doc[key] = window[rank]
+            else:
+                doc[key] = None
+        return doc
 
 
 class MetricsRegistry:

@@ -1,0 +1,55 @@
+"""Prediction-as-a-service: the long-running ``repro serve`` layer.
+
+The paper's promise is *predictions cheap enough to ask often*; this
+package turns the reproduction into a prediction server so a scheduler
+(or a curl one-liner) can ask "how long will GE with ``n``, ``b``,
+``layout`` take on this machine?" and get an answer in microseconds when
+it is cached, and exactly one simulation when it is not.
+
+Composition (each piece usable alone):
+
+* :mod:`~repro.serve.protocol` — the v1 wire schema: canonical
+  :class:`PredictRequest`, request fingerprints, per-entry digests.
+* :mod:`~repro.serve.cache` — tier 1: the fingerprint-keyed LRU.
+* :mod:`~repro.serve.batcher` — the batching window and its worker.
+* :mod:`~repro.serve.server` — :class:`PredictionService` (tiers,
+  single-flight, manifests, stats) plus the stdlib HTTP front-end.
+* :mod:`~repro.serve.client` — :class:`PredictionClient` over in-process
+  (hermetic) and HTTP transports.
+
+Start a server with ``python -m repro serve --store .repro/store``; see
+README section "Prediction as a service" and DESIGN.md section 12.
+"""
+
+from .batcher import Batcher, PendingRequest
+from .cache import CacheEntry, LRUCache
+from .client import (
+    HTTPTransport,
+    InProcessTransport,
+    Prediction,
+    PredictionClient,
+    PredictionError,
+)
+from .protocol import ENGINES, SCHEMA, PredictRequest, ProtocolError, point_digest
+from .server import PredictionService, ServeConfig, make_handler, serve_http
+
+__all__ = [
+    "SCHEMA",
+    "ENGINES",
+    "ProtocolError",
+    "PredictRequest",
+    "point_digest",
+    "CacheEntry",
+    "LRUCache",
+    "Batcher",
+    "PendingRequest",
+    "ServeConfig",
+    "PredictionService",
+    "make_handler",
+    "serve_http",
+    "PredictionClient",
+    "Prediction",
+    "PredictionError",
+    "InProcessTransport",
+    "HTTPTransport",
+]

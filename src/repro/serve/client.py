@@ -1,0 +1,209 @@
+"""The prediction client: one API over in-process and HTTP transports.
+
+:class:`PredictionClient` speaks the v1 wire schema
+(:mod:`repro.serve.protocol`) against either
+
+* an :class:`InProcessTransport` — calls
+  :meth:`repro.serve.server.PredictionService.handle` directly, which is
+  how the hermetic test harness and the load benchmark drive the server
+  without opening sockets, or
+* an :class:`HTTPTransport` — ``urllib`` against a running ``repro
+  serve`` endpoint.
+
+Both return the same response documents, so code written against the
+in-process client runs unchanged against a real server::
+
+    from repro.serve import PredictionClient, PredictionService
+
+    with PredictionService() as service:
+        client = PredictionClient.in_process(service)
+        answer = client.predict(n=480, b=30, layout="diagonal")
+        print(answer.prediction_us["standard"], answer.digest)
+
+    client = PredictionClient.http("http://127.0.0.1:8787")
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+__all__ = [
+    "PredictionError",
+    "Prediction",
+    "InProcessTransport",
+    "HTTPTransport",
+    "PredictionClient",
+]
+
+
+class PredictionError(RuntimeError):
+    """A non-ok response document (carries the full document)."""
+
+    def __init__(self, doc: Mapping):
+        self.doc = dict(doc)
+        super().__init__(doc.get("error", "prediction request failed"))
+
+    @property
+    def code(self) -> int:
+        return int(self.doc.get("code", 500))
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One response document with convenience accessors."""
+
+    doc: dict
+
+    @property
+    def ok(self) -> bool:
+        return self.doc.get("status") == "ok"
+
+    def raise_for_status(self) -> "Prediction":
+        if not self.ok:
+            raise PredictionError(self.doc)
+        return self
+
+    @property
+    def row(self) -> dict:
+        """The full result row (the ``PointSummary`` fields)."""
+        return self.doc["result"]
+
+    @property
+    def prediction_us(self) -> dict:
+        """The engine projection, e.g. ``{"standard": ..., "worstcase": ...}``."""
+        return self.doc["prediction_us"]
+
+    @property
+    def digest(self) -> str:
+        """The canonical per-entry digest (bit-identity gate currency)."""
+        return self.doc["digest"]
+
+    @property
+    def fingerprint(self) -> str:
+        return self.doc["fingerprint"]
+
+    @property
+    def cache_tier(self) -> str:
+        """Which tier answered: memory | store | computed | inflight."""
+        return self.doc["cache"]["tier"]
+
+    @property
+    def cache_hit(self) -> bool:
+        return bool(self.doc["cache"]["hit"])
+
+    @property
+    def manifest(self) -> Optional[str]:
+        """Path of the per-request run manifest (``None`` when disabled)."""
+        return self.doc.get("manifest")
+
+
+class InProcessTransport:
+    """Hermetic transport: direct calls into a live service (no sockets)."""
+
+    def __init__(self, service):
+        self.service = service
+
+    def request(self, doc: Mapping) -> dict:
+        return self.service.handle(doc)
+
+    def stats(self) -> dict:
+        return self.service.stats()
+
+
+class HTTPTransport:
+    """``urllib`` transport against a running ``repro serve`` endpoint."""
+
+    def __init__(self, base_url: str, timeout_s: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _roundtrip(self, req: urllib.request.Request) -> dict:
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            # error responses are schema documents too; surface them as such
+            body = exc.read()
+            try:
+                return json.loads(body)
+            except ValueError:
+                raise PredictionError(
+                    {"status": "error", "code": exc.code, "error": body.decode(errors="replace")}
+                ) from exc
+
+    def request(self, doc: Mapping) -> dict:
+        req = urllib.request.Request(
+            self.base_url + "/v1/predict",
+            data=json.dumps(dict(doc)).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        return self._roundtrip(req)
+
+    def stats(self) -> dict:
+        req = urllib.request.Request(self.base_url + "/v1/stats", method="GET")
+        return self._roundtrip(req)
+
+
+class PredictionClient:
+    """The user-facing client; construct via :meth:`in_process` or :meth:`http`."""
+
+    def __init__(self, transport):
+        self.transport = transport
+
+    @classmethod
+    def in_process(cls, service) -> "PredictionClient":
+        """A client bound directly to a live :class:`PredictionService`."""
+        return cls(InProcessTransport(service))
+
+    @classmethod
+    def http(cls, base_url: str, timeout_s: float = 60.0) -> "PredictionClient":
+        """A client for a running ``repro serve`` HTTP endpoint."""
+        return cls(HTTPTransport(base_url, timeout_s=timeout_s))
+
+    def predict(
+        self,
+        n: int,
+        b: int,
+        layout: str,
+        *,
+        seed: int = 0,
+        with_measured: bool = False,
+        machine: Optional[Mapping] = None,
+        engine: str = "both",
+        uq=None,
+        check: bool = True,
+    ) -> Prediction:
+        """Request one point; raises :class:`PredictionError` unless ``check=False``.
+
+        ``machine`` is a partial ``{"L", "o", "g", "G", "P"}`` document
+        (omitted fields take the server's defaults); ``uq`` accepts a
+        :class:`repro.uq.UQSpec` or its dict form.
+        """
+        doc: dict = {
+            "app": "ge",
+            "n": n,
+            "b": b,
+            "layout": layout,
+            "seed": seed,
+            "with_measured": with_measured,
+            "engine": engine,
+        }
+        if machine is not None:
+            doc["machine"] = dict(machine)
+        if uq is not None:
+            doc["uq"] = uq.to_dict() if hasattr(uq, "to_dict") else dict(uq)
+        return self.predict_doc(doc, check=check)
+
+    def predict_doc(self, doc: Mapping, check: bool = True) -> Prediction:
+        """Send a raw request document as-is (loose spellings welcome)."""
+        prediction = Prediction(self.transport.request(doc))
+        return prediction.raise_for_status() if check else prediction
+
+    def stats(self) -> dict:
+        """The server's statistics document."""
+        return self.transport.stats()

@@ -1,0 +1,267 @@
+"""The serve wire schema: canonical prediction requests and entry digests.
+
+A prediction request names one evaluation point — ``(app, n, b, layout,
+machine, seed, optional UQ spec)`` — plus presentation-only fields (the
+``engine`` projection).  Clients send loose JSON; the server answers from
+a cache keyed by *meaning*, so this module's whole job is to collapse
+every spelling of the same request onto one canonical value:
+
+* **Defaults are applied before fingerprinting.**  An omitted field and
+  its explicitly-spelled default produce the same
+  :class:`PredictRequest`, hence the same cache key.
+* **Key order and whitespace never matter.**  Canonicalisation goes
+  through parsed values, and :meth:`PredictRequest.canonical_json` emits
+  one sorted, separator-normalised encoding.
+* **Identity UQ specs collapse to "no spec".**  A
+  :class:`~repro.uq.UQSpec` with zero noise and no overrides evaluates
+  exactly like the deterministic path (see
+  :meth:`repro.uq.UQSpec.is_identity`), so it canonicalises to ``None``
+  and shares cache entries with spec-free requests — the same rule the
+  experiment store applies via :meth:`~repro.uq.UQSpec.store_tag`.
+* **Presentation stays out of the key.**  ``engine`` selects which
+  predicted series the response highlights; every projection of one
+  point shares the cached evaluation.
+
+The round-trip contract (property-tested in
+``tests/test_serve_protocol.py``): ``from_doc(to_doc(r)) == r`` and
+``from_doc`` is insensitive to key order, whitespace and
+defaults-vs-omitted spelling.  Unknown keys are rejected — schema drift
+must fail loudly, not silently fork the keyspace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from ..core.fingerprint import request_fingerprint
+from ..core.loggp import MEIKO_CS2, LogGPParameters
+from ..layouts import LAYOUTS
+from ..uq.spec import UQSpec
+
+__all__ = [
+    "SCHEMA",
+    "ENGINES",
+    "ProtocolError",
+    "PredictRequest",
+    "point_digest",
+]
+
+#: wire-schema identifier carried by responses
+SCHEMA = "repro.serve/v1"
+
+#: accepted response projections (``both`` reports the two predictions)
+ENGINES = ("standard", "worstcase", "both")
+
+#: request keys the v1 schema knows (anything else is an error)
+_REQUEST_KEYS = frozenset(
+    {"app", "n", "b", "layout", "seed", "with_measured", "machine", "engine", "uq"}
+)
+
+#: machine keys of the wire schema.  ``name`` is deliberately absent: the
+#: machine's identity is its numbers, and a display label must never fork
+#: the cache keyspace.
+_MACHINE_KEYS = ("L", "o", "g", "G", "P")
+
+#: the resolved-machine label (constant, so it cannot affect fingerprints)
+_MACHINE_NAME = "serve"
+
+
+class ProtocolError(ValueError):
+    """A request document that does not parse against the v1 schema."""
+
+
+def _require_int(doc: Mapping, key: str, default=None) -> int:
+    if key not in doc:
+        if default is None:
+            raise ProtocolError(f"missing required field {key!r}")
+        return default
+    value = doc[key]
+    # bool is an int subclass; reject it — `"n": true` is never meant
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"field {key!r} must be an integer, got {value!r}")
+    return value
+
+
+def _parse_machine(doc: Any, defaults: LogGPParameters) -> LogGPParameters:
+    if doc is None:
+        doc = {}
+    if not isinstance(doc, Mapping):
+        raise ProtocolError(f"'machine' must be an object, got {doc!r}")
+    unknown = set(doc) - set(_MACHINE_KEYS)
+    if unknown:
+        raise ProtocolError(
+            f"unknown machine keys: {sorted(unknown)} (known: {list(_MACHINE_KEYS)})"
+        )
+    values: dict[str, Any] = {}
+    for key in ("L", "o", "g", "G"):
+        raw = doc.get(key, getattr(defaults, key))
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+            raise ProtocolError(f"machine.{key} must be a number, got {raw!r}")
+        values[key] = float(raw)
+    if "P" in doc:
+        if isinstance(doc["P"], bool) or not isinstance(doc["P"], int):
+            raise ProtocolError(f"machine.P must be an integer, got {doc['P']!r}")
+        values["P"] = doc["P"]
+    else:
+        values["P"] = defaults.P
+    try:
+        return LogGPParameters(name=_MACHINE_NAME, **values)
+    except ValueError as exc:
+        raise ProtocolError(f"invalid machine: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """One canonical prediction request (the unit the cache keys on).
+
+    ``params`` always carries the constant resolved-machine label, and
+    ``uq`` is ``None`` whenever the requested spec is an identity — both
+    invariants are established by :meth:`from_doc` and preserved by
+    :meth:`to_doc`, so equality of two instances is equality of meaning.
+    """
+
+    n: int
+    b: int
+    layout: str
+    seed: int
+    with_measured: bool
+    params: LogGPParameters
+    engine: str = "both"
+    uq: Optional[UQSpec] = None
+
+    @classmethod
+    def from_doc(
+        cls,
+        doc: Mapping,
+        machine_defaults: Optional[LogGPParameters] = None,
+    ) -> "PredictRequest":
+        """Parse, validate and canonicalise one request document.
+
+        ``machine_defaults`` fills omitted machine fields (the server's
+        configured default machine; :data:`repro.core.MEIKO_CS2` when
+        unset).  Raises :class:`ProtocolError` on anything that does not
+        conform to the v1 schema.
+        """
+        if not isinstance(doc, Mapping):
+            raise ProtocolError(f"request must be a JSON object, got {doc!r}")
+        unknown = set(doc) - _REQUEST_KEYS
+        if unknown:
+            raise ProtocolError(
+                f"unknown request keys: {sorted(unknown)} "
+                f"(known: {sorted(_REQUEST_KEYS)})"
+            )
+        app = doc.get("app", "ge")
+        if app != "ge":
+            raise ProtocolError(f"unknown app {app!r}; this server predicts 'ge'")
+        n = _require_int(doc, "n")
+        b = _require_int(doc, "b")
+        if n < 1 or b < 1:
+            raise ProtocolError(f"n and b must be >= 1, got n={n}, b={b}")
+        if n % b:
+            raise ProtocolError(f"block size {b} does not divide n={n}")
+        layout = doc.get("layout")
+        if layout not in LAYOUTS:
+            raise ProtocolError(
+                f"unknown layout {layout!r}; known: {sorted(LAYOUTS)}"
+            )
+        seed = _require_int(doc, "seed", default=0)
+        with_measured = doc.get("with_measured", False)
+        if not isinstance(with_measured, bool):
+            raise ProtocolError(
+                f"'with_measured' must be a boolean, got {with_measured!r}"
+            )
+        engine = doc.get("engine", "both")
+        if engine not in ENGINES:
+            raise ProtocolError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        params = _parse_machine(
+            doc.get("machine"), machine_defaults or MEIKO_CS2
+        )
+        uq: Optional[UQSpec] = None
+        raw_uq = doc.get("uq")
+        if raw_uq is not None:
+            if not isinstance(raw_uq, Mapping):
+                raise ProtocolError(f"'uq' must be an object, got {raw_uq!r}")
+            try:
+                uq = UQSpec.from_dict(raw_uq)
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(f"invalid uq spec: {exc}") from exc
+            if uq.is_identity():
+                uq = None  # identity evaluates exactly like no spec
+        return cls(
+            n=n, b=b, layout=layout, seed=seed, with_measured=with_measured,
+            params=params, engine=engine, uq=uq,
+        )
+
+    # -- canonical encodings -------------------------------------------------
+    def to_doc(self) -> dict:
+        """The canonical, fully-explicit request document.
+
+        Every field is spelled out (no reliance on receiver defaults), so
+        the document round-trips through :meth:`from_doc` unchanged under
+        any ``machine_defaults``.
+        """
+        return {
+            "app": "ge",
+            "n": self.n,
+            "b": self.b,
+            "layout": self.layout,
+            "seed": self.seed,
+            "with_measured": self.with_measured,
+            "machine": {
+                "L": self.params.L,
+                "o": self.params.o,
+                "g": self.params.g,
+                "G": self.params.G,
+                "P": self.params.P,
+            },
+            "engine": self.engine,
+            "uq": self.uq.to_dict() if self.uq is not None else None,
+        }
+
+    def canonical_json(self) -> str:
+        """One sorted, whitespace-free encoding of :meth:`to_doc`."""
+        return json.dumps(self.to_doc(), sort_keys=True, separators=(",", ":"))
+
+    def uq_tag(self) -> Optional[str]:
+        """The store/fingerprint tag of the UQ spec (``None``: spec-free)."""
+        return self.uq.store_tag() if self.uq is not None else None
+
+    def fingerprint(self, cost_model) -> str:
+        """The cache key: the evaluation's canonical fingerprint.
+
+        Composes :func:`repro.core.fingerprint.request_fingerprint` with
+        the UQ tag.  ``engine`` is presentation and deliberately absent —
+        every projection of one point shares the entry.
+        """
+        return request_fingerprint(
+            self.n, self.b, self.layout, self.params, cost_model,
+            seed=self.seed, with_measured=self.with_measured,
+            extra=self.uq_tag(),
+        )
+
+    def describe(self) -> str:
+        """Short human-readable label (logs, manifests)."""
+        uq = f" uq={self.uq.fingerprint()}" if self.uq is not None else ""
+        return (
+            f"ge n={self.n} b={self.b} {self.layout} seed={self.seed}"
+            f" P={self.params.P}{uq}"
+        )
+
+
+def point_digest(row: Mapping) -> str:
+    """SHA-256 over one canonical result row.
+
+    The single-point sibling of :meth:`repro.sweep.SweepResult.digest`
+    (same canonical JSON encoding, one row instead of the grid), so a
+    served answer and a directly-computed
+    :class:`~repro.experiments.PointSummary` agree on the digest iff they
+    agree on every value — the served-vs-direct bit-identity gate of
+    ``benchmarks/bench_serve.py`` and the serve test suites.
+    """
+    payload = json.dumps(dict(row), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -29,6 +29,7 @@ model of the sweep itself choose the strategy — see
 :mod:`repro.sweep.executor`.
 """
 
+from .batch import BatchItem, BatchResult, run_point_batch
 from .executor import EXECUTORS, ExecutorDecision, decide_executor
 from .points import SweepPoint, expand_grid
 from .runner import SweepResult, SweepStats, run_sweep
@@ -39,6 +40,9 @@ __all__ = [
     "SweepResult",
     "SweepStats",
     "run_sweep",
+    "BatchItem",
+    "BatchResult",
+    "run_point_batch",
     "EXECUTORS",
     "ExecutorDecision",
     "decide_executor",

@@ -1,0 +1,230 @@
+"""Property tests for the serve wire schema (`repro.serve.protocol`).
+
+The canonicalisation contract the serve cache stands on:
+
+* **Spelling never matters.**  Key order, JSON whitespace, and
+  omitted-vs-explicitly-spelled defaults all parse to the same
+  :class:`PredictRequest` — hence the same fingerprint, hence the same
+  cache entry.
+* **Round trip.**  ``from_doc(to_doc(r)) == r`` under any machine
+  defaults (``to_doc`` is fully explicit).
+* **Presentation stays out of the key.**  ``engine`` changes the
+  response projection, never the fingerprint; identity UQ specs collapse
+  to ``None`` and share entries with spec-free requests.
+* **Drift fails loudly.**  Unknown keys, booleans where integers belong,
+  and invalid geometry raise :class:`ProtocolError`.
+"""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MEIKO_CS2, CalibratedCostModel
+from repro.core.loggp import LogGPParameters
+from repro.core.predictor import summarize_ge_point
+from repro.serve.protocol import (
+    ENGINES,
+    PredictRequest,
+    ProtocolError,
+    point_digest,
+)
+
+CM = CalibratedCostModel()
+
+#: (n, b) pairs with b | n, spanning several grid shapes
+_GEOMETRIES = [(120, 20), (120, 30), (120, 40), (240, 24), (240, 60)]
+
+_LAYOUTS = ["diagonal", "stripped", "block2d", "column"]
+
+positive_floats = st.floats(
+    min_value=0.01, max_value=1000.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def requests(draw):
+    """A fully-explicit, valid v1 request document."""
+    n, b = draw(st.sampled_from(_GEOMETRIES))
+    return {
+        "app": "ge",
+        "n": n,
+        "b": b,
+        "layout": draw(st.sampled_from(_LAYOUTS)),
+        "seed": draw(st.integers(min_value=0, max_value=2**31 - 1)),
+        "with_measured": draw(st.booleans()),
+        "engine": draw(st.sampled_from(ENGINES)),
+        "machine": {
+            "L": draw(positive_floats),
+            "o": draw(positive_floats),
+            "g": draw(positive_floats),
+            "G": draw(positive_floats),
+            "P": draw(st.integers(min_value=2, max_value=32)),
+        },
+        "uq": None,
+    }
+
+
+#: fields whose schema default equals this value — dropping any subset
+#: from a doc that spells them this way must not change the parse
+_DEFAULTS = {
+    "app": "ge",
+    "seed": 0,
+    "with_measured": False,
+    "engine": "both",
+    "uq": None,
+}
+
+
+class TestCanonicalisation:
+    @given(doc=requests(), order_seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=50, deadline=None)
+    def test_key_order_insensitive(self, doc, order_seed):
+        rng = random.Random(order_seed)
+        keys = list(doc)
+        rng.shuffle(keys)
+        shuffled = {k: doc[k] for k in keys}
+        machine_keys = list(doc["machine"])
+        rng.shuffle(machine_keys)
+        shuffled["machine"] = {k: doc["machine"][k] for k in machine_keys}
+        a = PredictRequest.from_doc(doc)
+        b = PredictRequest.from_doc(shuffled)
+        assert a == b
+        assert a.fingerprint(CM) == b.fingerprint(CM)
+
+    @given(doc=requests(), indent=st.integers(min_value=0, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_whitespace_insensitive(self, doc, indent):
+        compact = json.dumps(doc, separators=(",", ":"))
+        airy = json.dumps(doc, indent=indent, separators=(", ", " : "))
+        a = PredictRequest.from_doc(json.loads(compact))
+        b = PredictRequest.from_doc(json.loads(airy))
+        assert a == b
+        assert a.canonical_json() == b.canonical_json()
+
+    @given(
+        doc=requests(),
+        drop=st.sets(st.sampled_from(sorted(_DEFAULTS))),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_explicit_defaults_equal_omitted(self, doc, drop):
+        spelled = dict(doc)
+        spelled.update(_DEFAULTS)
+        omitted = {k: v for k, v in spelled.items() if k not in drop}
+        a = PredictRequest.from_doc(spelled)
+        b = PredictRequest.from_doc(omitted)
+        assert a == b
+        assert a.fingerprint(CM) == b.fingerprint(CM)
+
+    @given(doc=requests())
+    @settings(max_examples=50, deadline=None)
+    def test_round_trips_through_wire_schema(self, doc):
+        req = PredictRequest.from_doc(doc)
+        assert PredictRequest.from_doc(req.to_doc()) == req
+        # to_doc is fully explicit, so foreign defaults cannot bend it
+        other_defaults = LogGPParameters(
+            L=99.0, o=9.9, g=9.0, G=0.9, P=3, name="other"
+        )
+        assert PredictRequest.from_doc(req.to_doc(), other_defaults) == req
+        # and the canonical encoding is a fixed point
+        assert (
+            PredictRequest.from_doc(json.loads(req.canonical_json())) == req
+        )
+
+    @given(doc=requests())
+    @settings(max_examples=30, deadline=None)
+    def test_engine_is_presentation_only(self, doc):
+        prints = set()
+        for engine in ENGINES:
+            doc["engine"] = engine
+            prints.add(PredictRequest.from_doc(doc).fingerprint(CM))
+        assert len(prints) == 1
+
+    @given(doc=requests(), sigma=st.floats(min_value=0.01, max_value=0.5))
+    @settings(max_examples=20, deadline=None)
+    def test_identity_uq_collapses_real_uq_forks(self, doc, sigma):
+        bare = PredictRequest.from_doc(doc)
+        doc["uq"] = {"sigma": 0.0, "op_sigma": 0.0}
+        identity = PredictRequest.from_doc(doc)
+        assert identity.uq is None
+        assert identity == bare
+        doc["uq"] = {"sigma": sigma}
+        noisy = PredictRequest.from_doc(doc)
+        assert noisy.uq is not None
+        assert noisy.fingerprint(CM) != bare.fingerprint(CM)
+
+
+class TestMachineIdentity:
+    def test_machine_defaults_fill_omitted_fields(self):
+        doc = {"n": 120, "b": 30, "layout": "diagonal", "machine": {"P": 4}}
+        req = PredictRequest.from_doc(doc)
+        assert req.params.P == 4
+        assert req.params.L == MEIKO_CS2.L
+        # the resolved label is constant: display names cannot fork keys
+        assert req.params.name == "serve"
+
+    def test_name_is_not_a_wire_field(self):
+        doc = {
+            "n": 120, "b": 30, "layout": "diagonal",
+            "machine": {"name": "my-cluster"},
+        }
+        with pytest.raises(ProtocolError, match="unknown machine keys"):
+            PredictRequest.from_doc(doc)
+
+    def test_same_numbers_same_fingerprint_under_any_defaults(self):
+        explicit = PredictRequest.from_doc({
+            "n": 120, "b": 30, "layout": "diagonal",
+            "machine": {
+                "L": MEIKO_CS2.L, "o": MEIKO_CS2.o, "g": MEIKO_CS2.g,
+                "G": MEIKO_CS2.G, "P": MEIKO_CS2.P,
+            },
+        })
+        implicit = PredictRequest.from_doc(
+            {"n": 120, "b": 30, "layout": "diagonal"}
+        )
+        assert explicit.fingerprint(CM) == implicit.fingerprint(CM)
+
+
+class TestRejection:
+    @pytest.mark.parametrize(
+        "doc, match",
+        [
+            ({"n": 120, "b": 30}, "layout"),
+            ({"n": 120, "b": 30, "layout": "spiral"}, "unknown layout"),
+            ({"n": 120, "b": 33, "layout": "diagonal"}, "does not divide"),
+            ({"n": 120, "b": 30, "layout": "diagonal", "engine": "psychic"},
+             "unknown engine"),
+            ({"n": 120, "b": 30, "layout": "diagonal", "turbo": 1},
+             "unknown request keys"),
+            ({"n": True, "b": 30, "layout": "diagonal"}, "must be an integer"),
+            ({"n": 120, "b": 30, "layout": "diagonal", "with_measured": 1},
+             "must be a boolean"),
+            ({"n": 120, "b": 30, "layout": "diagonal",
+              "machine": {"L": "fast"}}, "must be a number"),
+            ({"n": 120, "b": 30, "layout": "diagonal", "uq": "noisy"},
+             "must be an object"),
+            ({"n": 120, "b": 30, "layout": "diagonal", "app": "lu"},
+             "unknown app"),
+        ],
+    )
+    def test_malformed_documents_raise(self, doc, match):
+        with pytest.raises(ProtocolError, match=match):
+            PredictRequest.from_doc(doc)
+
+    def test_non_object_request_raises(self):
+        with pytest.raises(ProtocolError):
+            PredictRequest.from_doc(None)
+
+
+class TestPointDigest:
+    def test_digest_is_key_order_insensitive_and_value_sensitive(self):
+        row = summarize_ge_point(
+            120, 30, "diagonal", MEIKO_CS2, CM, with_measured=False
+        )
+        reordered = dict(reversed(list(row.items())))
+        assert point_digest(row) == point_digest(reordered)
+        bent = dict(row)
+        bent["pred_standard_total"] += 1e-9
+        assert point_digest(bent) != point_digest(row)
