@@ -1,0 +1,268 @@
+"""Measurement collection for Bayesian LogGP calibration.
+
+A calibration starts from raw timing observations — individual
+micro-benchmark samples and per-op block timings, *not* the medians the
+point fit consumes — because the spread across repeats is exactly the
+information a posterior needs and a median throws away.
+
+:class:`Measurement` is one observation; :class:`MeasurementSet` is the
+calibration input: the observations plus the suite configuration needed
+to invert them (``large_bytes``, ``burst_count``, ``num_procs``) and the
+provenance of synthetic sets (``noise_sigma``, ``seed``).  Both are
+frozen value objects with exact JSON round-trips, so measured traces can
+be exported from one machine and imported into ``repro calibrate
+--measurements`` on another.
+
+:func:`measure_emulator` generates a set from the repository's own
+emulator with *injected timer noise*: every observable is multiplied by
+``exp(noise_sigma * z)`` where ``z`` is a standard normal drawn from a
+seeded stream keyed **without** the sigma.  Scaling ``noise_sigma``
+therefore scales every log-residual exactly linearly — the construction
+that makes the credible-interval-width monotonicity property in the test
+harness a theorem rather than a tendency — and ``noise_sigma == 0``
+returns the noiseless observables bit for bit (the collapse anchor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..blockops.ops import OP_NAMES
+from ..core.fitting import (
+    MICROBENCH_KINDS,
+    MicrobenchResults,
+    emulator_runner,
+    invert_microbenchmarks,
+    observe_microbenchmark,
+)
+from ..core.loggp import LogGPParameters
+from ..uq.sampler import child_rng
+
+__all__ = [
+    "DEFAULT_OP_SIZES",
+    "Measurement",
+    "MeasurementSet",
+    "measure_emulator",
+]
+
+#: block sizes at which per-op computation costs are observed by default
+DEFAULT_OP_SIZES = (16, 64)
+
+#: the observation kinds a measurement may carry
+MEASUREMENT_KINDS = MICROBENCH_KINDS + ("op",)
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One raw timing observation (µs).
+
+    ``kind`` is a micro-benchmark kind (:data:`repro.core.fitting.
+    MICROBENCH_KINDS`) or ``"op"`` for a basic-operation block timing.
+    ``size`` is the message size (``send_large``), the send count
+    (``burst``) or the block size (``op``); ``op`` names the basic
+    operation for ``kind == "op"``.  Values must be strictly positive —
+    the calibration likelihood lives in log space.
+    """
+
+    kind: str
+    value: float
+    size: Optional[int] = None
+    op: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in MEASUREMENT_KINDS:
+            raise ValueError(
+                f"unknown measurement kind {self.kind!r}; "
+                f"expected one of {MEASUREMENT_KINDS}"
+            )
+        if self.kind == "op" and (self.op is None or self.size is None):
+            raise ValueError("op measurements need both `op` and `size`")
+        if self.kind != "op" and self.op is not None:
+            raise ValueError(f"{self.kind!r} measurements must not name an op")
+        if not (self.value > 0):
+            raise ValueError(
+                f"measurement values must be > 0 (log-space likelihood), "
+                f"got {self.value!r} for {self.kind}"
+            )
+
+    def group(self) -> Tuple[str, Optional[int], Optional[str]]:
+        """The observable this measurement samples: ``(kind, size, op)``."""
+        return (self.kind, self.size, self.op)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict; ``from_dict`` inverts it bit-exactly."""
+        doc = {"kind": self.kind, "value": self.value}
+        if self.size is not None:
+            doc["size"] = self.size
+        if self.op is not None:
+            doc["op"] = self.op
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "Measurement":
+        known = {"kind", "value", "size", "op"}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"unknown Measurement keys: {sorted(unknown)}")
+        return cls(**dict(doc))
+
+
+@dataclass(frozen=True)
+class MeasurementSet:
+    """The full input of one calibration run.
+
+    ``large_bytes`` / ``burst_count`` / ``num_procs`` mirror the
+    micro-benchmark suite configuration so :meth:`point_fit` can invert
+    the medians exactly like :func:`repro.core.fitting.fit_loggp` does.
+    ``noise_sigma`` and ``seed`` record how a synthetic set was
+    generated (zero/irrelevant for imported traces) — provenance only,
+    never consulted by the calibrator.
+    """
+
+    measurements: Sequence
+    num_procs: int = 8
+    large_bytes: int = 65536
+    burst_count: int = 16
+    noise_sigma: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        ms = tuple(
+            m if isinstance(m, Measurement) else Measurement.from_dict(m)
+            for m in self.measurements
+        )
+        if not ms:
+            raise ValueError("MeasurementSet needs at least one measurement")
+        object.__setattr__(self, "measurements", ms)
+
+    def groups(self) -> dict:
+        """Observed values per observable: ``{(kind, size, op): [µs, ...]}``."""
+        out: dict = {}
+        for m in self.measurements:
+            out.setdefault(m.group(), []).append(m.value)
+        return out
+
+    def kind_values(self, kind: str) -> list:
+        """All observed values of one measurement kind, in input order."""
+        return [m.value for m in self.measurements if m.kind == kind]
+
+    def ops_present(self) -> tuple:
+        """The basic operations with at least one timing, sorted."""
+        return tuple(sorted({m.op for m in self.measurements if m.kind == "op"}))
+
+    def point_fit(self) -> LogGPParameters:
+        """The classical point estimate: invert the per-kind medians.
+
+        Exactly the :func:`repro.core.fitting.fit_loggp` computation —
+        median over repeats, closed-form inversion — so a zero-noise
+        measurement set reproduces the point fit bit for bit.
+        """
+        medians = {}
+        for kind in MICROBENCH_KINDS:
+            values = self.kind_values(kind)
+            if not values:
+                raise ValueError(f"no {kind!r} measurements; cannot point-fit")
+            medians[kind] = float(np.median(values))
+        bench = MicrobenchResults(
+            send_small=medians["send_small"],
+            send_large=medians["send_large"],
+            large_bytes=self.large_bytes,
+            burst=medians["burst"],
+            burst_count=self.burst_count,
+            one_way=medians["one_way"],
+        )
+        return invert_microbenchmarks(bench, self.num_procs)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict; ``from_dict`` inverts it bit-exactly."""
+        return {
+            "measurements": [m.to_dict() for m in self.measurements],
+            "num_procs": self.num_procs,
+            "large_bytes": self.large_bytes,
+            "burst_count": self.burst_count,
+            "noise_sigma": self.noise_sigma,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "MeasurementSet":
+        known = {
+            "measurements", "num_procs", "large_bytes",
+            "burst_count", "noise_sigma", "seed",
+        }
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"unknown MeasurementSet keys: {sorted(unknown)}")
+        return cls(**dict(doc))
+
+
+def measure_emulator(
+    params: LogGPParameters,
+    cost_model=None,
+    *,
+    noise_sigma: float = 0.0,
+    repeats: int = 5,
+    large_bytes: int = 65536,
+    burst_count: int = 16,
+    op_sizes: Sequence[int] = DEFAULT_OP_SIZES,
+    seed: int = 0,
+) -> MeasurementSet:
+    """Collect a calibration set from the emulator, with injected jitter.
+
+    Runs each micro-benchmark pattern once (the simulation is
+    deterministic) and emits ``repeats`` observations of it, each
+    multiplied by an independent ``exp(noise_sigma * z)`` timer-noise
+    factor; with ``cost_model`` given, per-op block timings at
+    ``op_sizes`` are observed the same way.  The standard-normal ``z``
+    is drawn from a stream keyed by ``(seed, observable, repeat)`` —
+    *not* by sigma — so two sets differing only in ``noise_sigma`` share
+    their underlying draws and their log-residuals scale exactly
+    linearly with sigma.  ``noise_sigma == 0`` emits the noiseless
+    observables unchanged.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if noise_sigma < 0:
+        raise ValueError(f"noise_sigma must be >= 0, got {noise_sigma}")
+    runner = emulator_runner(params)
+
+    def noisy(value: float, *keys) -> float:
+        if noise_sigma == 0:
+            return value
+        z = float(child_rng("calib-noise", seed, *keys).standard_normal())
+        return value * float(np.exp(noise_sigma * z))
+
+    out = []
+    for kind, size in (
+        ("send_small", None),
+        ("send_large", large_bytes),
+        ("burst", burst_count),
+        ("one_way", None),
+    ):
+        base = observe_microbenchmark(runner, kind, size)
+        for rep in range(repeats):
+            out.append(
+                Measurement(kind=kind, size=size, value=noisy(base, kind, rep))
+            )
+    if cost_model is not None:
+        for op in OP_NAMES:
+            for b in op_sizes:
+                base = float(cost_model.cost(op, b))
+                for rep in range(repeats):
+                    out.append(
+                        Measurement(
+                            kind="op", op=op, size=b,
+                            value=noisy(base, "op", op, b, rep),
+                        )
+                    )
+    return MeasurementSet(
+        measurements=tuple(out),
+        num_procs=params.P,
+        large_bytes=large_bytes,
+        burst_count=burst_count,
+        noise_sigma=noise_sigma,
+        seed=seed,
+    )

@@ -341,6 +341,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the emulated network's straggler factor",
     )
     grp.add_argument(
+        "--posterior", metavar="PATH",
+        help="replay a calibrated posterior (the `repro calibrate` output "
+             "JSON) instead of the sigma knobs above",
+    )
+    grp.add_argument(
         "--sensitivity", action="store_true",
         help="also report one-at-a-time LogGP elasticities per block size",
     )
@@ -441,6 +446,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     _add_machine_args(p)
     _add_obs_args(p)
+
+    p = sub.add_parser(
+        "calibrate",
+        help="Bayesian LogGP calibration: posterior over (L, o, g, G, op costs)",
+    )
+    src = p.add_argument_group("measurements")
+    src.add_argument(
+        "--measurements", metavar="PATH",
+        help="import a measurement-set JSON (trace) instead of measuring "
+             "the emulator",
+    )
+    src.add_argument(
+        "--noise-sigma", type=float, default=0.05,
+        help="injected log-normal timer noise on emulator observables "
+             "(0 = noiseless: the posterior collapses to the point fit)",
+    )
+    src.add_argument(
+        "--repeats", type=int, default=7,
+        help="observations per micro-benchmark observable",
+    )
+    src.add_argument("--large-bytes", type=int, default=65536)
+    src.add_argument("--burst-count", type=int, default=16)
+    src.add_argument(
+        "--no-ops", action="store_true",
+        help="calibrate the network parameters only (skip per-op costs)",
+    )
+    grp = p.add_argument_group("posterior")
+    grp.add_argument("--draws", type=int, default=200, help="posterior samples kept")
+    grp.add_argument("--burn", type=int, default=200, help="burn-in sweeps")
+    grp.add_argument("--thin", type=int, default=2, help="sweeps per kept sample")
+    grp.add_argument(
+        "--prior-tau", type=float, default=1.0,
+        help="prior sd in log space around the point fit",
+    )
+    grp.add_argument(
+        "--ci", type=float, default=0.9,
+        help="credible-interval level of the printed summary",
+    )
+    grp.add_argument(
+        "--max-draws", type=int, default=None,
+        help="subsample the posterior to this many draws in the output spec",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "-o", "--out", metavar="PATH",
+        help="write the posterior JSON here (feeds `repro uq --posterior`)",
+    )
+    _add_machine_args(p)
+    _add_obs_args(p, exports=True)
 
     p = sub.add_parser("svg", help="render a communication step as SVG")
     p.add_argument("--pattern", choices=sorted(_PATTERNS), default="sample")
@@ -581,6 +635,115 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_posterior_spec(path: str):
+    """The :class:`repro.uq.EmpiricalSpec` inside a calibrate output file.
+
+    Accepts the ``repro calibrate -o`` document (uses its ``spec`` block,
+    which reflects any ``--max-draws`` subsampling), a bare spec
+    document, or a bare posterior document.
+    """
+    from .calib import Posterior
+    from .uq import EmpiricalSpec
+
+    with open(path) as fh:
+        doc = json.load(fh)
+    if "spec" in doc:
+        return EmpiricalSpec.from_dict(doc["spec"])
+    if "posterior" in doc:
+        return Posterior.from_dict(doc["posterior"]).to_spec()
+    if doc.get("kind") == "empirical":
+        return EmpiricalSpec.from_dict(doc)
+    return Posterior.from_dict(doc).to_spec()
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from .calib import MeasurementSet, calibrate, calibrate_emulator
+
+    params = _machine(args)
+    cost_model = None if args.no_ops else CalibratedCostModel()
+    tracer = _wants_trace(args)
+    with tracing(tracer) if tracer else nullcontext():
+        if args.measurements:
+            with open(args.measurements) as fh:
+                mset = MeasurementSet.from_dict(json.load(fh))
+            posterior = calibrate(
+                mset,
+                base_cost_model=cost_model,
+                draws=args.draws, burn=args.burn, thin=args.thin,
+                prior_tau=args.prior_tau, seed=args.seed,
+            )
+        else:
+            posterior = calibrate_emulator(
+                params, cost_model,
+                noise_sigma=args.noise_sigma, repeats=args.repeats,
+                large_bytes=args.large_bytes, burst_count=args.burst_count,
+                draws=args.draws, burn=args.burn, thin=args.thin,
+                prior_tau=args.prior_tau, seed=args.seed,
+            )
+    _export_trace(args, tracer)
+    spec = posterior.to_spec(max_draws=args.max_draws)
+    summary = posterior.summary(args.ci)
+    doc = {
+        "posterior": posterior.to_dict(),
+        "spec": spec.to_dict(),
+        "summary": summary,
+        "ci": args.ci,
+        "fingerprint": posterior.fingerprint(),
+    }
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+    _record(args).note(
+        params=loggp_dict(params), engine="calib",
+        workload={
+            "measurements": args.measurements,
+            "noise_sigma": args.noise_sigma if not args.measurements else None,
+            "repeats": args.repeats, "seed": args.seed,
+        },
+        calib={
+            "fingerprint": posterior.fingerprint(),
+            "spec_fingerprint": spec.fingerprint(),
+            "degenerate": posterior.degenerate,
+            "accept_rate": posterior.accept_rate,
+            "draws": len(posterior.draws),
+            "spec_draws": len(spec.draws),
+            "ci": args.ci,
+            "summary": summary,
+            "config": dict(posterior.config),
+        },
+    )
+    if args.json:
+        print(json.dumps(doc, indent=2))
+        return 0
+    point = posterior.point_fit
+    fit_by_name = {"L": point.L, "o": point.o, "g": point.g, "G": point.G}
+    fit_by_name.update({f"op:{op}": f for op, f in point.ops})
+    level = int(args.ci * 100)
+    print(
+        f"posterior {posterior.fingerprint()} "
+        f"({len(posterior.draws)} draws"
+        + (", degenerate — collapsed to the point fit"
+           if posterior.degenerate
+           else f", accept rate {posterior.accept_rate:.2f}")
+        + ")"
+    )
+    header = (
+        f"{'parameter':<10} {'point fit':>12} {'post mean':>12} "
+        f"{'sd':>10} {level:>3}% CI"
+    )
+    print(header)
+    for name, stats in summary.items():
+        print(
+            f"{name:<10} {fit_by_name.get(name, float('nan')):>12.6g} "
+            f"{stats['mean']:>12.6g} {stats['sd']:>10.3g} "
+            f"[{stats['lo']:.6g}, {stats['hi']:.6g}]"
+        )
+    if args.out:
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_uq(args: argparse.Namespace) -> int:
     from .analysis import (
         format_ci_band_table,
@@ -593,13 +756,16 @@ def _cmd_uq(args: argparse.Namespace) -> int:
     blocks = _sweep_blocks(args)
     if blocks is None:
         return 2
-    spec = UQSpec(
-        sigma=args.sigma,
-        op_sigma=args.op_sigma,
-        jitter_sigma=args.jitter_sigma,
-        straggler_prob=args.straggler_prob,
-        straggler_factor=args.straggler_factor,
-    )
+    if args.posterior:
+        spec = _load_posterior_spec(args.posterior)
+    else:
+        spec = UQSpec(
+            sigma=args.sigma,
+            op_sigma=args.op_sigma,
+            jitter_sigma=args.jitter_sigma,
+            straggler_prob=args.straggler_prob,
+            straggler_factor=args.straggler_factor,
+        )
     cost_model = CalibratedCostModel()
     workers, executor = _resolve_executor(args)
     tracer = _wants_trace(args)
@@ -668,6 +834,10 @@ def _cmd_uq(args: argparse.Namespace) -> int:
             doc["sensitivity"] = sensitivity
         print(json.dumps(doc, indent=2))
         return 0
+    noise_label = (
+        f"posterior {spec.fingerprint()}" if args.posterior
+        else f"sigma={args.sigma:g}"
+    )
     for layout in args.layout:
         mine = [s for s in result.summaries if s.layout == layout]
         print(format_ci_band_table(
@@ -675,7 +845,7 @@ def _cmd_uq(args: argparse.Namespace) -> int:
             title=(
                 f"{layout} mapping, n={args.n}: predicted time [s], "
                 f"{int(args.ci * 100)}% CI over {args.replicates} replicates "
-                f"(sigma={args.sigma:g})"
+                f"({noise_label})"
             ),
         ))
         if sensitivity is not None:
@@ -933,6 +1103,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "observe": _cmd_observe,
     "fit": _cmd_fit,
+    "calibrate": _cmd_calibrate,
     "svg": _cmd_svg,
 }
 

@@ -42,6 +42,7 @@ __all__ = [
     "cost_model_fingerprint",
     "machine_fingerprint",
     "request_fingerprint",
+    "posterior_fingerprint",
 ]
 
 #: bumped whenever the canonical payload format changes (invalidates
@@ -115,6 +116,25 @@ def machine_fingerprint(
             extra or "",
         ]
     )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def posterior_fingerprint(draws) -> str:
+    """Canonical 16-hex tag of a posterior draw set (``repr``-exact floats).
+
+    ``draws`` is a sequence of machine draws — anything exposing ``L, o,
+    g, G`` floats and an ``ops`` sequence of sorted ``(op, factor)``
+    pairs (:class:`repro.uq.spec.MachineDraw`).  Two posteriors agree on
+    this tag iff they agree on every draw bit for bit, which is what lets
+    the tag key :class:`~repro.experiments.ExperimentStore` entries and
+    manifest ``calib`` blocks: a recalibration that moves any draw is a
+    guaranteed cache miss, never a stale hit.
+    """
+    parts = []
+    for d in draws:
+        ops = ";".join(f"{op}={factor!r}" for op, factor in d.ops)
+        parts.append(f"L={d.L!r};o={d.o!r};g={d.g!r};G={d.G!r};ops[{ops}]")
+    payload = f"post{FINGERPRINT_VERSION}|" + "|".join(parts)
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 

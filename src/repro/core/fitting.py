@@ -22,12 +22,19 @@ Micro-benchmarks (classic shapes):
 forms; :func:`assess_fit` reports relative errors against known
 parameters (used by the tests to show the estimator recovers the
 emulator's truth, jitter and all).
+
+The closed forms themselves are exposed as :data:`MICROBENCH_KINDS` /
+:func:`microbench_model` (the forward model: parameters → expected
+observable) and :func:`invert_microbenchmarks` (observables →
+parameters).  :mod:`repro.calib` builds its Bayesian likelihood on the
+same forward model, so the point fit and the posterior can never drift
+apart on what a micro-benchmark *means*.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -35,7 +42,20 @@ from .loggp import LogGPParameters
 from .message import CommPattern
 from .standard_sim import SimulationResult, simulate_standard
 
-__all__ = ["MicrobenchResults", "fit_loggp", "assess_fit", "emulator_runner"]
+__all__ = [
+    "MICROBENCH_KINDS",
+    "MicrobenchResults",
+    "observe_microbenchmark",
+    "run_microbenchmarks",
+    "microbench_model",
+    "invert_microbenchmarks",
+    "fit_loggp",
+    "assess_fit",
+    "emulator_runner",
+]
+
+#: the micro-benchmark observable kinds, in collection order
+MICROBENCH_KINDS = ("send_small", "send_large", "burst", "one_way")
 
 #: a runner executes one communication pattern and returns the result
 Runner = Callable[[CommPattern], SimulationResult]
@@ -73,6 +93,39 @@ class MicrobenchResults:
     one_way: float  # completion of a single 1-byte transfer
 
 
+def observe_microbenchmark(runner: Runner, kind: str, size: Optional[int] = None) -> float:
+    """Execute one micro-benchmark pattern and read its observable (µs).
+
+    The measurement side of :func:`microbench_model`: same ``kind`` /
+    ``size`` vocabulary, one raw sample per call.  Both the point fit
+    (:func:`run_microbenchmarks`) and the Bayesian calibrator
+    (:mod:`repro.calib`) collect their data through this function, so
+    they observe the machine identically.
+    """
+    if kind == "send_small":
+        res = runner(CommPattern(2, edges=[(0, 1, 1)]))
+        return float(sum(e.duration for e in res.timeline.sends()))
+    if kind == "send_large":
+        if size is None or size < 2:
+            raise ValueError(f"send_large needs a size >= 2, got {size}")
+        res = runner(CommPattern(2, edges=[(0, 1, size)]))
+        return float(sum(e.duration for e in res.timeline.sends()))
+    if kind == "burst":
+        if size is None or size < 2:
+            raise ValueError(f"burst needs a count >= 2, got {size}")
+        pat = CommPattern(size + 1)
+        for i in range(size):
+            pat.add(0, 1 + i, 1)  # distinct receivers: no recv gaps bias
+        res = runner(pat)
+        return float(res.timeline.finish_time(0))
+    if kind == "one_way":
+        res = runner(CommPattern(2, edges=[(0, 1, 1)]))
+        return float(res.completion_time)
+    raise ValueError(
+        f"unknown micro-benchmark kind {kind!r}; expected one of {MICROBENCH_KINDS}"
+    )
+
+
 def run_microbenchmarks(
     runner: Runner, large_bytes: int = 65536, burst_count: int = 16, repeats: int = 3
 ) -> MicrobenchResults:
@@ -82,41 +135,67 @@ def run_microbenchmarks(
     if burst_count < 2:
         raise ValueError("burst_count must be >= 2")
 
-    def median(values):
-        return float(np.median(values))
-
-    def sender_busy(size: int) -> float:
-        samples = []
-        for _ in range(repeats):
-            res = runner(CommPattern(2, edges=[(0, 1, size)]))
-            samples.append(sum(e.duration for e in res.timeline.sends()))
-        return median(samples)
-
-    def burst_finish() -> float:
-        samples = []
-        for _ in range(repeats):
-            pat = CommPattern(burst_count + 1)
-            for i in range(burst_count):
-                pat.add(0, 1 + i, 1)  # distinct receivers: no recv gaps bias
-            res = runner(pat)
-            samples.append(res.timeline.finish_time(0))
-        return median(samples)
-
-    def one_way() -> float:
-        samples = []
-        for _ in range(repeats):
-            res = runner(CommPattern(2, edges=[(0, 1, 1)]))
-            samples.append(res.completion_time)
-        return median(samples)
+    def median_of(kind: str, size: Optional[int] = None) -> float:
+        return float(
+            np.median([observe_microbenchmark(runner, kind, size) for _ in range(repeats)])
+        )
 
     return MicrobenchResults(
-        send_small=sender_busy(1),
-        send_large=sender_busy(large_bytes),
+        send_small=median_of("send_small"),
+        send_large=median_of("send_large", large_bytes),
         large_bytes=large_bytes,
-        burst=burst_finish(),
+        burst=median_of("burst", burst_count),
         burst_count=burst_count,
-        one_way=one_way(),
+        one_way=median_of("one_way"),
     )
+
+
+def microbench_model(
+    params: LogGPParameters, kind: str, size: Optional[int] = None
+) -> float:
+    """Expected value of one micro-benchmark observable (the forward model).
+
+    ``size`` is the message size in bytes for ``send_large`` and the send
+    count for ``burst``; the 1-byte observables ignore it.  These are the
+    exact closed forms :func:`fit_loggp` inverts, and the likelihood of
+    :mod:`repro.calib` evaluates.
+    """
+    if kind == "send_small":
+        return params.o
+    if kind == "send_large":
+        if size is None or size < 2:
+            raise ValueError(f"send_large needs a size >= 2, got {size}")
+        return params.o + (size - 1) * params.G
+    if kind == "burst":
+        if size is None or size < 2:
+            raise ValueError(f"burst needs a count >= 2, got {size}")
+        return size * params.o + (size - 1) * params.g
+    if kind == "one_way":
+        return params.L + 2 * params.o
+    raise ValueError(
+        f"unknown micro-benchmark kind {kind!r}; expected one of {MICROBENCH_KINDS}"
+    )
+
+
+def invert_microbenchmarks(
+    bench: MicrobenchResults, num_procs: int = 8
+) -> LogGPParameters:
+    """Closed-form inversion of the micro-benchmark observables.
+
+    * ``o = send_small``                      (1-byte sender busy time)
+    * ``G = (send_large - o) / (large_bytes - 1)``
+    * ``g = (burst - m*o) / (m - 1)``         (m = burst_count sends)
+    * ``L = one_way - o - o``                 (1-byte end-to-end minus
+      both overheads)
+
+    Negative estimates (noise larger than the quantity) clamp to zero.
+    """
+    o = bench.send_small
+    G = max(0.0, (bench.send_large - o) / (bench.large_bytes - 1))
+    m = bench.burst_count
+    g = max(0.0, (bench.burst - m * o) / (m - 1))
+    L = max(0.0, bench.one_way - 2 * o)
+    return LogGPParameters(L=L, o=o, g=g, G=G, P=num_procs, name="fitted")
 
 
 def fit_loggp(
@@ -128,21 +207,11 @@ def fit_loggp(
 ) -> LogGPParameters:
     """Estimate LogGP parameters by inverting the micro-benchmarks.
 
-    Closed-form inversion (this package's timing rules):
-
-    * ``o = send_small``                      (1-byte sender busy time)
-    * ``G = (send_large - o) / (large_bytes - 1)``
-    * ``g = (burst - m*o) / (m - 1)``         (m = burst_count sends)
-    * ``L = one_way - o - o``                 (1-byte end-to-end minus
-      both overheads)
+    Runs the suite (median over ``repeats``) and applies
+    :func:`invert_microbenchmarks`.
     """
     bench = run_microbenchmarks(runner, large_bytes, burst_count, repeats)
-    o = bench.send_small
-    G = max(0.0, (bench.send_large - o) / (bench.large_bytes - 1))
-    m = bench.burst_count
-    g = max(0.0, (bench.burst - m * o) / (m - 1))
-    L = max(0.0, bench.one_way - 2 * o)
-    return LogGPParameters(L=L, o=o, g=g, G=G, P=num_procs, name="fitted")
+    return invert_microbenchmarks(bench, num_procs)
 
 
 def assess_fit(

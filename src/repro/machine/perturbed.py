@@ -23,7 +23,7 @@ from ..blockops.ops import OP_NAMES
 from ..core.costmodel import CostModel
 from ..core.loggp import LogGPParameters
 from ..uq.sampler import child_rng, lognormal_multiplier
-from ..uq.spec import LOGGP_PARAMS, UQSpec
+from ..uq.spec import LOGGP_PARAMS, EmpiricalSpec, UQSpec
 
 __all__ = ["ScaledCostModel", "PerturbedMachine"]
 
@@ -79,7 +79,22 @@ class PerturbedMachine:
 
         Deterministic in ``seed``; a spec with no noise returns the base
         ``(params, cost_model)`` objects unchanged (bit-identical path).
+
+        An :class:`repro.uq.EmpiricalSpec` replays its draw set instead
+        of sampling noise: the seed selects one :class:`~repro.uq.spec.
+        MachineDraw`, whose absolute ``L, o, g, G`` replace the base
+        parameters and whose per-op factors wrap the base cost model.
         """
+        if isinstance(self.spec, EmpiricalSpec):
+            draw = self.spec.draw_for(seed)
+            params = self.params.with_(L=draw.L, o=draw.o, g=draw.g, G=draw.G)
+            factors = {op: f for op, f in draw.ops if f != 1.0}
+            cost_model = (
+                ScaledCostModel(self.cost_model, factors)
+                if factors
+                else self.cost_model
+            )
+            return params, cost_model
         if self.spec.is_deterministic():
             return self.params, self.cost_model
         changes = {}

@@ -10,6 +10,7 @@ counts and throughput over time.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Union
 
 __all__ = ["Counter", "Gauge", "Histogram", "QuantileTracker", "MetricsRegistry"]
@@ -102,9 +103,15 @@ class QuantileTracker:
     registered in :class:`MetricsRegistry` snapshots (those stay additive
     and mergeable); callers embed :meth:`snapshot` where they need it,
     e.g. the prediction server's ``/v1/stats`` document.
+
+    Thread-safe: the server observes latencies from request threads while
+    the stats endpoint snapshots concurrently, so the slot/counter update
+    in :meth:`observe` and the window copy both hold a lock (an unlocked
+    read-modify-write of ``_pos`` can double-write one slot and skip
+    another, silently dropping observations).
     """
 
-    __slots__ = ("name", "capacity", "_ring", "_pos", "_count")
+    __slots__ = ("name", "capacity", "_ring", "_pos", "_count", "_lock")
 
     def __init__(self, name: str, capacity: int = 4096):
         if capacity < 1:
@@ -114,23 +121,28 @@ class QuantileTracker:
         self._ring: list[float] = [0.0] * capacity
         self._pos = 0
         self._count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: Number) -> None:
         """Fold one observation into the window (evicting the oldest)."""
-        self._ring[self._pos] = float(value)
-        self._pos = (self._pos + 1) % self.capacity
-        self._count += 1
+        v = float(value)
+        with self._lock:
+            self._ring[self._pos] = v
+            self._pos = (self._pos + 1) % self.capacity
+            self._count += 1
 
     @property
     def count(self) -> int:
         """Total observations seen (not capped at the window size)."""
-        return self._count
+        with self._lock:
+            return self._count
 
     def window(self) -> list[float]:
         """The retained observations (unordered; at most ``capacity``)."""
-        if self._count >= self.capacity:
-            return list(self._ring)
-        return self._ring[: self._pos]
+        with self._lock:
+            if self._count >= self.capacity:
+                return list(self._ring)
+            return self._ring[: self._pos]
 
     def quantile(self, q: float) -> float:
         """The ``q``-quantile of the window (nearest-rank; 0 when empty)."""
@@ -145,7 +157,7 @@ class QuantileTracker:
     def snapshot(self, quantiles: tuple[float, ...] = (0.5, 0.9, 0.99)) -> dict:
         """JSON-ready window summary with the requested quantiles."""
         window = sorted(self.window())
-        doc: dict = {"count": self._count, "window": len(window)}
+        doc: dict = {"count": self.count, "window": len(window)}
         for q in quantiles:
             key = f"p{q * 100:g}".replace(".", "_")
             if window:

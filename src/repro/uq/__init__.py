@@ -34,11 +34,13 @@ from .sampler import (
     lognormal_multiplier,
     replicate_seeds,
 )
-from .spec import LOGGP_PARAMS, UQSpec
+from .spec import LOGGP_PARAMS, EmpiricalSpec, MachineDraw, UQSpec, spec_from_dict
 
 __all__ = [
     "LOGGP_PARAMS",
     "METRIC_FIELDS",
+    "EmpiricalSpec",
+    "MachineDraw",
     "UQPointSummary",
     "UQResult",
     "UQSpec",
@@ -51,6 +53,7 @@ __all__ = [
     "reduce_replicates",
     "replicate_seeds",
     "run_uq",
+    "spec_from_dict",
     "summary_digest",
 ]
 

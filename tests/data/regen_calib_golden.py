@@ -1,0 +1,79 @@
+"""Regenerate the calibration golden file (``calib_golden_fig7.json``).
+
+Run from the repo root after an *intentional* change to the measurement
+model, the likelihood, the chain, or the timing semantics downstream:
+
+    PYTHONPATH=src python tests/data/regen_calib_golden.py
+
+The golden pins a full calibrate-then-predict pipeline on the Figure 7
+machine: the posterior summary (every statistic, exact float equality —
+measurement noise and the chain are both seeded), the posterior
+fingerprint, and the UQ summaries obtained by replaying the posterior
+through the sweep engine.  ``tests/test_calib_golden.py`` must pass
+afterwards; commit the regenerated JSON together with the change that
+moved it.
+"""
+
+import json
+from pathlib import Path
+
+from repro.calib import calibrate_emulator
+from repro.core import MEIKO_CS2, CalibratedCostModel
+from repro.uq import run_uq
+
+#: the pinned configuration — mirror any change in test_calib_golden.py
+CONFIG = {
+    "calib": {
+        "noise_sigma": 0.05,
+        "repeats": 5,
+        "draws": 60,
+        "burn": 100,
+        "thin": 2,
+        "seed": 11,
+    },
+    "spec_max_draws": 12,
+    "uq": {
+        "n": 240,
+        "blocks": [24, 48],
+        "layouts": ["diagonal"],
+        "replicates": 6,
+        "base_seed": 123,
+        "ci": 0.95,
+        "with_measured": True,
+    },
+}
+
+
+def build() -> dict:
+    cost_model = CalibratedCostModel()
+    posterior = calibrate_emulator(MEIKO_CS2, cost_model, **CONFIG["calib"])
+    spec = posterior.to_spec(max_draws=CONFIG["spec_max_draws"])
+    uq_cfg = CONFIG["uq"]
+    result = run_uq(
+        uq_cfg["n"], uq_cfg["blocks"], uq_cfg["layouts"],
+        MEIKO_CS2, cost_model,
+        spec=spec,
+        replicates=uq_cfg["replicates"],
+        ci=uq_cfg["ci"],
+        base_seed=uq_cfg["base_seed"],
+        with_measured=uq_cfg["with_measured"],
+    )
+    return {
+        "config": CONFIG,
+        "posterior": {
+            "fingerprint": posterior.fingerprint(),
+            "spec_fingerprint": spec.fingerprint(),
+            "accept_rate": posterior.accept_rate,
+            "summary": posterior.summary(0.9),
+            "point_fit": posterior.point_fit.to_dict(),
+        },
+        "uq_summaries": result.to_rows(),
+        "uq_summary_sha256": result.summary_digest(),
+        "uq_results_sha256": result.replicate_digest(),
+    }
+
+
+if __name__ == "__main__":
+    out = Path(__file__).parent / "calib_golden_fig7.json"
+    out.write_text(json.dumps(build(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")

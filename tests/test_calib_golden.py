@@ -1,0 +1,86 @@
+"""Posterior golden regression — exact equality on the Fig. 7 machine.
+
+Measurement noise and the MCMC chain are both seeded, so a calibration's
+posterior summary and the UQ run replaying it are *exact* quantities:
+``calib_golden_fig7.json`` pins them with ``==`` (no tolerances).  Any
+change to the measurement model, the likelihood, the chain's stream
+addressing, or the timing semantics downstream moves these values and
+must regenerate the golden deliberately
+(``PYTHONPATH=src python tests/data/regen_calib_golden.py``).
+
+The UQ replay is asserted under 1 and 2 workers: posterior-driven
+ensembles cannot depend on how the replicate grid was scheduled.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.calib import calibrate_emulator
+from repro.core import MEIKO_CS2, CalibratedCostModel
+from repro.uq import run_uq
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "calib_golden_fig7.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def cost_model():
+    return CalibratedCostModel()
+
+
+@pytest.fixture(scope="module")
+def posterior(golden, cost_model):
+    return calibrate_emulator(MEIKO_CS2, cost_model, **golden["config"]["calib"])
+
+
+def run_uq_from_config(golden, posterior, cost_model, workers=1):
+    spec = posterior.to_spec(max_draws=golden["config"]["spec_max_draws"])
+    cfg = golden["config"]["uq"]
+    return run_uq(
+        cfg["n"], cfg["blocks"], cfg["layouts"],
+        MEIKO_CS2, cost_model,
+        spec=spec,
+        replicates=cfg["replicates"],
+        ci=cfg["ci"],
+        base_seed=cfg["base_seed"],
+        with_measured=cfg["with_measured"],
+        workers=workers,
+    )
+
+
+class TestGoldenPosterior:
+    def test_fingerprints_exactly_equal(self, golden, posterior):
+        assert posterior.fingerprint() == golden["posterior"]["fingerprint"]
+        spec = posterior.to_spec(max_draws=golden["config"]["spec_max_draws"])
+        assert spec.fingerprint() == golden["posterior"]["spec_fingerprint"]
+
+    def test_summary_exactly_equal(self, golden, posterior):
+        assert posterior.summary(0.9) == golden["posterior"]["summary"]
+
+    def test_point_fit_exactly_equal(self, golden, posterior):
+        assert posterior.point_fit.to_dict() == golden["posterior"]["point_fit"]
+
+    def test_accept_rate_exactly_equal(self, golden, posterior):
+        assert posterior.accept_rate == golden["posterior"]["accept_rate"]
+
+
+class TestGoldenUQReplay:
+    def test_uq_summaries_exactly_equal(self, golden, posterior, cost_model):
+        result = run_uq_from_config(golden, posterior, cost_model, workers=1)
+        assert result.to_rows() == golden["uq_summaries"]
+        assert result.summary_digest() == golden["uq_summary_sha256"]
+        assert result.replicate_digest() == golden["uq_results_sha256"]
+
+    def test_two_workers_reproduce_the_golden_exactly(
+        self, golden, posterior, cost_model
+    ):
+        result = run_uq_from_config(golden, posterior, cost_model, workers=2)
+        assert result.to_rows() == golden["uq_summaries"]
+        assert result.summary_digest() == golden["uq_summary_sha256"]
+        assert result.replicate_digest() == golden["uq_results_sha256"]

@@ -1,0 +1,163 @@
+"""Posterior-vs-truth validation of the Bayesian calibrator.
+
+The self-validating harness the tentpole ships with: calibrate against
+emulator runs generated from a **known** ground-truth machine and gate
+
+* **recovery** — with injected timer jitter, the 90% credible intervals
+  cover the true (L, o, g, G) on at least 3 of the 4 parameters (the
+  acceptance criterion of the issue), and the posterior means land close
+  to the truth;
+* **collapse** — with zero measurement noise the posterior degenerates
+  to the classical point fit *bit for bit*, its ``EmpiricalSpec`` is
+  deterministic, and replaying it through the UQ engine reproduces the
+  plain deterministic sweep digest exactly.
+
+Everything here is seeded, so these are exact assertions on a fixed
+pipeline, not statistical hopes: a seed is part of the contract, and a
+change that breaks coverage under the pinned seed is a real regression
+in either the measurement model or the sampler.
+"""
+
+import numpy as np
+import pytest
+
+from repro.calib import calibrate_emulator, measure_emulator
+from repro.core import MEIKO_CS2, CalibratedCostModel
+from repro.core.fitting import emulator_runner, fit_loggp
+from repro.core.loggp import LOW_OVERHEAD_NIC
+from repro.sweep.points import expand_grid
+from repro.sweep.runner import run_sweep
+from repro.uq.engine import run_uq
+
+#: the pinned recovery configuration — deterministic end to end
+RECOVERY = dict(noise_sigma=0.05, repeats=7, draws=200, burn=200, thin=2, seed=3)
+
+
+@pytest.fixture(scope="module")
+def cost_model():
+    return CalibratedCostModel()
+
+
+@pytest.fixture(scope="module")
+def noisy_posterior(cost_model):
+    return calibrate_emulator(MEIKO_CS2, cost_model, **RECOVERY)
+
+
+@pytest.fixture(scope="module")
+def collapsed_posterior(cost_model):
+    return calibrate_emulator(
+        MEIKO_CS2, cost_model, noise_sigma=0.0, repeats=3, seed=7
+    )
+
+
+class TestRecoveryGate:
+    def test_90pct_intervals_cover_at_least_3_of_4(self, noisy_posterior):
+        assert noisy_posterior.coverage_count(MEIKO_CS2, level=0.9) >= 3
+
+    def test_posterior_means_near_truth(self, noisy_posterior):
+        """Means within ~3 noise-sigmas of the truth on every parameter."""
+        summary = noisy_posterior.summary()
+        for name in ("L", "o", "g", "G"):
+            truth = getattr(MEIKO_CS2, name)
+            rel = abs(summary[name]["mean"] - truth) / truth
+            assert rel < 3 * RECOVERY["noise_sigma"], (name, rel)
+
+    def test_op_factor_posteriors_bracket_one(self, noisy_posterior):
+        """The emulator uses the base cost model, so true factors are 1."""
+        covered = sum(
+            noisy_posterior.credible_interval(f"op:op{i}", 0.9)[0]
+            <= 1.0
+            <= noisy_posterior.credible_interval(f"op:op{i}", 0.9)[1]
+            for i in range(1, 5)
+        )
+        assert covered >= 3
+
+    def test_chain_actually_moved(self, noisy_posterior):
+        assert not noisy_posterior.degenerate
+        assert 0.1 < noisy_posterior.accept_rate < 0.9
+        for name in ("L", "o", "g", "G"):
+            assert noisy_posterior.summary()[name]["sd"] > 0
+
+    def test_recovery_on_a_second_machine(self, cost_model):
+        """The gate is about the method, not one lucky parameter set."""
+        posterior = calibrate_emulator(LOW_OVERHEAD_NIC, cost_model, **RECOVERY)
+        assert posterior.coverage_count(LOW_OVERHEAD_NIC, level=0.9) >= 3
+
+
+class TestCoverageWidensWithNoise:
+    def test_interval_width_grows_with_sigma(self, cost_model, noisy_posterior):
+        wider = calibrate_emulator(
+            MEIKO_CS2, cost_model,
+            **{**RECOVERY, "noise_sigma": 3 * RECOVERY["noise_sigma"]},
+        )
+        for name in ("L", "o", "g", "G"):
+            lo_n, hi_n = noisy_posterior.credible_interval(name, 0.9)
+            lo_w, hi_w = wider.credible_interval(name, 0.9)
+            assert hi_w - lo_w > hi_n - lo_n, name
+
+
+class TestZeroNoiseCollapse:
+    def test_degenerate_flag_and_single_draw(self, collapsed_posterior):
+        assert collapsed_posterior.degenerate
+        assert len(collapsed_posterior.draws) == 1
+
+    def test_posterior_equals_point_fit_bit_for_bit(self, collapsed_posterior):
+        draw = collapsed_posterior.draws[0]
+        assert draw == collapsed_posterior.point_fit
+        fit = fit_loggp(emulator_runner(MEIKO_CS2), num_procs=MEIKO_CS2.P)
+        assert (draw.L, draw.o, draw.g, draw.G) == (fit.L, fit.o, fit.g, fit.G)
+
+    def test_exact_emulator_recovers_exact_truth(self, collapsed_posterior):
+        """The emulator is exact LogGP, so the fit IS the truth here."""
+        draw = collapsed_posterior.draws[0]
+        assert (draw.L, draw.o, draw.g, draw.G) == (
+            MEIKO_CS2.L, MEIKO_CS2.o, MEIKO_CS2.g, MEIKO_CS2.G,
+        )
+
+    def test_op_factors_exactly_one(self, collapsed_posterior):
+        assert all(f == 1.0 for _, f in collapsed_posterior.draws[0].ops)
+
+    def test_spec_is_deterministic(self, collapsed_posterior):
+        spec = collapsed_posterior.to_spec()
+        assert spec.is_deterministic()
+        assert not spec.is_identity()
+
+    def test_uq_reproduces_plain_sweep_digest_bit_for_bit(
+        self, collapsed_posterior, cost_model
+    ):
+        """The issue's collapse gate: calibrate → uq == the plain sweep."""
+        spec = collapsed_posterior.to_spec()
+        draw = collapsed_posterior.draws[0]
+        machine = MEIKO_CS2.with_(L=draw.L, o=draw.o, g=draw.g, G=draw.G)
+        uq = run_uq(
+            [256], [8, 16], ["column"], MEIKO_CS2, cost_model,
+            spec=spec, replicates=8, base_seed=0, workers=1,
+        )
+        grid = expand_grid([256], [8, 16], ["column"], seeds=(0,))
+        sweep = run_sweep(grid, machine, cost_model, workers=1)
+        assert uq.replicate_digest() == sweep.digest()
+
+    def test_zero_noise_measurements_are_noise_free(self):
+        """sigma=0 must return the raw observables, not scaled copies."""
+        mset = measure_emulator(MEIKO_CS2, noise_sigma=0.0, repeats=4, seed=0)
+        for values in mset.groups().values():
+            assert len(set(values)) == 1
+
+
+class TestNoiseConstruction:
+    def test_log_residuals_scale_exactly_with_sigma(self):
+        """The z-draws are keyed without sigma: residuals scale linearly."""
+        base = measure_emulator(MEIKO_CS2, noise_sigma=0.0, repeats=5, seed=11)
+        s1 = measure_emulator(MEIKO_CS2, noise_sigma=0.02, repeats=5, seed=11)
+        s2 = measure_emulator(MEIKO_CS2, noise_sigma=0.04, repeats=5, seed=11)
+        for m0, m1, m2 in zip(base.measurements, s1.measurements, s2.measurements):
+            r1 = np.log(m1.value) - np.log(m0.value)
+            r2 = np.log(m2.value) - np.log(m0.value)
+            assert r2 == pytest.approx(2.0 * r1, rel=1e-9)
+
+    def test_measurement_noise_is_seeded(self):
+        a = measure_emulator(MEIKO_CS2, noise_sigma=0.05, repeats=3, seed=1)
+        b = measure_emulator(MEIKO_CS2, noise_sigma=0.05, repeats=3, seed=1)
+        c = measure_emulator(MEIKO_CS2, noise_sigma=0.05, repeats=3, seed=2)
+        assert a == b
+        assert a != c

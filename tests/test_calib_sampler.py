@@ -1,0 +1,267 @@
+"""Unit tests of the calibration layers: spec, measure, likelihood, MCMC.
+
+The recovery harness (``test_calib_recovery.py``) gates the end-to-end
+claims; this file pins the contracts of each layer — value-object
+validation and JSON round-trips, the ``EmpiricalSpec`` protocol surface
+the UQ engine relies on, the perturbation dispatch, degenerate
+detection, and chain determinism.
+"""
+
+import numpy as np
+import pytest
+
+from repro.calib import (
+    CalibModel,
+    MCMCConfig,
+    Measurement,
+    MeasurementSet,
+    Posterior,
+    calibrate,
+    group_stats,
+    measure_emulator,
+    run_mcmc,
+)
+from repro.core import MEIKO_CS2, CalibratedCostModel
+from repro.core.fingerprint import posterior_fingerprint
+from repro.core.fitting import emulator_runner, fit_loggp
+from repro.machine.perturbed import PerturbedMachine, ScaledCostModel
+from repro.uq import EmpiricalSpec, MachineDraw, UQSpec, spec_from_dict
+
+
+@pytest.fixture(scope="module")
+def cost_model():
+    return CalibratedCostModel()
+
+
+@pytest.fixture(scope="module")
+def noisy_mset(cost_model):
+    return measure_emulator(
+        MEIKO_CS2, cost_model, noise_sigma=0.05, repeats=5, seed=2
+    )
+
+
+class TestMachineDraw:
+    def test_ops_mapping_normalised_to_sorted_pairs(self):
+        d = MachineDraw(L=9.0, o=5.0, g=14.0, G=0.023, ops={"op2": 1.1, "op1": 0.9})
+        assert d.ops == (("op1", 0.9), ("op2", 1.1))
+        assert d.op_factors() == {"op1": 0.9, "op2": 1.1}
+
+    def test_draws_are_hashable(self):
+        a = MachineDraw(L=1.0, o=2.0, g=3.0, G=0.1, ops={"op1": 1.0})
+        b = MachineDraw(L=1.0, o=2.0, g=3.0, G=0.1, ops=(("op1", 1.0),))
+        assert len({a, b}) == 1
+
+    def test_rejects_negative_params(self):
+        with pytest.raises(ValueError, match="must be a float >= 0"):
+            MachineDraw(L=-1.0, o=5.0, g=14.0, G=0.023)
+
+    def test_rejects_nonpositive_factors(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            MachineDraw(L=9.0, o=5.0, g=14.0, G=0.023, ops={"op1": 0.0})
+
+    def test_json_round_trip_exact(self):
+        d = MachineDraw(L=9.125, o=5.0625, g=14.5, G=0.0229999999999999,
+                        ops={"op3": 1.0000000001})
+        assert MachineDraw.from_dict(d.to_dict()) == d
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown MachineDraw keys"):
+            MachineDraw.from_dict({"L": 1, "o": 1, "g": 1, "G": 1, "bogus": 2})
+
+
+class TestEmpiricalSpec:
+    def _draws(self, n=4):
+        return tuple(
+            MachineDraw(L=9.0 + i, o=5.0, g=14.0, G=0.023) for i in range(n)
+        )
+
+    def test_needs_a_draw(self):
+        with pytest.raises(ValueError, match="at least one draw"):
+            EmpiricalSpec(draws=())
+
+    def test_protocol_predicates(self):
+        spec = EmpiricalSpec(draws=self._draws())
+        assert not spec.is_deterministic()
+        assert not spec.is_identity()
+        assert spec.network_overrides() == {}
+        degenerate = EmpiricalSpec(draws=(self._draws(1) * 3))
+        assert degenerate.is_deterministic()
+        assert not degenerate.is_identity()
+
+    def test_draw_for_is_a_pure_function_of_the_seed(self):
+        spec = EmpiricalSpec(draws=self._draws())
+        picks = [spec.draw_for(s) for s in (0, 1, 2, 3, 0, 1)]
+        assert picks[:2] == picks[4:]
+        assert all(p in spec.draws for p in picks)
+
+    def test_json_round_trip_and_kind_dispatch(self):
+        spec = EmpiricalSpec(draws=self._draws(), source="calib-abc")
+        doc = spec.to_dict()
+        assert doc["kind"] == "empirical"
+        assert EmpiricalSpec.from_dict(doc) == spec
+        assert spec_from_dict(doc) == spec
+        plain = spec_from_dict({"sigma": 0.1})
+        assert isinstance(plain, UQSpec)
+
+    def test_fingerprint_ignores_source_but_not_draws(self):
+        a = EmpiricalSpec(draws=self._draws(), source="x")
+        b = EmpiricalSpec(draws=self._draws(), source="y")
+        c = EmpiricalSpec(draws=self._draws(3), source="x")
+        assert a.fingerprint() == b.fingerprint() == posterior_fingerprint(a.draws)
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_store_tag_always_tagged(self):
+        spec = EmpiricalSpec(draws=self._draws())
+        assert spec.store_tag() == f"uq-{spec.fingerprint()}"
+
+    def test_from_dict_rejects_unknown_keys_and_wrong_kind(self):
+        with pytest.raises(ValueError, match="unknown EmpiricalSpec keys"):
+            EmpiricalSpec.from_dict({"kind": "empirical", "draws": [], "x": 1})
+        with pytest.raises(ValueError, match="not an empirical spec"):
+            EmpiricalSpec.from_dict({"kind": "gaussian", "draws": []})
+
+
+class TestPerturbedDispatch:
+    def test_draw_replaces_network_params(self, cost_model):
+        draw = MachineDraw(L=11.0, o=6.0, g=15.0, G=0.03)
+        spec = EmpiricalSpec(draws=(draw,))
+        params, cm = PerturbedMachine(MEIKO_CS2, cost_model, spec).sample(0)
+        assert (params.L, params.o, params.g, params.G) == (11.0, 6.0, 15.0, 0.03)
+        assert params.P == MEIKO_CS2.P
+        assert cm is cost_model  # no factors -> base model untouched
+
+    def test_non_unit_factors_wrap_the_cost_model(self, cost_model):
+        draw = MachineDraw(L=9.0, o=5.0, g=14.0, G=0.023,
+                           ops={"op1": 1.25, "op2": 1.0})
+        spec = EmpiricalSpec(draws=(draw,))
+        _, cm = PerturbedMachine(MEIKO_CS2, cost_model, spec).sample(0)
+        assert isinstance(cm, ScaledCostModel)
+        assert cm.factors == {"op1": 1.25}  # exact-1.0 factors dropped
+        assert cm.cost("op1", 16) == cost_model.cost("op1", 16) * 1.25
+        assert cm.cost("op2", 16) == cost_model.cost("op2", 16)
+
+    def test_sample_is_deterministic_per_seed(self, cost_model):
+        draws = tuple(
+            MachineDraw(L=9.0 + i, o=5.0, g=14.0, G=0.023) for i in range(5)
+        )
+        spec = EmpiricalSpec(draws=draws)
+        pm = PerturbedMachine(MEIKO_CS2, cost_model, spec)
+        assert pm.sample(42)[0] == pm.sample(42)[0]
+
+
+class TestMeasurements:
+    def test_rejects_bad_kind_and_nonpositive_values(self):
+        with pytest.raises(ValueError, match="unknown measurement kind"):
+            Measurement(kind="ping", value=1.0)
+        with pytest.raises(ValueError, match="must be > 0"):
+            Measurement(kind="send_small", value=0.0)
+        with pytest.raises(ValueError, match="need both"):
+            Measurement(kind="op", value=1.0)
+
+    def test_set_round_trip_exact(self, noisy_mset):
+        assert MeasurementSet.from_dict(noisy_mset.to_dict()) == noisy_mset
+
+    def test_point_fit_matches_fit_loggp_on_zero_noise(self):
+        mset = measure_emulator(MEIKO_CS2, noise_sigma=0.0, repeats=3, seed=0)
+        fit = fit_loggp(emulator_runner(MEIKO_CS2), num_procs=MEIKO_CS2.P)
+        point = mset.point_fit()
+        assert (point.L, point.o, point.g, point.G) == (fit.L, fit.o, fit.g, fit.G)
+
+    def test_ops_present_sorted(self, noisy_mset):
+        assert noisy_mset.ops_present() == ("op1", "op2", "op3", "op4")
+
+
+class TestLikelihood:
+    def test_zero_spread_groups_are_exactly_zero(self):
+        mset = measure_emulator(MEIKO_CS2, noise_sigma=0.0, repeats=4, seed=0)
+        for s in group_stats(mset):
+            assert s.ss_log == 0.0
+            assert s.sd_log == 0.0
+
+    def test_degenerate_detection(self, noisy_mset):
+        clean = measure_emulator(MEIKO_CS2, noise_sigma=0.0, repeats=3, seed=0)
+        assert CalibModel(clean).is_degenerate()
+        assert not CalibModel(noisy_mset, CalibratedCostModel()).is_degenerate()
+
+    def test_op_measurements_require_a_cost_model(self, noisy_mset):
+        with pytest.raises(ValueError, match="base cost model"):
+            CalibModel(noisy_mset, base_cost_model=None)
+
+    def test_posterior_peaks_near_the_truth(self, noisy_mset, cost_model):
+        model = CalibModel(noisy_mset, cost_model)
+        at_truth = model.log_posterior(model.initial())
+        off = model.initial()
+        off[0] += 1.0  # L off by a factor e
+        assert at_truth > model.log_posterior(off)
+
+    def test_pinned_dimensions_get_zero_proposal_scale(self, cost_model):
+        mset = measure_emulator(MEIKO_CS2, cost_model, noise_sigma=0.0,
+                                repeats=3, seed=0)
+        model = CalibModel(mset, cost_model)
+        assert np.all(model.proposal_scales() == 0.0)
+
+
+class TestMCMC:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MCMCConfig(draws=0)
+        with pytest.raises(ValueError):
+            MCMCConfig(burn=-1)
+        with pytest.raises(ValueError):
+            MCMCConfig(thin=0)
+
+    def test_same_seed_same_chain(self, noisy_mset, cost_model):
+        model = CalibModel(noisy_mset, cost_model)
+        cfg = MCMCConfig(draws=20, burn=20, thin=1, seed=5)
+        a = run_mcmc(model, cfg)
+        b = run_mcmc(model, cfg)
+        assert np.array_equal(a.samples, b.samples)
+        assert a.accept_rate == b.accept_rate
+
+    def test_different_seed_different_chain(self, noisy_mset, cost_model):
+        model = CalibModel(noisy_mset, cost_model)
+        a = run_mcmc(model, MCMCConfig(draws=20, burn=20, thin=1, seed=5))
+        b = run_mcmc(model, MCMCConfig(draws=20, burn=20, thin=1, seed=6))
+        assert not np.array_equal(a.samples, b.samples)
+
+    def test_sample_shape_and_acceptance_bounds(self, noisy_mset, cost_model):
+        model = CalibModel(noisy_mset, cost_model)
+        res = run_mcmc(model, MCMCConfig(draws=30, burn=10, thin=2, seed=0))
+        assert res.samples.shape == (30, len(model.names))
+        assert 0.0 < res.accept_rate <= 1.0
+        assert len(res.accept_by_dim) == len(model.names)
+
+
+class TestPosterior:
+    @pytest.fixture(scope="class")
+    def posterior(self, noisy_mset, cost_model):
+        return calibrate(noisy_mset, base_cost_model=cost_model,
+                         draws=40, burn=60, thin=1, seed=4)
+
+    def test_json_round_trip_exact(self, posterior):
+        assert Posterior.from_dict(posterior.to_dict()) == posterior
+
+    def test_summary_brackets_interval(self, posterior):
+        for stats in posterior.summary(0.9).values():
+            assert stats["lo"] <= stats["median"] <= stats["hi"]
+
+    def test_to_spec_subsampling(self, posterior):
+        spec = posterior.to_spec(max_draws=10)
+        assert len(spec.draws) == 10
+        assert set(spec.draws) <= set(posterior.draws)
+        assert spec.draws[0] == posterior.draws[0]
+        assert spec.draws[-1] == posterior.draws[-1]
+        full = posterior.to_spec()
+        assert full.draws == tuple(posterior.draws)
+        assert full.source == f"calib-{posterior.fingerprint()}"
+
+    def test_fingerprint_tracks_draws(self, posterior):
+        moved = Posterior(
+            draws=posterior.draws[:-1] + (posterior.point_fit,),
+            point_fit=posterior.point_fit,
+        )
+        assert moved.fingerprint() != posterior.fingerprint()
+
+    def test_unknown_dimension_rejected(self, posterior):
+        with pytest.raises(ValueError, match="unknown posterior dimension"):
+            posterior.samples("bogus")

@@ -1,0 +1,153 @@
+"""QuantileTracker backfill: edges, quantile math, and thread safety.
+
+The tracker shipped with the serving layer but only had incidental
+coverage through the server's ``/v1/stats`` tests.  This file pins its
+contract directly: empty/single-sample behaviour, nearest-rank quantiles
+against a sorted reference, ring eviction, and — now that ``observe`` and
+the window copy hold a lock — no lost updates under concurrent writers.
+"""
+
+import math
+import random
+import threading
+
+import pytest
+
+from repro.obs.metrics import QuantileTracker
+
+
+def nearest_rank(window, q):
+    """Reference nearest-rank quantile over a sorted copy."""
+    s = sorted(window)
+    rank = min(len(s) - 1, max(0, math.ceil(q * len(s)) - 1))
+    return s[rank]
+
+
+class TestEdges:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="capacity must be >= 1"):
+            QuantileTracker("lat", capacity=0)
+
+    def test_empty_tracker(self):
+        t = QuantileTracker("lat")
+        assert t.count == 0
+        assert t.window() == []
+        assert t.quantile(0.5) == 0.0
+        assert t.snapshot() == {
+            "count": 0, "window": 0, "p50": None, "p90": None, "p99": None,
+        }
+
+    def test_single_sample_is_every_quantile(self):
+        t = QuantileTracker("lat")
+        t.observe(7.25)
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert t.quantile(q) == 7.25
+        assert t.snapshot() == {
+            "count": 1, "window": 1, "p50": 7.25, "p90": 7.25, "p99": 7.25,
+        }
+
+    def test_quantile_rejects_out_of_range(self):
+        t = QuantileTracker("lat")
+        with pytest.raises(ValueError, match=r"quantile must be in \[0, 1\]"):
+            t.quantile(1.5)
+        with pytest.raises(ValueError, match=r"quantile must be in \[0, 1\]"):
+            t.quantile(-0.1)
+
+
+class TestQuantileMath:
+    def test_matches_sorted_reference_on_known_window(self):
+        t = QuantileTracker("lat", capacity=128)
+        values = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0, 4.0, 6.0, 10.0]
+        for v in values:
+            t.observe(v)
+        assert t.quantile(0.5) == nearest_rank(values, 0.5) == 5.0
+        assert t.quantile(0.9) == nearest_rank(values, 0.9) == 9.0
+        assert t.quantile(0.99) == nearest_rank(values, 0.99) == 10.0
+        assert t.quantile(0.0) == 1.0
+        assert t.quantile(1.0) == 10.0
+
+    def test_matches_sorted_reference_on_random_windows(self):
+        rng = random.Random(42)
+        for n in (1, 2, 3, 17, 100):
+            t = QuantileTracker("lat", capacity=256)
+            values = [rng.uniform(0.0, 50.0) for _ in range(n)]
+            for v in values:
+                t.observe(v)
+            for q in (0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0):
+                assert t.quantile(q) == nearest_rank(values, q), (n, q)
+
+    def test_ring_evicts_oldest(self):
+        t = QuantileTracker("lat", capacity=4)
+        for v in (100.0, 200.0, 1.0, 2.0, 3.0, 4.0):
+            t.observe(v)
+        assert t.count == 6  # total seen, not capped
+        assert sorted(t.window()) == [1.0, 2.0, 3.0, 4.0]
+        assert t.quantile(1.0) == 4.0  # the 100/200 outliers are gone
+
+    def test_snapshot_quantile_keys(self):
+        t = QuantileTracker("lat")
+        for v in range(1, 101):
+            t.observe(float(v))
+        doc = t.snapshot(quantiles=(0.5, 0.75, 0.999))
+        assert doc["count"] == doc["window"] == 100
+        assert doc["p50"] == 50.0
+        assert doc["p75"] == 75.0
+        assert doc["p99_9"] == 100.0
+
+
+class TestThreadSafety:
+    def test_no_lost_updates_under_concurrent_observers(self):
+        """Unlocked ``_pos`` RMW could double-write a slot and drop samples."""
+        t = QuantileTracker("lat", capacity=1 << 16)
+        per_thread, threads = 2000, 8
+
+        def hammer(tid):
+            for i in range(per_thread):
+                t.observe(tid * per_thread + i)
+
+        workers = [
+            threading.Thread(target=hammer, args=(tid,)) for tid in range(threads)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+
+        assert t.count == per_thread * threads
+        window = t.window()
+        assert len(window) == per_thread * threads
+        # every observation landed in exactly one slot
+        assert sorted(window) == [float(v) for v in range(per_thread * threads)]
+
+    def test_snapshot_concurrent_with_writers_stays_consistent(self):
+        """Snapshots taken mid-stream must see a coherent window."""
+        t = QuantileTracker("lat", capacity=64)
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            v = 0
+            while not stop.is_set():
+                t.observe(v % 64)
+                v += 1
+
+        def reader():
+            while not stop.is_set():
+                doc = t.snapshot()
+                try:
+                    assert doc["window"] <= 64
+                    if doc["p50"] is not None:
+                        assert 0.0 <= doc["p50"] <= 63.0
+                except AssertionError as exc:  # pragma: no cover
+                    errors.append(exc)
+                    stop.set()
+
+        workers = [threading.Thread(target=writer) for _ in range(4)]
+        workers.append(threading.Thread(target=reader))
+        for w in workers:
+            w.start()
+        stop.wait(timeout=0.5)
+        stop.set()
+        for w in workers:
+            w.join()
+        assert errors == []

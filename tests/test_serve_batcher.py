@@ -1,0 +1,205 @@
+"""Batcher unit tests: window/size dispatch, shutdown, and fault paths.
+
+The server suites exercise the batcher end to end through HTTP; this
+file pins its contract in isolation — in particular the timeout paths
+(window expiry with a partial batch, ``batch_max`` firing before the
+window closes, STOP arriving mid-window) and the exception-safety
+guarantee that a crashed executor fails every pending future instead of
+hanging clients.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.batcher import Batcher, PendingRequest
+
+
+class Recorder:
+    """Collects dispatched batches and releases a latch per dispatch."""
+
+    def __init__(self, resolve=True, raise_exc=None):
+        self.batches = []
+        self.dispatched = threading.Event()
+        self._resolve = resolve
+        self._raise = raise_exc
+
+    def __call__(self, batch):
+        self.batches.append(list(batch))
+        self.dispatched.set()
+        if self._raise is not None:
+            raise self._raise
+        if self._resolve:
+            for pending in batch:
+                pending.future.set_result(pending.key)
+
+
+def make_pending(key):
+    return PendingRequest(key=key, request={"key": key})
+
+
+@pytest.fixture
+def closing():
+    batchers = []
+    yield batchers.append
+    for b in batchers:
+        b.close()
+
+
+class TestValidation:
+    def test_rejects_negative_window(self):
+        with pytest.raises(ValueError, match="window_s must be >= 0"):
+            Batcher(lambda batch: None, window_s=-0.1)
+
+    def test_rejects_nonpositive_batch_max(self):
+        with pytest.raises(ValueError, match="batch_max must be >= 1"):
+            Batcher(lambda batch: None, batch_max=0)
+
+    def test_pending_request_records_submission_time(self):
+        before = time.perf_counter()
+        pending = make_pending("a")
+        assert before <= pending.submitted_s <= time.perf_counter()
+
+
+class TestDispatchPaths:
+    def test_batch_max_fires_before_the_window_closes(self, closing):
+        """A full batch must not wait out a long window."""
+        recorder = Recorder()
+        batcher = Batcher(recorder, window_s=30.0, batch_max=3)
+        closing(batcher)
+        pendings = [make_pending(k) for k in ("a", "b", "c")]
+        t0 = time.perf_counter()
+        for p in pendings:
+            batcher.submit(p)
+        results = [p.future.result(timeout=5.0) for p in pendings]
+        assert time.perf_counter() - t0 < 5.0  # nowhere near the 30s window
+        assert results == ["a", "b", "c"]
+        assert [len(b) for b in recorder.batches] == [3]
+
+    def test_window_expiry_dispatches_a_partial_batch(self, closing):
+        recorder = Recorder()
+        batcher = Batcher(recorder, window_s=0.05, batch_max=64)
+        closing(batcher)
+        pending = make_pending("lone")
+        batcher.submit(pending)
+        assert pending.future.result(timeout=5.0) == "lone"
+        assert [len(b) for b in recorder.batches] == [1]
+
+    def test_zero_window_means_singleton_batches(self, closing):
+        recorder = Recorder()
+        batcher = Batcher(recorder, window_s=0.0, batch_max=64)
+        closing(batcher)
+        first = make_pending("a")
+        batcher.submit(first)
+        assert first.future.result(timeout=5.0) == "a"
+        second = make_pending("b")
+        batcher.submit(second)
+        assert second.future.result(timeout=5.0) == "b"
+        assert [len(b) for b in recorder.batches] == [1, 1]
+
+    def test_misses_inside_the_window_ride_one_batch(self, closing):
+        release = threading.Event()
+
+        def gated(batch):
+            release.wait(timeout=5.0)
+            for pending in batch:
+                pending.future.set_result(pending.key)
+
+        recorder_batches = []
+
+        def execute(batch):
+            recorder_batches.append(list(batch))
+            gated(batch)
+
+        batcher = Batcher(execute, window_s=0.25, batch_max=64)
+        closing(batcher)
+        pendings = [make_pending(k) for k in ("a", "b", "c", "d")]
+        for p in pendings:
+            batcher.submit(p)
+        release.set()
+        for p in pendings:
+            p.future.result(timeout=5.0)
+        assert [len(b) for b in recorder_batches] == [4]
+
+
+class TestShutdown:
+    def test_stop_during_window_still_dispatches_the_batch(self):
+        """close() while a window is open must not strand the batch."""
+        recorder = Recorder()
+        batcher = Batcher(recorder, window_s=30.0, batch_max=64)
+        pending = make_pending("open-window")
+        batcher.submit(pending)
+        recorder.dispatched.wait(timeout=0.0)  # not yet: window is open
+        batcher.close(timeout_s=5.0)
+        assert pending.future.result(timeout=0.0) == "open-window"
+        assert [len(b) for b in recorder.batches] == [1]
+
+    def test_submit_after_close_raises(self):
+        batcher = Batcher(Recorder(), window_s=0.0)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="batcher is closed"):
+            batcher.submit(make_pending("late"))
+
+    def test_close_is_idempotent(self):
+        batcher = Batcher(Recorder(), window_s=0.0)
+        batcher.close()
+        batcher.close()  # second close is a no-op, not an error
+
+    def test_worker_thread_exits_on_close(self):
+        batcher = Batcher(Recorder(), window_s=0.0)
+        assert batcher._thread.is_alive()
+        batcher.close(timeout_s=5.0)
+        assert not batcher._thread.is_alive()
+
+
+class TestFaultPaths:
+    def test_executor_exception_fails_every_pending_future(self, closing):
+        boom = RuntimeError("injected batch crash")
+        recorder = Recorder(raise_exc=boom)
+        batcher = Batcher(recorder, window_s=30.0, batch_max=2)
+        closing(batcher)
+        pendings = [make_pending("a"), make_pending("b")]
+        for p in pendings:
+            batcher.submit(p)
+        for p in pendings:
+            with pytest.raises(RuntimeError, match="injected batch crash"):
+                p.future.result(timeout=5.0)
+
+    def test_crashed_batch_does_not_kill_the_worker(self, closing):
+        """The thread survives an executor crash and serves the next batch."""
+        calls = {"n": 0}
+
+        def flaky(batch):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("first batch dies")
+            for pending in batch:
+                pending.future.set_result(pending.key)
+
+        batcher = Batcher(flaky, window_s=0.0, batch_max=1)
+        closing(batcher)
+        dead = make_pending("dead")
+        batcher.submit(dead)
+        with pytest.raises(RuntimeError, match="first batch dies"):
+            dead.future.result(timeout=5.0)
+        alive = make_pending("alive")
+        batcher.submit(alive)
+        assert alive.future.result(timeout=5.0) == "alive"
+
+    def test_partially_resolved_batch_fails_only_the_rest(self, closing):
+        """An executor that resolves some futures then raises: the resolved
+        results survive; only the unresolved ones get the exception."""
+
+        def half(batch):
+            batch[0].future.set_result("ok")
+            raise RuntimeError("died after the first")
+
+        batcher = Batcher(half, window_s=30.0, batch_max=2)
+        closing(batcher)
+        good, bad = make_pending("good"), make_pending("bad")
+        batcher.submit(good)
+        batcher.submit(bad)
+        assert good.future.result(timeout=5.0) == "ok"
+        with pytest.raises(RuntimeError, match="died after the first"):
+            bad.future.result(timeout=5.0)

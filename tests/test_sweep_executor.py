@@ -278,3 +278,99 @@ class TestDecisionModel:
         doc = decision.to_dict()
         assert doc["executor"] == "serial"
         assert doc["requested"] == "auto"
+
+
+class TestDecisionRationale:
+    """The reason strings are part of the contract: manifests and the
+    ``sweep.decide`` span quote them verbatim, so audits grep for them."""
+
+    def test_single_point_grids_never_fan_out(self):
+        one = GRID[:1]
+        decision = decide_executor(one, "auto", None, cpu_count=8)
+        assert decision.executor == "serial"
+        assert decision.workers == 1
+        assert "nothing to fan out" in decision.reason
+
+    def test_single_cpu_reason_names_the_overhead(self):
+        clear_cost_observations()
+        observe_point_cost(120, 20, False, 5.0)  # expensive, yet stays serial
+        decision = decide_executor(GRID, "auto", None, cpu_count=1)
+        assert decision.executor == "serial"
+        assert "single CPU" in decision.reason
+        assert "dispatch overhead" in decision.reason
+
+    def test_cheap_grid_reason_quotes_the_floor(self):
+        clear_cost_observations()
+        observe_point_cost(120, 20, False, 0.001)
+        decision = decide_executor(GRID, "auto", None, cpu_count=4)
+        assert f"< {executor_mod.MIN_PARALLEL_S}s" in decision.reason
+        assert decision.est_total_s is not None
+        assert decision.spawn_overhead_s is None  # never measured
+
+    def test_process_reason_quotes_both_predictions(self):
+        clear_cost_observations()
+        observe_point_cost(120, 20, False, 5.0)
+        decision = decide_executor(GRID, "auto", None, cpu_count=4)
+        assert decision.executor == "process"
+        assert "pool predicted" in decision.reason
+        assert f"{decision.workers} workers" in decision.reason
+        assert decision.spawn_overhead_s == pytest.approx(0.05)  # env pin
+        predicted = decision.spawn_overhead_s + (
+            decision.est_total_s / decision.workers
+        )
+        assert f"{predicted:.3f}s" in decision.reason
+
+    def test_spawn_loss_reason_on_storeless_midband(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPAWN_OVERHEAD_S", "2.0")
+        clear_cost_observations()
+        observe_point_cost(120, 20, False, 0.36)
+        decision = decide_executor(
+            GRID, "auto", None, cpu_count=2, store_attached=False,
+        )
+        assert decision.executor == "serial"
+        assert "spawn overhead eats the gain" in decision.reason
+
+    def test_decide_rejects_unknown_executor(self):
+        with pytest.raises(ValueError, match="unknown executor 'gpu'"):
+            decide_executor(GRID, "gpu", None, cpu_count=4)
+
+    def test_decide_rejects_thread_under_tracer(self):
+        with pytest.raises(ValueError, match="process-global"):
+            decide_executor(GRID, "thread", 2, traced=True, cpu_count=4)
+
+    def test_forced_worker_caps(self):
+        # a forced pool never exceeds the CPU count or the grid size
+        decision = decide_executor(GRID, "process", 64, cpu_count=2)
+        assert decision.workers == 2
+        decision = decide_executor(GRID[:2], "process", 64, cpu_count=8)
+        assert decision.workers == 2
+        decision = decide_executor(GRID, "thread", None, cpu_count=3)
+        assert decision.workers == 3
+
+
+class TestSpawnMeasurement:
+    def test_env_override_wins_and_is_not_cached(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPAWN_OVERHEAD_S", "1.25")
+        assert executor_mod.measure_spawn_overhead() == 1.25
+        monkeypatch.setenv("REPRO_SPAWN_OVERHEAD_S", "0.75")
+        assert executor_mod.measure_spawn_overhead() == 0.75
+
+    def test_real_measurement_is_cached_per_context(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SPAWN_OVERHEAD_S", raising=False)
+        executor_mod.clear_spawn_cache()
+        first = executor_mod.measure_spawn_overhead()
+        assert first > 0.0
+        # second call must come from the cache, not a fresh pool
+        monkeypatch.setattr(
+            executor_mod.multiprocessing, "get_context",
+            lambda *_: pytest.fail("re-measured a cached spawn overhead"),
+        )
+        assert executor_mod.measure_spawn_overhead() == first
+
+    def test_grid_weight_scales_with_measured_leg(self):
+        bare = executor_mod.grid_weight(GRID)
+        assert bare > 0.0
+        measured = expand_grid(
+            120, [20, 30], ["diagonal", "stripped"], with_measured=True
+        )
+        assert executor_mod.grid_weight(measured) > bare
