@@ -25,6 +25,9 @@ Subcommands
 ``trace``      generate a GE trace and save it as JSON
 ``observe``    run one GE configuration under the tracer and export the
                event stream (Chrome/Perfetto trace, JSONL/CSV, profile)
+``trace-merge``  stitch per-process trace shards (``--trace-shards``)
+               into one correlated timeline, validate the span tree and
+               print the deterministic retention digest
 
 Every run also writes a machine-readable :class:`repro.obs.RunRecord`
 manifest (``.repro/runs/`` by default, ``--manifest-out`` to choose the
@@ -58,6 +61,7 @@ import argparse
 import json
 import sys
 from contextlib import nullcontext
+from pathlib import Path
 from typing import Optional, Sequence
 
 from .analysis import format_figure, format_table, render_timeline, series_from_rows
@@ -82,15 +86,25 @@ from .core.units import us_to_s
 from .layouts import LAYOUTS
 from .obs import (
     CATEGORIES,
+    JsonlLogger,
     RunRecord,
     TraceConfig,
+    TraceContext,
     Tracer,
     bucket_sums,
     loggp_dict,
+    merge_shards,
+    set_logger,
+    shard_paths,
+    trace_digest,
     tracing,
+    validate_span_tree,
     write_chrome_trace,
     write_events_csv,
     write_events_jsonl,
+    write_merged_events,
+    write_merged_trace,
+    write_shard,
 )
 from .sweep import expand_grid, run_sweep
 from .trace.serialization import save_trace
@@ -146,6 +160,17 @@ def _add_obs_args(parser: argparse.ArgumentParser, exports: bool = False) -> Non
             "--trace-seed", type=int, default=0, metavar="SEED",
             help="seed of the deterministic sampling hash (default: 0)",
         )
+        grp.add_argument(
+            "--trace-shards", metavar="DIR",
+            help="flush per-process trace shards under DIR (the parent "
+                 "writes shard-main.jsonl, sweep workers their chunks); "
+                 "stitch afterwards with `repro trace-merge DIR`",
+        )
+    grp.add_argument(
+        "--log-jsonl", metavar="PATH",
+        help="append structured JSONL log records (stamped with "
+             "trace/span ids when tracing) to PATH",
+    )
     grp.add_argument(
         "--manifest-out", metavar="PATH",
         help="run manifest path (default: $REPRO_RUNS_DIR or .repro/runs/)",
@@ -239,30 +264,65 @@ def _trace_config(args: argparse.Namespace) -> TraceConfig:
     )
 
 
+def _root_context(args: argparse.Namespace) -> TraceContext:
+    """The run's deterministic trace root.
+
+    Derived from the command and its *workload* scalars only — never the
+    execution knobs — so a ``--workers 2`` re-run of the same grid shares
+    the trace id (and hence every derived span id) with the ``--workers
+    1`` reference run.
+    """
+    material = {
+        key: getattr(args, key)
+        for key in ("n", "b", "blocks", "layout", "seed", "replicates",
+                    "trace_seed")
+        if getattr(args, key, None) is not None
+    }
+    return TraceContext.root(
+        args.command, json.dumps(material, sort_keys=True, default=str)
+    )
+
+
 def _wants_trace(args: argparse.Namespace) -> Optional[Tracer]:
     """A fresh tracer when the run asked for one, else ``None``.
 
     ``--trace-out`` requests an export; ``--trace-categories`` /
     ``--trace-sample`` alone still enable tracing so the run manifest
     captures the (filtered, sampled) telemetry without writing a trace
-    file.  The tracer is stashed on ``args`` so :func:`main` can fold its
-    event count, telemetry block and metrics into the manifest.
+    file, and ``--trace-shards`` enables it for shard-mode stitching.
+    The tracer carries the run's deterministic root
+    :class:`~repro.obs.TraceContext`, so every span is stamped with
+    trace/span ids.  It is stashed on ``args`` so :func:`main` can fold
+    its event count, telemetry block, trace id and metrics into the
+    manifest.
     """
     if (
         getattr(args, "trace_out", None)
         or getattr(args, "trace_categories", None)
         or getattr(args, "trace_sample", None)
+        or getattr(args, "trace_shards", None)
     ):
         tracer = Tracer(config=_trace_config(args))
+        tracer.context = _root_context(args)
         args.obs_tracer = tracer
         return tracer
     return None
 
 
 def _export_trace(args: argparse.Namespace, tracer: Optional[Tracer]) -> None:
-    if tracer is not None and getattr(args, "trace_out", None):
+    if tracer is None:
+        return
+    if getattr(args, "trace_out", None):
         write_chrome_trace(tracer.events, args.trace_out, metrics=tracer.metrics)
         print(f"wrote trace {args.trace_out} ({len(tracer.events)} events)", file=sys.stderr)
+    if getattr(args, "trace_shards", None):
+        path = write_shard(
+            Path(args.trace_shards) / "shard-main.jsonl", tracer, label="main"
+        )
+        print(
+            f"wrote trace shard {path} ({len(tracer.events)} events)",
+            file=sys.stderr,
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -496,6 +556,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_args(p)
     _add_obs_args(p, exports=True)
 
+    p = sub.add_parser(
+        "trace-merge",
+        help="stitch trace shards into one correlated timeline",
+    )
+    p.add_argument(
+        "shards", nargs="+", metavar="SHARD",
+        help="shard files, or directories holding shard-*.jsonl",
+    )
+    p.add_argument(
+        "-o", "--output", metavar="PATH",
+        help="write the merged Chrome/Perfetto trace JSON here",
+    )
+    p.add_argument(
+        "--events-out", metavar="PATH",
+        help="write the merged flat JSONL event dump here",
+    )
+    p.add_argument(
+        "--extra-root", action="append", default=[], metavar="SPAN_ID",
+        help="treat SPAN_ID as a resolvable upstream parent "
+             "(a client-supplied trace context from another system)",
+    )
+    p.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when any span's parent does not resolve (orphans)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable merge summary on stdout",
+    )
+    _add_obs_args(p)
+
     p = sub.add_parser("svg", help="render a communication step as SVG")
     p.add_argument("--pattern", choices=sorted(_PATTERNS), default="sample")
     p.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="standard")
@@ -599,6 +690,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             resume=args.resume,
             chunk_size=args.chunk_size,
             progress=show_progress,
+            trace_shard_dir=args.trace_shards,
         )
     rows = result.summaries
     _export_trace(args, tracer)
@@ -783,6 +875,7 @@ def _cmd_uq(args: argparse.Namespace) -> int:
             resume=args.resume,
             chunk_size=args.chunk_size,
             progress=_sweep_progress(args),
+            trace_shard_dir=args.trace_shards,
         )
     _export_trace(args, tracer)
     sensitivity = (
@@ -999,6 +1092,7 @@ def _cmd_observe(args: argparse.Namespace) -> int:
     trace = build_ge_trace(_GEConfig(n=args.n, b=args.b, layout=layout))
 
     tracer = Tracer(config=_trace_config(args))
+    tracer.context = _root_context(args)
     args.obs_tracer = tracer
     with tracer.span("observe.simulate"):
         profile = profile_program(
@@ -1015,6 +1109,10 @@ def _cmd_observe(args: argparse.Namespace) -> int:
         write_events_jsonl(tracer.events, args.events_out)
     if args.csv_out:
         write_events_csv(tracer.events, args.csv_out)
+    if args.trace_shards:
+        write_shard(
+            Path(args.trace_shards) / "shard-main.jsonl", tracer, label="main"
+        )
 
     _record(args).note(
         params=loggp_dict(params), engine=args.mode,
@@ -1041,6 +1139,65 @@ def _cmd_observe(args: argparse.Namespace) -> int:
     ):
         if path:
             print(f"wrote {flag}: {path}")
+    return 0
+
+
+def _cmd_trace_merge(args: argparse.Namespace) -> int:
+    paths: list[Path] = []
+    for item in args.shards:
+        p = Path(item)
+        if p.is_dir():
+            paths.extend(shard_paths(p))
+        else:
+            paths.append(p)
+    if not paths:
+        print("error: no shard files found", file=sys.stderr)
+        return 2
+    merged = merge_shards(paths)
+    report = validate_span_tree(merged.events, extra_roots=args.extra_root)
+    digest = trace_digest(merged.events)
+    if args.output:
+        write_merged_trace(merged, args.output)
+    if args.events_out:
+        write_merged_events(merged, args.events_out)
+    _record(args).note(
+        engine="trace-merge",
+        workload={"shards": [str(p) for p in paths]},
+        trace_merge={
+            "digest": digest,
+            "events": len(merged.events),
+            **report.to_dict(),
+        },
+    )
+    doc = {
+        "shards": [str(p) for p in paths],
+        "labels": merged.shards,
+        "trace_ids": merged.trace_ids,
+        "events": len(merged.events),
+        "spans": report.spans,
+        "orphans": len(report.orphans),
+        "ok": report.ok,
+        "digest": digest,
+    }
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(
+            f"merged {len(paths)} shards: {len(merged.events)} events, "
+            f"{report.spans} spans, {len(report.orphans)} orphans"
+        )
+        print(f"digest {digest}")
+        for flag, path in (("trace", args.output), ("events", args.events_out)):
+            if path:
+                print(f"wrote {flag}: {path}")
+    if args.strict and not report.ok:
+        for orphan in report.to_dict()["orphans"]:
+            print(
+                f"orphan span: {orphan['name']} "
+                f"(parent {orphan['parent_span_id']})",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 
@@ -1104,6 +1261,7 @@ _COMMANDS = {
     "observe": _cmd_observe,
     "fit": _cmd_fit,
     "calibrate": _cmd_calibrate,
+    "trace-merge": _cmd_trace_merge,
     "svg": _cmd_svg,
 }
 
@@ -1119,6 +1277,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv_list)
     rec = RunRecord.begin(args.command, argv_list)
     args.run_record = rec
+    logger = None
+    if getattr(args, "log_jsonl", None):
+        logger = JsonlLogger(args.log_jsonl)
+        set_logger(logger)
     status = "ok"
     try:
         code = _COMMANDS[args.command](args)
@@ -1132,6 +1294,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     finally:
         rec.finish(tracer=getattr(args, "obs_tracer", None), status=status)
+        if logger is not None:
+            logger.log(
+                "cli.run", command=args.command, status=status,
+                wall_s=rec.wall_s, trace_id=rec.trace_id or None,
+            )
+            set_logger(None)
+            logger.close()
         if not getattr(args, "no_manifest", False):
             try:
                 rec.write(getattr(args, "manifest_out", None))

@@ -46,9 +46,25 @@ from .export import (
     write_events_csv,
     write_events_jsonl,
 )
+from .log import JsonlLogger, get_logger, log_event, set_logger
 from .manifest import RunRecord, default_manifest_path, loggp_dict
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, QuantileTracker
+from .promtext import parse as parse_prometheus
+from .promtext import render as render_prometheus
 from .ringbuf import CHUNK_SLOTS, RingBuffer
+from .telemetry import (
+    MergedTrace,
+    TraceContext,
+    TraceShard,
+    merge_shards,
+    read_shard,
+    shard_paths,
+    trace_digest,
+    validate_span_tree,
+    write_merged_events,
+    write_merged_trace,
+    write_shard,
+)
 
 __all__ = [
     "TraceEvent",
@@ -80,4 +96,21 @@ __all__ = [
     "RunRecord",
     "default_manifest_path",
     "loggp_dict",
+    "TraceContext",
+    "TraceShard",
+    "MergedTrace",
+    "write_shard",
+    "read_shard",
+    "shard_paths",
+    "merge_shards",
+    "trace_digest",
+    "validate_span_tree",
+    "write_merged_trace",
+    "write_merged_events",
+    "render_prometheus",
+    "parse_prometheus",
+    "JsonlLogger",
+    "get_logger",
+    "set_logger",
+    "log_event",
 ]

@@ -191,6 +191,13 @@ class Tracer:
             self._plans[c][1] > 1 for c in ("comm", "send", "recv")
         )
         self._seed_mix = (self.config.seed * 0x94D049BB133111EB) & _M64
+        #: distributed trace context (:class:`repro.obs.telemetry.TraceContext`)
+        #: — ``None`` (the default) keeps spans id-free, so pre-existing
+        #: golden exports are bit-identical; installing one makes every
+        #: :meth:`span` stamp trace/span/parent ids onto its wall slice
+        self.context: Optional[Any] = None
+        #: per-(parent span id, name) child sequence numbers
+        self._span_seq: dict[tuple[str, str], int] = {}
         self._ops_counters: dict[str, Any] = {}
         self._dropped: dict[str, Any] = {}
         self._sampled: dict[str, Any] = {}
@@ -276,18 +283,54 @@ class Tracer:
         self.metrics.gauge(name).set(value)
 
     @contextmanager
-    def span(self, name: str, proc: int = -1, **attrs: Any) -> Iterator[None]:
+    def span(
+        self,
+        name: str,
+        proc: int = -1,
+        ctx: Optional[Any] = None,
+        parent_span_id: Optional[str] = None,
+        **attrs: Any,
+    ) -> Iterator[None]:
         """Wall-clock span: times the enclosed block of *our* code.
 
         The slice lands on the reserved ``"wall"`` track with microsecond
         timestamps from :func:`time.perf_counter`, so exported traces show
         the simulator's own phases alongside the simulated timelines.
+
+        With a trace :attr:`context` installed the span becomes a node of
+        the distributed trace: its slice carries ``trace_id`` /
+        ``span_id`` / ``parent_span_id`` attrs with a deterministic child
+        id (per-(parent, name) sequence), and the context moves down to
+        the node for the duration of the block so nested spans parent
+        correctly.  ``ctx`` short-circuits the derivation with an
+        explicitly pre-derived node — the cross-process case, where a
+        sweep worker's chunk id must be a function of the chunk number,
+        not of a per-process counter (see
+        :mod:`repro.obs.telemetry`).  Without either, nothing changes:
+        the slice is bit-identical to the pre-context tracer's.
         """
+        prev = self.context
+        if ctx is not None:
+            self.context = ctx
+            attrs["trace_id"] = ctx.trace_id
+            attrs["span_id"] = ctx.span_id
+            if parent_span_id is not None:
+                attrs["parent_span_id"] = parent_span_id
+        elif prev is not None:
+            key = (prev.span_id, name)
+            seq = self._span_seq.get(key, 0)
+            self._span_seq[key] = seq + 1
+            node = prev.child(name, seq)
+            self.context = node
+            attrs["trace_id"] = node.trace_id
+            attrs["span_id"] = node.span_id
+            attrs["parent_span_id"] = prev.span_id
         t0 = time.perf_counter()
         try:
             yield
         finally:
             t1 = time.perf_counter()
+            self.context = prev
             self.slice(
                 name, proc=proc, ts=t0 * 1e6, dur=(t1 - t0) * 1e6,
                 track=WALL_TRACK, **attrs,
@@ -535,12 +578,12 @@ class Tracer:
 
     def absorb_rows(self, rows) -> None:
         """Append rows from :meth:`export_rows` (no re-filtering)."""
-        append = self._buf.append
-        for name, kind, ts, dur, proc, track, attrs in rows:
-            if kind == "slice":
-                append((_R_SLICE, name, ts, dur, proc, track, attrs))
-            else:
-                append((_R_INSTANT, name, ts, proc, track, attrs))
+        self._buf.extend(
+            (_R_SLICE, name, ts, dur, proc, track, attrs)
+            if kind == "slice"
+            else (_R_INSTANT, name, ts, proc, track, attrs)
+            for name, kind, ts, dur, proc, track, attrs in rows
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -1,0 +1,110 @@
+"""Structured JSONL logging, correlated with the ambient trace.
+
+One log record per line, machine-parseable, stamped with the trace and
+span ids of whatever span is open on the ambient tracer at emission
+time — so ``grep <trace_id> run.log.jsonl`` pulls every log line of one
+request/run out of an interleaved file, and a merged trace plus the log
+share a join key.
+
+The module-level logger follows the tracer's ambient pattern
+(:func:`repro.obs.events.get_tracer`): the default is a no-op, callers
+opt in by installing a :class:`JsonlLogger`, and library code logs
+unconditionally through :func:`log_event` at near-zero disabled cost.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import IO, Optional, Union
+
+__all__ = [
+    "JsonlLogger",
+    "NULL_LOGGER",
+    "get_logger",
+    "set_logger",
+    "log_event",
+]
+
+LOG_SCHEMA = "repro.log/v1"
+
+
+def _ambient_trace_fields() -> dict:
+    # deferred import: events must not import log at module load time
+    from .events import get_tracer
+
+    ctx = getattr(get_tracer(), "context", None)
+    if ctx is None:
+        return {}
+    return {"trace_id": ctx.trace_id, "span_id": ctx.span_id}
+
+
+class JsonlLogger:
+    """Thread-safe writer of one JSON object per line.
+
+    ``sink`` is a path (opened append-mode, line-buffered) or an already
+    open text stream.  Every record carries ``ts`` (unix seconds),
+    ``event`` and — when the ambient tracer has a trace context
+    installed — ``trace_id``/``span_id``; explicit keyword fields win
+    over the ambient stamps.
+    """
+
+    def __init__(self, sink: Union[str, "IO[str]"]) -> None:
+        if isinstance(sink, str):
+            self._stream: IO[str] = open(sink, "a", encoding="utf-8")
+            self._owns = True
+        else:
+            self._stream = sink
+            self._owns = False
+        self._lock = threading.Lock()
+
+    def log(self, event: str, **fields) -> dict:
+        record = {"schema": LOG_SCHEMA, "ts": time.time(), "event": event}
+        record.update(_ambient_trace_fields())
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            self._stream.write(line + "\n")
+            self._stream.flush()
+        return record
+
+    def close(self) -> None:
+        if self._owns:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlLogger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _NullLogger:
+    """Disabled logging: every call is a cheap no-op."""
+
+    def log(self, event: str, **fields) -> dict:
+        return {}
+
+    def close(self) -> None:
+        pass
+
+
+NULL_LOGGER = _NullLogger()
+
+_ambient = threading.local()
+
+
+def get_logger():
+    """The installed logger, or the no-op default."""
+    return getattr(_ambient, "logger", NULL_LOGGER)
+
+
+def set_logger(logger) -> None:
+    """Install ``logger`` (or ``None`` to restore the no-op default)."""
+    _ambient.logger = NULL_LOGGER if logger is None else logger
+
+
+def log_event(event: str, **fields) -> dict:
+    """Emit through the ambient logger (no-op unless one is installed)."""
+    return get_logger().log(event, **fields)

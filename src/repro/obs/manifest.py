@@ -41,6 +41,32 @@ def loggp_dict(params) -> dict:
     }
 
 
+def _resource_usage() -> dict:
+    """Peak RSS and CPU split of this process (empty where unsupported).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; the value is
+    normalised to kilobytes so manifests compare across platforms.
+    """
+    usage: dict = {}
+    try:
+        import resource as _resource
+
+        ru = _resource.getrusage(_resource.RUSAGE_SELF)
+        maxrss_kb = ru.ru_maxrss
+        if platform.system() == "Darwin":
+            maxrss_kb //= 1024
+        usage["ru_maxrss_kb"] = int(maxrss_kb)
+    except (ImportError, OSError, ValueError):  # pragma: no cover - non-POSIX
+        pass
+    try:
+        t = os.times()
+        usage["cpu_user_s"] = t.user
+        usage["cpu_system_s"] = t.system
+    except OSError:  # pragma: no cover - exotic platforms
+        pass
+    return usage
+
+
 def default_manifest_path(command: str, directory: Optional[str] = None) -> Path:
     """A collision-free manifest path for one run of ``command``."""
     base = Path(directory or os.environ.get(RUNS_DIR_ENV, ".repro/runs"))
@@ -73,6 +99,13 @@ class RunRecord:
     dropped / sampled-out tallies per category (empty for untraced
     runs).  It is filled automatically by :meth:`finish` when the tracer
     exposes :meth:`repro.obs.Tracer.telemetry`.
+
+    ``trace_id`` is the distributed-trace correlation key of traced runs
+    (empty otherwise) — the same id stamped on spans, shard files and
+    JSONL log lines, so a manifest can be joined against its merged
+    timeline.  ``resource`` records peak RSS (``ru_maxrss_kb``) and the
+    user/system CPU-second split, captured by :meth:`finish` for every
+    CLI verb.
     """
 
     command: str
@@ -86,7 +119,9 @@ class RunRecord:
     makespan_us: Optional[float] = None
     event_count: int = 0
     trace: dict = field(default_factory=dict)
+    trace_id: str = ""
     metrics: dict = field(default_factory=dict)
+    resource: dict = field(default_factory=dict)
     wall_s: Optional[float] = None
     events_per_sec: Optional[float] = None
     started_unix: float = 0.0
@@ -116,12 +151,16 @@ class RunRecord:
         return self
 
     def finish(self, tracer=None, status: str = "ok") -> "RunRecord":
-        """Close the record: wall time, throughput, tracer counts."""
+        """Close the record: wall time, throughput, resources, tracer counts."""
         self.status = status
         t0 = getattr(self, "_t0", None)
         if t0 is not None:
             self.wall_s = time.perf_counter() - t0
+        self.resource = _resource_usage()
         if tracer is not None:
+            ctx = getattr(tracer, "context", None)
+            if ctx is not None and not self.trace_id:
+                self.trace_id = ctx.trace_id
             # telemetry() materialises the stream, which updates the
             # per-category obs.events.* counters *before* the snapshot
             telemetry = getattr(tracer, "telemetry", None)

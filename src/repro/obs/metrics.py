@@ -234,5 +234,16 @@ class MetricsRegistry:
             if agg["max"] > h.max:
                 h.max = agg["max"]
 
+    def to_prometheus(self, extra_samples=()) -> str:
+        """The registry in Prometheus text exposition format.
+
+        Convenience front-end to :func:`repro.obs.promtext.render`; the
+        round trip ``promtext.parse(registry.to_prometheus())`` equals
+        :meth:`snapshot` exactly.
+        """
+        from .promtext import render  # deferred: promtext is standalone
+
+        return render(self.snapshot(), extra_samples=extra_samples)
+
     def __len__(self) -> int:
         return len(self._counters) + len(self._gauges) + len(self._histograms)

@@ -1,0 +1,277 @@
+"""Prometheus text exposition: render a metrics snapshot, parse it back.
+
+The serving layer exposes ``GET /metrics`` for scrapers, and the repo
+takes no dependencies — so both directions live here, with a round-trip
+contract the test suite pins exactly::
+
+    parse(render(registry)) == registry.snapshot()
+
+The registry's metric names are dotted (``sim.ops.standard``), which the
+exposition format's name charset forbids.  Rather than mangling names
+lossily (``sim_ops_standard`` cannot be inverted), every sample carries
+its registry name in a ``metric`` label under one family per metric
+type::
+
+    repro_counter_total{metric="sim.ops.standard"} 1234.0
+    repro_gauge{metric="serve.inflight"} 2.0
+    repro_histogram_count{metric="sweep.wall_s"} 3
+    repro_histogram_sum{metric="sweep.wall_s"} 0.41
+
+Histograms are the registry's O(1) aggregates (count/sum/min/max — no
+buckets are retained, see :class:`repro.obs.metrics.Histogram`), rendered
+as four gauge-shaped families; ``min``/``max`` are omitted for empty
+histograms and ``mean`` is recomputed as ``sum / count`` on parse, which
+is bit-identical to what :meth:`Histogram.snapshot` computes.  Float
+values use ``repr`` (shortest round-tripping form), so parsing recovers
+the exact IEEE value.
+
+:func:`parse_samples` is the strict layer — it validates every
+non-comment line against the exposition grammar and is what the tests
+use to *lint* ``/metrics`` output (including extra families like the
+latency quantiles, which are not part of the registry snapshot).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Mapping, Tuple, Union
+
+__all__ = [
+    "FAMILIES",
+    "render",
+    "parse",
+    "parse_samples",
+]
+
+#: exposition family -> (metric type, help text)
+FAMILIES = {
+    "repro_counter_total": ("counter", "Monotonic counters of the repro metrics registry."),
+    "repro_gauge": ("gauge", "Point-in-time gauges of the repro metrics registry."),
+    "repro_histogram_count": ("gauge", "Observation counts of the repro histograms."),
+    "repro_histogram_sum": ("gauge", "Observation sums of the repro histograms."),
+    "repro_histogram_min": ("gauge", "Minimum observations of the repro histograms."),
+    "repro_histogram_max": ("gauge", "Maximum observations of the repro histograms."),
+}
+
+_NAME_RE = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABEL_RE = rf'(?P<lname>{_NAME_RE})="(?P<lvalue>(?:[^"\\\n]|\\.)*)"'
+_SAMPLE_RE = re.compile(
+    rf"^(?P<name>{_NAME_RE})"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_ITEM_RE = re.compile(_LABEL_RE)
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape(value: str) -> str:
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _fmt(value: Union[int, float]) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)
+
+
+Sample = Tuple[str, dict, float]
+
+
+def render(
+    snapshot,
+    extra_samples: Iterable[Sample] = (),
+) -> str:
+    """The Prometheus text exposition of a registry (or its snapshot).
+
+    ``extra_samples`` appends wholesale ``(family, labels, value)``
+    samples — the server uses it for latency quantiles and uptime, which
+    live outside the additive registry.  Families appear in a fixed
+    order with ``# HELP`` / ``# TYPE`` headers; samples are sorted by
+    metric name, so the output is deterministic.
+    """
+    if hasattr(snapshot, "snapshot"):
+        snapshot = snapshot.snapshot()
+    by_family: dict[str, list[tuple[dict, Union[int, float]]]] = {
+        fam: [] for fam in FAMILIES
+    }
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        by_family["repro_counter_total"].append(({"metric": name}, value))
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        by_family["repro_gauge"].append(({"metric": name}, value))
+    for name, agg in sorted(snapshot.get("histograms", {}).items()):
+        labels = {"metric": name}
+        by_family["repro_histogram_count"].append((labels, int(agg["count"])))
+        by_family["repro_histogram_sum"].append((labels, float(agg["sum"])))
+        if agg["count"]:
+            by_family["repro_histogram_min"].append((labels, float(agg["min"])))
+            by_family["repro_histogram_max"].append((labels, float(agg["max"])))
+
+    lines: list[str] = []
+
+    def emit(family: str, labels: Mapping[str, str], value) -> None:
+        if labels:
+            body = ",".join(
+                f'{k}="{_escape(str(v))}"' for k, v in sorted(labels.items())
+            )
+            lines.append(f"{family}{{{body}}} {_fmt(value)}")
+        else:
+            lines.append(f"{family} {_fmt(value)}")
+
+    for family, (mtype, help_text) in FAMILIES.items():
+        samples = by_family[family]
+        if not samples:
+            continue
+        lines.append(f"# HELP {family} {help_text}")
+        lines.append(f"# TYPE {family} {mtype}")
+        for labels, value in samples:
+            emit(family, labels, value)
+    extras = list(extra_samples)
+    if extras:
+        seen: set[str] = set()
+        for family, labels, value in extras:
+            if family not in seen and family not in FAMILIES:
+                seen.add(family)
+                lines.append(f"# TYPE {family} gauge")
+            emit(family, labels, value)
+    return "\n".join(lines) + "\n"
+
+
+def parse_samples(text: str) -> list[Sample]:
+    """Every sample of an exposition document, strictly validated.
+
+    Raises :class:`ValueError` on any line that is neither a comment,
+    blank, nor a well-formed ``name[{labels}] value`` sample — this is
+    the linter the ``/metrics`` tests run over the full endpoint output.
+    """
+    samples: list[Sample] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: not a valid sample: {line!r}")
+        labels: dict[str, str] = {}
+        raw = m.group("labels")
+        if raw:
+            consumed = 0
+            for lm in _LABEL_ITEM_RE.finditer(raw):
+                labels[lm.group("lname")] = _unescape(lm.group("lvalue"))
+                consumed += 1
+            # every comma-separated item must have matched
+            if consumed != len([p for p in _split_labels(raw)]):
+                raise ValueError(f"line {lineno}: malformed labels: {raw!r}")
+        try:
+            value = _parse_value(m.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: not a valid sample value: {m.group('value')!r}"
+            )
+        samples.append((m.group("name"), labels, value))
+    return samples
+
+
+def _split_labels(raw: str) -> list[str]:
+    """Comma-split label items, honouring quotes and escapes."""
+    items: list[str] = []
+    buf: list[str] = []
+    quoted = False
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch == "\\" and quoted and i + 1 < len(raw):
+            buf.append(ch)
+            buf.append(raw[i + 1])
+            i += 2
+            continue
+        if ch == '"':
+            quoted = not quoted
+        if ch == "," and not quoted:
+            if buf:
+                items.append("".join(buf))
+                buf = []
+        else:
+            buf.append(ch)
+        i += 1
+    if buf:
+        items.append("".join(buf))
+    return [item for item in items if item.strip()]
+
+
+def parse(text: str) -> dict:
+    """Invert :func:`render` back to a registry snapshot dict.
+
+    Samples of unknown families (latency quantiles, uptime, ...) are
+    ignored — they are exposition extras, not registry state.  The
+    result is structurally identical to
+    :meth:`repro.obs.MetricsRegistry.snapshot`, including recomputed
+    histogram means, hence the exact round-trip contract.
+    """
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    parts: dict[str, dict[str, float]] = {}
+    for family, labels, value in parse_samples(text):
+        if family not in FAMILIES:
+            continue
+        name = labels.get("metric")
+        if name is None:
+            raise ValueError(
+                f"family {family} sample without a metric label: {labels!r}"
+            )
+        if family == "repro_counter_total":
+            counters[name] = value
+        elif family == "repro_gauge":
+            gauges[name] = value
+        else:
+            field = family[len("repro_histogram_"):]
+            parts.setdefault(name, {})[field] = value
+    histograms: dict[str, dict] = {}
+    for name, fields in sorted(parts.items()):
+        count = int(fields.get("count", 0))
+        total = float(fields.get("sum", 0.0))
+        if not count:
+            histograms[name] = {
+                "count": 0, "sum": 0.0, "min": None, "max": None, "mean": 0.0,
+            }
+        else:
+            histograms[name] = {
+                "count": count,
+                "sum": total,
+                "min": fields["min"],
+                "max": fields["max"],
+                "mean": total / count,
+            }
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": histograms,
+    }

@@ -55,6 +55,12 @@ class RingBuffer:
         self._tail[pos] = record
         self._pos = pos + 1
 
+    def extend(self, records) -> None:
+        """Append every record of an iterable (shard absorption bulk path)."""
+        append = self.append
+        for record in records:
+            append(record)
+
     def count(self) -> int:
         """Number of records appended so far."""
         return (len(self._chunks) - 1) * CHUNK_SLOTS + self._pos

@@ -35,15 +35,23 @@ __all__ = ["PendingRequest", "Batcher"]
 
 
 class PendingRequest:
-    """One in-flight miss: the canonical request plus its result future."""
+    """One in-flight miss: the canonical request plus its result future.
 
-    __slots__ = ("key", "request", "future", "submitted_s")
+    ``ctx`` carries the leading request's
+    :class:`~repro.obs.telemetry.TraceContext` (``None`` when untraced):
+    the batch executor derives the ``serve.batch`` span id from the
+    leader's context, which is how a served batch stitches into the
+    request's distributed trace.
+    """
 
-    def __init__(self, key: str, request) -> None:
+    __slots__ = ("key", "request", "future", "submitted_s", "ctx")
+
+    def __init__(self, key: str, request, ctx=None) -> None:
         self.key = key
         self.request = request
         self.future: Future = Future()
         self.submitted_s = time.perf_counter()
+        self.ctx = ctx
 
 
 class Batcher:

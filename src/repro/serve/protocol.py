@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
 from ..core.fingerprint import request_fingerprint
@@ -57,7 +57,10 @@ ENGINES = ("standard", "worstcase", "both")
 
 #: request keys the v1 schema knows (anything else is an error)
 _REQUEST_KEYS = frozenset(
-    {"app", "n", "b", "layout", "seed", "with_measured", "machine", "engine", "uq"}
+    {
+        "app", "n", "b", "layout", "seed", "with_measured", "machine",
+        "engine", "uq", "trace",
+    }
 )
 
 #: machine keys of the wire schema.  ``name`` is deliberately absent: the
@@ -131,6 +134,12 @@ class PredictRequest:
     params: LogGPParameters
     engine: str = "both"
     uq: Optional[UQSpec] = None
+    #: client-supplied upstream trace context ``(trace_id, span_id)`` —
+    #: pure correlation (the request span parents under it; see
+    #: :mod:`repro.obs.telemetry`), never identity: excluded from
+    #: equality, the canonical document and the cache fingerprint, so a
+    #: traced and an untraced spelling of one point share the entry
+    trace: Optional[tuple] = field(default=None, compare=False)
 
     @classmethod
     def from_doc(
@@ -192,9 +201,28 @@ class PredictRequest:
                 raise ProtocolError(f"invalid uq spec: {exc}") from exc
             if uq.is_identity():
                 uq = None  # identity evaluates exactly like no spec
+        trace: Optional[tuple] = None
+        raw_trace = doc.get("trace")
+        if raw_trace is not None:
+            if not isinstance(raw_trace, Mapping):
+                raise ProtocolError(f"'trace' must be an object, got {raw_trace!r}")
+            unknown_trace = set(raw_trace) - {"trace_id", "span_id"}
+            if unknown_trace:
+                raise ProtocolError(
+                    f"unknown trace keys: {sorted(unknown_trace)} "
+                    "(known: ['span_id', 'trace_id'])"
+                )
+            tid = raw_trace.get("trace_id")
+            sid = raw_trace.get("span_id")
+            if not (isinstance(tid, str) and tid and isinstance(sid, str) and sid):
+                raise ProtocolError(
+                    "'trace' needs non-empty string trace_id and span_id, "
+                    f"got {raw_trace!r}"
+                )
+            trace = (tid, sid)
         return cls(
             n=n, b=b, layout=layout, seed=seed, with_measured=with_measured,
-            params=params, engine=engine, uq=uq,
+            params=params, engine=engine, uq=uq, trace=trace,
         )
 
     # -- canonical encodings -------------------------------------------------

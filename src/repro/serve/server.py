@@ -48,8 +48,10 @@ from typing import Mapping, Optional
 from ..core.costmodel import CalibratedCostModel
 from ..core.loggp import MEIKO_CS2, LogGPParameters
 from ..obs.events import WALL_TRACK, get_tracer
+from ..obs.log import log_event
 from ..obs.manifest import RunRecord, loggp_dict
-from ..obs.metrics import QuantileTracker
+from ..obs.metrics import MetricsRegistry, QuantileTracker
+from ..obs.telemetry import TraceContext
 from ..sweep.batch import BatchItem, run_point_batch
 from ..sweep.points import SweepPoint
 from .batcher import Batcher, PendingRequest
@@ -112,8 +114,17 @@ class PredictionService:
         self._batches = 0
         self._batch_points = 0
         self._batch_max_size = 0
+        #: batch size -> occurrence count (the /v1/stats distribution)
+        self._batch_sizes: dict[int, int] = {}
         self._request_seq = 0
+        #: per-(parent, name) child sequence for request trace contexts
+        self._trace_seq = 0
         self._started_unix = time.time()
+        #: service-local metrics registry, exposed at GET /metrics
+        self.metrics = MetricsRegistry()
+        #: the service's own trace root (requests without an upstream
+        #: context and without an ambient tracer context parent here)
+        self.trace_root = TraceContext.root("serve", self._started_unix)
         self.latency_us = QuantileTracker("serve.request_latency_us")
         self._closed = False
         self._batcher = Batcher(
@@ -133,11 +144,12 @@ class PredictionService:
         except ProtocolError as exc:
             return self._error_response(400, str(exc))
         key = request.fingerprint(self.cost_model)
+        parent_ctx, req_ctx = self._request_context(request)
         c0 = time.perf_counter()
         entry = self.cache.get(key)
         tier = "memory"
         if entry is None:
-            kind, payload = self._resolve_miss(key, request)
+            kind, payload = self._resolve_miss(key, request, req_ctx)
             if kind == "hit":
                 entry = payload
             else:
@@ -149,7 +161,10 @@ class PredictionService:
                     )
                 tier = entry.tier if kind == "leader" else "inflight"
         c1 = time.perf_counter()
-        self._emit_span("serve.cache", c0, c1, tier=tier, fingerprint=key)
+        self._emit_span(
+            "serve.cache", c0, c1, tier=tier, fingerprint=key,
+            **self._span_ids(req_ctx.child("serve.cache", 0), req_ctx),
+        )
         manifest = self._write_request_manifest(request, key, entry, tier)
         t1 = time.perf_counter()
         latency_us = (t1 - t0) * 1e6
@@ -157,11 +172,53 @@ class PredictionService:
             self._requests += 1
             self._tiers[tier] += 1
             self.latency_us.observe(latency_us)
-        self._emit_span("serve.request", t0, t1, tier=tier)
+            self.metrics.counter("serve.requests").inc()
+            self.metrics.counter(f"serve.tier.{tier}").inc()
+            self.metrics.histogram("serve.latency_us").observe(latency_us)
+        self._emit_span(
+            "serve.request", t0, t1, tier=tier,
+            **self._span_ids(req_ctx, parent_ctx),
+        )
         self._emit_count(f"serve.cache.{tier}")
-        return self._ok_response(request, key, entry, tier, manifest, latency_us)
+        log_event(
+            "serve.request", tier=tier, fingerprint=key,
+            latency_us=latency_us,
+            trace_id=req_ctx.trace_id, span_id=req_ctx.span_id,
+        )
+        return self._ok_response(
+            request, key, entry, tier, manifest, latency_us,
+            req_ctx=req_ctx, parent_ctx=parent_ctx,
+        )
 
-    def _resolve_miss(self, key: str, request: PredictRequest):
+    def _request_context(self, request):
+        """The trace node of one request and the parent it hangs under.
+
+        Parent resolution order: the client's ``trace`` field (an
+        upstream system's context), else the ambient tracer's installed
+        context (a traced ``repro serve`` run), else the service's own
+        root.  The child sequence is a service-global counter, so every
+        request span id is unique even across identical requests.
+        """
+        if request.trace is not None:
+            parent = TraceContext(
+                trace_id=request.trace[0], span_id=request.trace[1]
+            )
+        else:
+            parent = getattr(get_tracer(), "context", None) or self.trace_root
+        with self._stats_lock:
+            seq = self._trace_seq
+            self._trace_seq += 1
+        return parent, parent.child("serve.request", seq)
+
+    @staticmethod
+    def _span_ids(ctx, parent) -> dict:
+        return {
+            "trace_id": ctx.trace_id,
+            "span_id": ctx.span_id,
+            "parent_span_id": parent.span_id,
+        }
+
+    def _resolve_miss(self, key: str, request: PredictRequest, ctx=None):
         """Single-flight gate: join the in-flight future or lead a new one.
 
         Returns ``("hit", entry)`` when a batch landed between the
@@ -177,7 +234,7 @@ class PredictionService:
             pending = self._inflight.get(key)
             if pending is not None:
                 return "follower", pending.future
-            pending = PendingRequest(key, request)
+            pending = PendingRequest(key, request, ctx=ctx)
             self._inflight[key] = pending
         self._batcher.submit(pending)
         return "leader", pending.future
@@ -211,17 +268,32 @@ class PredictionService:
             )
             for p in batch
         ]
+        # the batch span hangs under the *leading* request's context, so
+        # the whole coalesced computation stitches into one request tree
+        leader_ctx = batch[0].ctx
+        batch_ctx = (
+            leader_ctx.child("serve.batch", batch_id)
+            if leader_ctx is not None
+            else None
+        )
         try:
             tracer = get_tracer()
             if tracer.enabled:
                 with self._obs_lock:
-                    result = run_point_batch(
-                        items,
-                        self.cost_model,
-                        store_dir=self.config.store_dir,
-                        workers=self.config.workers,
-                        executor=self.config.executor,
-                    )
+                    # install the batch context so every sweep-interior
+                    # span (sweep.chunk, kernel, DES) parents under it
+                    prev_ctx = getattr(tracer, "context", None)
+                    tracer.context = batch_ctx
+                    try:
+                        result = run_point_batch(
+                            items,
+                            self.cost_model,
+                            store_dir=self.config.store_dir,
+                            workers=self.config.workers,
+                            executor=self.config.executor,
+                        )
+                    finally:
+                        tracer.context = prev_ctx
             else:
                 result = run_point_batch(
                     items,
@@ -235,6 +307,8 @@ class PredictionService:
                 for p in batch:
                     self._inflight.pop(p.key, None)
             self._emit_count("serve.batch.error")
+            with self._stats_lock:
+                self.metrics.counter("serve.batch_errors").inc()
             for p in batch:
                 p.future.set_exception(exc)
             return
@@ -258,10 +332,27 @@ class PredictionService:
             self._batch_points += len(batch)
             if len(batch) > self._batch_max_size:
                 self._batch_max_size = len(batch)
+            self._batch_sizes[len(batch)] = self._batch_sizes.get(len(batch), 0) + 1
+            self.metrics.counter("serve.batches").inc()
+            self.metrics.counter("serve.batch_points").inc(len(batch))
+            self.metrics.histogram("serve.batch_size").observe(len(batch))
+        trace_attrs = (
+            self._span_ids(batch_ctx, leader_ctx) if batch_ctx is not None else {}
+        )
         self._emit_span(
             "serve.batch", t0, t1,
             id=batch_id, points=len(batch),
             computed=result.computed, cached=result.cached,
+            **trace_attrs,
+        )
+        log_event(
+            "serve.batch", id=batch_id, points=len(batch),
+            computed=result.computed, cached=result.cached,
+            **(
+                {"trace_id": batch_ctx.trace_id, "span_id": batch_ctx.span_id}
+                if batch_ctx is not None
+                else {}
+            ),
         )
         self._emit_count("serve.batch.count")
         self._emit_count("serve.batch.points", len(batch))
@@ -272,7 +363,10 @@ class PredictionService:
             p.future.set_result(entry)
 
     # -- responses -----------------------------------------------------------
-    def _ok_response(self, request, key, entry, tier, manifest, latency_us):
+    def _ok_response(
+        self, request, key, entry, tier, manifest, latency_us,
+        req_ctx=None, parent_ctx=None,
+    ):
         row = dict(entry.row)
         if request.engine == "standard":
             prediction = {"standard": row["pred_standard_total"]}
@@ -295,12 +389,25 @@ class PredictionService:
             "manifest": manifest,
             "batch": entry.batch,
             "latency_us": latency_us,
+            "trace": (
+                {
+                    "trace_id": req_ctx.trace_id,
+                    "span_id": req_ctx.span_id,
+                    "parent_span_id": (
+                        parent_ctx.span_id if parent_ctx is not None else None
+                    ),
+                }
+                if req_ctx is not None
+                else None
+            ),
         }
 
     def _error_response(self, code: int, message: str, **extra) -> dict:
         with self._stats_lock:
             self._requests += 1
             self._errors += 1
+            self.metrics.counter("serve.requests").inc()
+            self.metrics.counter("serve.errors").inc()
         self._emit_count("serve.request.error")
         doc = {"schema": SCHEMA, "status": "error", "code": code, "error": message}
         doc.update(extra)
@@ -386,17 +493,30 @@ class PredictionService:
                 "count": self._batches,
                 "points": self._batch_points,
                 "max_size": self._batch_max_size,
+                # JSON object keys are strings; sorted for stable output
+                "sizes": {
+                    str(size): count
+                    for size, count in sorted(self._batch_sizes.items())
+                },
             }
             latency = self.latency_us.snapshot(quantiles=(0.5, 0.9, 0.99))
         with self._flight_lock:
             inflight = len(self._inflight)
         ok = requests - errors
         hits = tiers["memory"] + tiers["store"] + tiers["inflight"]
+        # per-tier hit/miss: a request *misses* a tier when it had to fall
+        # through to a deeper one (inflight joins skip the deeper tiers)
+        cache_tiers = {
+            "memory": {"hits": tiers["memory"], "misses": ok - tiers["memory"]},
+            "store": {"hits": tiers["store"], "misses": tiers["computed"]},
+            "inflight": {"dedups": tiers["inflight"]},
+        }
         return {
             "schema": SCHEMA,
             "uptime_s": time.time() - self._started_unix,
             "requests": {"total": requests, "ok": ok, "error": errors},
             "tiers": tiers,
+            "cache_tiers": cache_tiers,
             "hit_rate": (hits / ok) if ok else None,
             "batches": batches,
             "cache": self.cache.stats(),
@@ -404,6 +524,39 @@ class PredictionService:
             "latency_us": latency,
             "store_dir": self.config.store_dir,
         }
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` document (Prometheus text exposition).
+
+        One registry view folded from three sources: the service's own
+        counters/histograms, the ambient tracer's registry when tracing
+        is enabled (sweep decisions, event tallies — read under the
+        emission lock), and point-in-time gauges (uptime, in-flight
+        keys, LRU occupancy).  Latency quantiles ride as extra samples —
+        they come from a bounded window, not an additive metric, so they
+        stay out of the registry proper.
+        """
+        view = MetricsRegistry()
+        with self._stats_lock:
+            view.merge(self.metrics.snapshot())
+            latency = self.latency_us.snapshot(quantiles=(0.5, 0.9, 0.99))
+        tracer = get_tracer()
+        if tracer.enabled:
+            with self._obs_lock:
+                view.merge(tracer.metrics.snapshot())
+        with self._flight_lock:
+            inflight = len(self._inflight)
+        view.gauge("serve.uptime_s").set(time.time() - self._started_unix)
+        view.gauge("serve.inflight").set(inflight)
+        for name, value in self.cache.stats().items():
+            if isinstance(value, (int, float)):
+                view.gauge(f"serve.cache.{name}").set(value)
+        extras = [
+            ("repro_serve_latency_us", {"quantile": q}, latency[key])
+            for q, key in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+            if latency.get(key) is not None
+        ]
+        return view.to_prometheus(extra_samples=extras)
 
     def close(self) -> None:
         """Stop the batcher thread (idempotent; pending batches drain)."""
@@ -437,6 +590,14 @@ class _ServeHandler(BaseHTTPRequestHandler):
         body = json.dumps(doc).encode()
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_text(self, code: int, text: str, content_type: str) -> None:
+        body = text.encode()
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -482,6 +643,11 @@ class _ServeHandler(BaseHTTPRequestHandler):
             self._reply(200, {"schema": SCHEMA, "status": "ok"})
         elif self.path == "/v1/stats":
             self._reply(200, self.service.stats())
+        elif self.path == "/metrics":
+            self._reply_text(
+                200, self.service.metrics_text(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
         else:
             self._reply(
                 404,

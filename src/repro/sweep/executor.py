@@ -46,6 +46,7 @@ from dataclasses import asdict, dataclass
 from typing import Optional, Sequence
 
 from ..kernel.memo import estimate_point_cost, point_weight
+from ..obs import get_tracer
 
 __all__ = [
     "EXECUTORS",
@@ -177,6 +178,9 @@ def decide_executor(
         raise ValueError(
             f"unknown executor {requested!r}; expected one of {EXECUTORS}"
         )
+    # deterministic decision telemetry: which strategies callers *ask* for
+    # (the runner separately counts what was picked) — exposed at /metrics
+    get_tracer().count(f"sweep.executor.requested.{requested}")
     cpus = cpu_count if cpu_count is not None else available_cpus()
     n_pts = len(points)
     cap = workers if workers is not None and workers > 0 else cpus

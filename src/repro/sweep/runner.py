@@ -48,7 +48,8 @@ from ..core.predictor import summarize_ge_point, summarize_uq_point
 from ..experiments import ExperimentStore, PointSummary
 from ..kernel import flags as _kernel_flags
 from ..kernel.memo import observe_point_cost, point_weight
-from ..obs import TraceConfig, Tracer, get_tracer, tracing
+from ..obs import TraceConfig, TraceContext, Tracer, get_tracer, tracing
+from ..obs.telemetry import write_shard
 from ..uq.spec import UQSpec
 from .executor import (
     ExecutorDecision,
@@ -171,8 +172,20 @@ def _run_chunk(payload):
     snapshot back for the parent to absorb.  Returns
     ``(chunk_no, results, rows, metrics_snapshot)`` with the last two
     ``None`` for untraced sweeps.
+
+    Two optional telemetry fields ride in the payload (see
+    :mod:`repro.obs.telemetry`): ``ctx_doc`` — the dispatching run's
+    :class:`TraceContext` wire document, from which the worker derives
+    the chunk's deterministic span id (``parent.child("sweep.chunk",
+    chunk_no)``) so the merged timeline parents every worker-interior
+    span under the dispatching run; and ``shard_path`` — when set, the
+    worker flushes its events *and* metrics to that shard file instead
+    of shipping anything back (rows and snapshot return ``None``), so a
+    later :func:`repro.obs.merge_shards` sees each event and each
+    counter exactly once.
     """
-    store_dir, params, cost_model, uq, fast, trace_doc, chunk_no, indexed = payload
+    (store_dir, params, cost_model, uq, fast, trace_doc,
+     ctx_doc, shard_path, chunk_no, indexed) = payload
     # A spawn-context worker does not inherit a parent's set_enabled(), so
     # the flag travels in the payload (proven result-neutral by the
     # differential harness, but the dispatch must still be consistent).
@@ -202,12 +215,28 @@ def _run_chunk(payload):
         ]
         return chunk_no, results, None, None
     tracer = Tracer(config=TraceConfig.from_dict(trace_doc))
+    parent_ctx = TraceContext.from_dict(ctx_doc) if ctx_doc else None
+    chunk_ctx = (
+        parent_ctx.child("sweep.chunk", chunk_no) if parent_ctx is not None else None
+    )
     with tracing(tracer):
-        with tracer.span("sweep.chunk", chunk=chunk_no, points=len(indexed)):
+        with tracer.span(
+            "sweep.chunk",
+            ctx=chunk_ctx,
+            parent_span_id=parent_ctx.span_id if parent_ctx is not None else None,
+            chunk=chunk_no,
+            points=len(indexed),
+        ):
             results = [
                 (idx, _evaluate_point(point, params, cost_model, store, uq))
                 for idx, point in indexed
             ]
+    if shard_path is not None:
+        write_shard(
+            shard_path, tracer,
+            label=f"chunk-{chunk_no:04d}", context=chunk_ctx,
+        )
+        return chunk_no, results, None, None
     rows = tracer.export_rows()
     snap = tracer.metrics.snapshot()
     # the parent re-counts obs.events.* when it materialises the absorbed
@@ -339,6 +368,7 @@ def run_sweep(
     progress: Optional[ProgressFn] = None,
     mp_context: Optional[str] = None,
     uq: Optional[UQSpec] = None,
+    trace_shard_dir: Union[str, Path, None] = None,
 ) -> SweepResult:
     """Evaluate a sweep grid, optionally in parallel and store-backed.
 
@@ -380,6 +410,13 @@ def run_sweep(
         a perturbed machine replicate instead of the base machine (the
         Monte Carlo path of :func:`repro.uq.run_uq`).  An identity spec
         behaves exactly like ``None``.
+    trace_shard_dir:
+        Directory for per-worker trace shards.  When set (and the sweep
+        is traced), process-pool workers flush their events and metrics
+        to ``shard-chunk-NNNN.jsonl`` sidecars instead of shipping rows
+        back for live absorption; stitch afterwards with ``repro
+        trace-merge`` (see :mod:`repro.obs.telemetry`).  Ignored when
+        untraced or when no process pool runs.
     """
     points = tuple(points)
     if workers is not None and workers < 0:
@@ -545,9 +582,24 @@ def run_sweep(
             chunks = _weight_chunks(pending, eff_workers * 4)
         store_dir = str(store.directory) if store is not None else None
         trace_doc = tracer.config.to_dict() if tracer.enabled else None
+        parent_ctx = getattr(tracer, "context", None) if tracer.enabled else None
+        ctx_doc = parent_ctx.to_dict() if parent_ctx is not None else None
+        shard_dir = (
+            Path(trace_shard_dir)
+            if (trace_shard_dir is not None and tracer.enabled)
+            else None
+        )
+        if shard_dir is not None:
+            shard_dir.mkdir(parents=True, exist_ok=True)
+
+        def _shard_path(chunk_no: int) -> Optional[str]:
+            if shard_dir is None:
+                return None
+            return str(shard_dir / f"shard-chunk-{chunk_no:04d}.jsonl")
+
         payloads = [
             (store_dir, params, cost_model, uq, _kernel_flags.enabled,
-             trace_doc, chunk_no, chunk)
+             trace_doc, ctx_doc, _shard_path(chunk_no), chunk_no, chunk)
             for chunk_no, chunk in enumerate(chunks)
         ]
         n_chunks = len(payloads)

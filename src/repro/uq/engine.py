@@ -101,6 +101,7 @@ def run_uq(
     chunk_size: Optional[int] = None,
     progress=None,
     mp_context: Optional[str] = None,
+    trace_shard_dir=None,
 ) -> UQResult:
     """Monte Carlo uncertainty study of a GE sweep.
 
@@ -126,7 +127,7 @@ def run_uq(
         grid, params, cost_model,
         workers=workers, executor=executor, store=store, resume=resume,
         chunk_size=chunk_size, progress=progress,
-        mp_context=mp_context, uq=spec,
+        mp_context=mp_context, uq=spec, trace_shard_dir=trace_shard_dir,
     )
     summaries = reduce_replicates(result.points, result.summaries, ci=ci)
     return UQResult(

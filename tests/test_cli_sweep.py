@@ -17,7 +17,8 @@ BASE = ["sweep", "-n", "120", "--blocks", "24", "40",
         "--layout", "diagonal", "--no-measured", "--seed", "0"]
 
 #: manifest keys that legitimately differ between runs of the same sweep
-VOLATILE_KEYS = {"argv", "started_unix", "wall_s", "events_per_sec", "host"}
+VOLATILE_KEYS = {"argv", "started_unix", "wall_s", "events_per_sec", "host",
+                 "resource"}
 #: extra keys that describe execution, not results
 VOLATILE_EXTRA = {"sweep"}
 

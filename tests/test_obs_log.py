@@ -1,0 +1,102 @@
+"""Structured JSONL logging (repro.obs.log) and its trace correlation.
+
+The logger's one job: every record is a single JSON line under the
+``repro.log/v1`` schema, stamped with the ambient tracer's trace/span
+ids whenever one is installed — the join key between logs, run
+manifests, and merged timelines.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import Tracer, tracing
+from repro.obs.log import (
+    LOG_SCHEMA,
+    NULL_LOGGER,
+    JsonlLogger,
+    get_logger,
+    log_event,
+    set_logger,
+)
+from repro.obs.telemetry import TraceContext
+
+
+def read_log(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestJsonlLogger:
+    def test_records_are_schema_stamped_json_lines(self, tmp_path):
+        path = tmp_path / "run.log.jsonl"
+        with JsonlLogger(str(path)) as logger:
+            logger.log("sweep.start", points=4)
+            logger.log("sweep.done", points=4, wall_s=0.5)
+        records = read_log(path)
+        assert [r["event"] for r in records] == ["sweep.start", "sweep.done"]
+        assert all(r["schema"] == LOG_SCHEMA for r in records)
+        assert all("ts" in r for r in records)
+
+    def test_ambient_trace_ids_stamped(self, tmp_path):
+        path = tmp_path / "run.log.jsonl"
+        tracer = Tracer()
+        tracer.context = TraceContext.root("log-test")
+        with JsonlLogger(str(path)) as logger:
+            with tracing(tracer):
+                logger.log("inside")
+            logger.log("outside")
+        inside, outside = read_log(path)
+        assert inside["trace_id"] == tracer.context.trace_id
+        assert inside["span_id"] == tracer.context.span_id
+        assert "trace_id" not in outside
+
+    def test_explicit_fields_win_over_ambient(self, tmp_path):
+        path = tmp_path / "run.log.jsonl"
+        tracer = Tracer()
+        tracer.context = TraceContext.root("log-test")
+        with JsonlLogger(str(path)) as logger, tracing(tracer):
+            logger.log("custom", trace_id="override")
+        (record,) = read_log(path)
+        assert record["trace_id"] == "override"
+
+    def test_ambient_logger_and_null_default(self, tmp_path):
+        assert get_logger() is NULL_LOGGER
+        log_event("dropped.on.the.floor")  # never raises
+        path = tmp_path / "run.log.jsonl"
+        logger = JsonlLogger(str(path))
+        set_logger(logger)
+        try:
+            log_event("routed", answer=42)
+        finally:
+            set_logger(None)
+            logger.close()
+        assert get_logger() is NULL_LOGGER
+        (record,) = read_log(path)
+        assert record["event"] == "routed" and record["answer"] == 42
+
+
+class TestCliLogging:
+    BASE = ["sweep", "-n", "120", "--blocks", "30", "--layout", "diagonal",
+            "--no-measured", "--no-manifest"]
+
+    def test_cli_run_record_appended(self, tmp_path, capsys):
+        path = tmp_path / "cli.log.jsonl"
+        assert main([*self.BASE, "--log-jsonl", str(path)]) == 0
+        capsys.readouterr()
+        records = read_log(path)
+        run = records[-1]
+        assert run["event"] == "cli.run"
+        assert run["command"] == "sweep"
+        assert run["status"] == "ok"
+        assert run["wall_s"] >= 0
+        assert run["trace_id"] is None  # untraced run
+
+    def test_traced_cli_run_carries_trace_id(self, tmp_path, capsys):
+        path = tmp_path / "cli.log.jsonl"
+        shards = tmp_path / "shards"
+        assert main([*self.BASE, "--log-jsonl", str(path),
+                     "--trace-shards", str(shards)]) == 0
+        capsys.readouterr()
+        run = read_log(path)[-1]
+        assert len(run["trace_id"]) == 32

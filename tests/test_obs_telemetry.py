@@ -1,0 +1,381 @@
+"""Trace contexts, shard files and deterministic stitching (repro.obs.telemetry).
+
+Pins the three contracts DESIGN.md §14 specifies:
+
+* **Derived ids** — span ids are pure functions of
+  ``(trace_id, parent, name, seq)``; re-deriving the same tree needs no
+  coordination and always yields the same ids.
+* **Golden safety** — a tracer without an installed context emits spans
+  bit-identical to the pre-context tracer (no id attrs ever appear).
+* **Merge determinism** — stitching any permutation of a shard set
+  produces a byte-identical export (hypothesis-verified), and the
+  digest ignores wall-track spans only.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer, tracing
+from repro.obs.events import WALL_TRACK, TraceEvent
+from repro.obs.telemetry import (
+    SHARD_SCHEMA,
+    TraceContext,
+    TraceShard,
+    child_span_id,
+    merge_shards,
+    read_shard,
+    root_span_id,
+    shard_paths,
+    trace_digest,
+    validate_span_tree,
+    write_merged_events,
+    write_merged_trace,
+    write_shard,
+)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - test extras absent
+    HAVE_HYPOTHESIS = False
+
+
+class TestDerivedIds:
+    def test_root_is_pure_function_of_material(self):
+        a = TraceContext.root("sweep", '{"n": 120}')
+        b = TraceContext.root("sweep", '{"n": 120}')
+        c = TraceContext.root("sweep", '{"n": 240}')
+        assert a == b
+        assert a.trace_id != c.trace_id
+        assert len(a.trace_id) == 32 and len(a.span_id) == 16
+
+    def test_root_span_id_is_implicit(self):
+        ctx = TraceContext.root("observe")
+        assert ctx.span_id == root_span_id(ctx.trace_id)
+
+    def test_child_derivation_matches_free_function(self):
+        root = TraceContext.root("sweep")
+        child = root.child("sweep.chunk", 3)
+        assert child.trace_id == root.trace_id
+        assert child.span_id == child_span_id(
+            root.trace_id, root.span_id, "sweep.chunk", 3
+        )
+
+    def test_children_unique_across_seq_name_and_parent(self):
+        root = TraceContext.root("sweep")
+        ids = {
+            root.child(name, seq).span_id
+            for name in ("sweep.chunk", "serve.batch")
+            for seq in range(5)
+        }
+        ids.add(root.child("sweep.chunk", 0).child("sweep.chunk", 0).span_id)
+        assert len(ids) == 11
+
+    def test_wire_roundtrip(self):
+        ctx = TraceContext.root("serve", 123).child("serve.request", 7)
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+        assert TraceContext.from_dict(json.loads(json.dumps(ctx.to_dict()))) == ctx
+
+
+class TestSpanStamping:
+    def test_ambient_context_stamps_wall_slices(self):
+        tracer = Tracer()
+        root = TraceContext.root("test")
+        tracer.context = root
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        events = {e.name: e for e in tracer.events}
+        outer, inner = events["outer"], events["inner"]
+        assert outer.attrs["trace_id"] == root.trace_id
+        assert outer.attrs["parent_span_id"] == root.span_id
+        assert outer.attrs["span_id"] == root.child("outer", 0).span_id
+        # nesting re-parents: inner's parent is outer's span id
+        assert inner.attrs["parent_span_id"] == outer.attrs["span_id"]
+
+    def test_sibling_spans_get_distinct_seq(self):
+        tracer = Tracer()
+        tracer.context = TraceContext.root("test")
+        for _ in range(3):
+            with tracer.span("step"):
+                pass
+        ids = [e.attrs["span_id"] for e in tracer.events]
+        assert len(set(ids)) == 3
+
+    def test_explicit_ctx_overrides_derivation(self):
+        tracer = Tracer()
+        root = TraceContext.root("test")
+        chunk = root.child("sweep.chunk", 9)
+        with tracer.span("sweep.chunk", ctx=chunk, parent_span_id=root.span_id):
+            pass
+        (event,) = tracer.events
+        assert event.attrs["span_id"] == chunk.span_id
+        assert event.attrs["parent_span_id"] == root.span_id
+
+    def test_no_context_means_no_id_attrs(self):
+        # golden-trace safety: the pre-context tracer's spans are
+        # bit-identical — no trace/span/parent attrs may appear
+        tracer = Tracer()
+        with tracer.span("phase", points=3):
+            pass
+        (event,) = tracer.events
+        assert event.track == WALL_TRACK
+        assert set(event.attrs) == {"points"}
+
+    def test_context_restored_after_span(self):
+        tracer = Tracer()
+        root = TraceContext.root("test")
+        tracer.context = root
+        with tracer.span("outer"):
+            assert tracer.context != root
+        assert tracer.context == root
+
+
+def _sim_event(name, ts, proc=0, attrs=None):
+    return TraceEvent(name=name, kind="slice", ts=ts, dur=1.0, proc=proc,
+                      track="sim:standard", attrs=attrs)
+
+
+def _traced_tracer():
+    tracer = Tracer()
+    tracer.context = TraceContext.root("shard-test")
+    with tracer.span("phase", points=2):
+        tracer.slice("compute", proc=0, ts=10.0, dur=5.0)
+        tracer.instant("mark", ts=12.0, proc=1, note="x")
+    tracer.count("points", 2)
+    tracer.observe("wall_s", 0.25)
+    return tracer
+
+
+class TestShardFiles:
+    def test_roundtrip_header_and_rows(self, tmp_path):
+        tracer = _traced_tracer()
+        path = write_shard(tmp_path / "shard-main.jsonl", tracer, label="main")
+        shard = read_shard(path)
+        assert shard.label == "main"
+        assert shard.config == tracer.config.to_dict()
+        # context defaults from the tracer's installed context
+        assert shard.trace_context == tracer.context
+        assert shard.metrics == tracer.metrics.snapshot()
+        assert [tuple(r[:6]) for r in shard.rows] == [
+            (e.name, e.kind, e.ts, e.dur, e.proc, e.track)
+            for e in tracer.events
+        ]
+
+    def test_explicit_context_wins(self, tmp_path):
+        tracer = _traced_tracer()
+        other = TraceContext.root("other")
+        shard = read_shard(
+            write_shard(tmp_path / "s.jsonl", tracer, context=other)
+        )
+        assert shard.trace_context == other
+
+    def test_rejects_foreign_schema(self, tmp_path):
+        bad = tmp_path / "shard-x.jsonl"
+        bad.write_text(json.dumps({"schema": "something/else"}) + "\n")
+        with pytest.raises(ValueError, match="not a repro.trace-shard/v1"):
+            read_shard(bad)
+
+    def test_rejects_empty_file(self, tmp_path):
+        empty = tmp_path / "shard-x.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_shard(empty)
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        write_shard(tmp_path / "shard-main.jsonl", _traced_tracer())
+        assert [p.name for p in tmp_path.iterdir()] == ["shard-main.jsonl"]
+
+    def test_shard_paths_sorted_and_filtered(self, tmp_path):
+        for name in ("shard-chunk-0001.jsonl", "shard-main.jsonl",
+                     "shard-chunk-0000.jsonl", "unrelated.jsonl"):
+            (tmp_path / name).write_text("{}\n")
+        assert [p.name for p in shard_paths(tmp_path)] == [
+            "shard-chunk-0000.jsonl", "shard-chunk-0001.jsonl",
+            "shard-main.jsonl",
+        ]
+
+
+def _synthetic_shards(row_groups):
+    """One TraceShard per row group, with label-distinct metrics."""
+    shards = []
+    for i, rows in enumerate(row_groups):
+        shards.append(TraceShard(
+            label=f"chunk-{i:04d}",
+            config={},
+            context=None,
+            metrics={"counters": {"points": float(len(rows))},
+                     "gauges": {}, "histograms": {}},
+            rows=rows,
+        ))
+    return shards
+
+
+class TestMerging:
+    def test_needs_at_least_one_shard(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_shards([])
+
+    def test_metrics_fold_additively(self):
+        shards = _synthetic_shards([
+            [("a", "slice", 0.0, 1.0, 0, "sim", None)],
+            [("b", "slice", 1.0, 1.0, 0, "sim", None),
+             ("c", "instant", 2.0, 0.0, 1, "sim", None)],
+        ])
+        merged = merge_shards(shards)
+        assert merged.metrics.snapshot()["counters"]["points"] == 3.0
+        assert merged.shards == ["chunk-0000", "chunk-0001"]
+
+    def test_merge_accepts_paths_and_objects(self, tmp_path):
+        tracer = _traced_tracer()
+        path = write_shard(tmp_path / "shard-main.jsonl", tracer)
+        from_path = merge_shards([path])
+        from_obj = merge_shards([read_shard(path)])
+        assert trace_digest(from_path.events) == trace_digest(from_obj.events)
+        assert len(from_path.events) == len(tracer.events)
+
+    def test_digest_ignores_wall_track_only(self):
+        sim = [_sim_event("compute", t) for t in (1.0, 2.0)]
+        wall_a = TraceEvent(name="sweep", kind="slice", ts=100.0, dur=9.0,
+                            proc=-1, track=WALL_TRACK)
+        wall_b = TraceEvent(name="sweep", kind="slice", ts=777.0, dur=1.0,
+                            proc=-1, track=WALL_TRACK)
+        assert trace_digest([*sim, wall_a]) == trace_digest([wall_b, *sim])
+        assert trace_digest(sim) != trace_digest(sim[:1])
+
+    def test_digest_is_order_independent(self):
+        events = [_sim_event(f"op{i}", float(i), proc=i % 3) for i in range(6)]
+        assert trace_digest(events) == trace_digest(list(reversed(events)))
+
+    def test_merged_trace_export_writes_chrome_doc(self, tmp_path):
+        merged = merge_shards(_synthetic_shards(
+            [[("a", "slice", 0.0, 1.0, 0, "sim:standard", None)]]
+        ))
+        doc = json.loads(write_merged_trace(merged, tmp_path / "t.json").read_text())
+        assert any(ev.get("name") == "a" for ev in doc["traceEvents"])
+
+    if HAVE_HYPOTHESIS:
+        _rows = st.lists(
+            st.tuples(
+                st.sampled_from(["compute", "send", "recv", "factor"]),
+                st.sampled_from(["slice", "instant"]),
+                st.floats(0, 1e6, allow_nan=False, width=32),
+                st.floats(0, 1e3, allow_nan=False, width=32),
+                st.integers(-1, 7),
+                st.sampled_from(["sim:standard", "sim:worstcase", WALL_TRACK]),
+                st.none(),
+            ).map(list),
+            max_size=8,
+        )
+
+        @given(
+            groups=st.lists(_rows, min_size=1, max_size=4),
+            seed=st.randoms(),
+        )
+        @settings(max_examples=50, deadline=None)
+        def test_merge_is_order_invariant_bytewise(self, groups, seed, tmp_path_factory):
+            """Any permutation of the shard set → byte-identical export."""
+            tmp = tmp_path_factory.mktemp("perm")
+            shards = _synthetic_shards(groups)
+            shuffled = list(shards)
+            seed.shuffle(shuffled)
+            a = write_merged_events(merge_shards(shards), tmp / "a.jsonl")
+            b = write_merged_events(merge_shards(shuffled), tmp / "b.jsonl")
+            assert a.read_bytes() == b.read_bytes()
+            assert (trace_digest(merge_shards(shards).events)
+                    == trace_digest(merge_shards(shuffled).events))
+    else:  # pragma: no cover - hypothesis available in CI
+        def test_merge_is_order_invariant_bytewise(self, tmp_path):
+            import random
+            rng = random.Random(0)
+            groups = [
+                [("op", "slice", rng.uniform(0, 100), 1.0, rng.randint(0, 3),
+                  "sim:standard", None) for _ in range(rng.randint(0, 6))]
+                for _ in range(4)
+            ]
+            shards = _synthetic_shards(groups)
+            for _ in range(20):
+                shuffled = list(shards)
+                rng.shuffle(shuffled)
+                a = write_merged_events(merge_shards(shards), tmp_path / "a.jsonl")
+                b = write_merged_events(merge_shards(shuffled), tmp_path / "b.jsonl")
+                assert a.read_bytes() == b.read_bytes()
+
+
+def _span_event(name, ctx, parent_id):
+    return TraceEvent(
+        name=name, kind="slice", ts=0.0, dur=1.0, proc=-1, track=WALL_TRACK,
+        attrs={"trace_id": ctx.trace_id, "span_id": ctx.span_id,
+               "parent_span_id": parent_id},
+    )
+
+
+class TestSpanTreeValidation:
+    def test_parents_resolve_through_implicit_root(self):
+        root = TraceContext.root("sweep")
+        chunk = root.child("sweep.chunk", 0)
+        events = [
+            _span_event("sweep.chunk", chunk, root.span_id),
+            _span_event("sweep.point", chunk.child("sweep.point", 0),
+                        chunk.span_id),
+        ]
+        report = validate_span_tree(events)
+        assert report.ok
+        assert report.spans == 2
+        assert report.traces == [root.trace_id]
+        assert report.roots == [root.span_id]
+
+    def test_missing_shard_surfaces_as_orphan(self):
+        root = TraceContext.root("sweep")
+        chunk = root.child("sweep.chunk", 0)
+        # the chunk span itself was lost; its interior span is orphaned
+        orphan = _span_event("sweep.point", chunk.child("sweep.point", 0),
+                             chunk.span_id)
+        report = validate_span_tree([orphan])
+        assert not report.ok
+        assert report.to_dict()["orphans"] == [
+            {"name": "sweep.point", "parent_span_id": chunk.span_id}
+        ]
+
+    def test_extra_roots_resolve_upstream_parents(self):
+        # a client-supplied context lives in another system's trace
+        upstream = TraceContext.root("client").child("client.op", 0)
+        req = upstream.child("serve.request", 0)
+        events = [_span_event("serve.request", req, upstream.span_id)]
+        assert not validate_span_tree(events).ok
+        assert validate_span_tree(events, extra_roots=[upstream.span_id]).ok
+
+    def test_unstamped_events_are_not_spans(self):
+        report = validate_span_tree([_sim_event("compute", 1.0)])
+        assert report.ok and report.spans == 0 and report.traces == []
+
+
+class TestEndToEndShardTree:
+    def test_tracer_to_merged_tree_zero_orphans(self, tmp_path):
+        """Parent process + two synthetic 'workers', stitched and validated."""
+        root = TraceContext.root("e2e")
+        main = Tracer()
+        main.context = root
+        with main.span("sweep", points=4):
+            pass
+        paths = [write_shard(tmp_path / "shard-main.jsonl", main, label="main")]
+        for chunk_no in range(2):
+            worker = Tracer()
+            ctx = root.child("sweep.chunk", chunk_no)
+            with tracing(worker):
+                with worker.span("sweep.chunk", ctx=ctx,
+                                 parent_span_id=root.span_id, chunk=chunk_no):
+                    worker.slice("compute", proc=chunk_no, ts=1.0, dur=2.0)
+            paths.append(write_shard(
+                tmp_path / f"shard-chunk-{chunk_no:04d}.jsonl", worker,
+                label=f"chunk-{chunk_no:04d}", context=ctx,
+            ))
+        merged = merge_shards(shard_paths(tmp_path))
+        report = validate_span_tree(merged.events)
+        assert report.ok
+        assert report.spans == 3  # sweep + 2 chunks
+        assert merged.trace_ids == [root.trace_id]
+        assert SHARD_SCHEMA  # shard files round-tripped under the v1 schema

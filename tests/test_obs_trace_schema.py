@@ -1,9 +1,11 @@
-"""Schema validation of exported Chrome trace-event JSON.
+"""Schema validation of exported Chrome trace-event JSON and run manifests.
 
 The exported document must satisfy the trace-event format contract that
 Perfetto / chrome://tracing rely on: required keys on every event,
 timestamps that never run backwards within a thread, and strictly
-matched B/E duration pairs.
+matched B/E duration pairs.  Run manifests (one per CLI verb) must carry
+the resource rollup (peak RSS, CPU seconds) and — for traced runs — the
+trace id that correlates the manifest with its shards and logs.
 """
 
 import json
@@ -128,3 +130,58 @@ class TestRoundTrip:
         assert len(back) == original + waits + sum(
             1 for e in tracer.events if e.kind == "instant"
         )
+
+
+class TestManifestResourceRollup:
+    """Every CLI verb's RunRecord carries resource and trace correlation."""
+
+    RESOURCE_KEYS = {"ru_maxrss_kb", "cpu_user_s", "cpu_system_s"}
+
+    def run_manifest(self, tmp_path, argv):
+        from repro.cli import main
+
+        out = tmp_path / "manifest.json"
+        assert main([*argv, "--manifest-out", str(out)]) == 0
+        return json.loads(out.read_text())
+
+    @pytest.mark.parametrize("argv", [
+        ["predict", "-n", "120", "-b", "30", "--layout", "diagonal",
+         "--no-measured"],
+        ["sweep", "-n", "120", "--blocks", "30", "--layout", "diagonal",
+         "--no-measured"],
+        ["timeline", "--pattern", "sample"],
+    ], ids=["predict", "sweep", "timeline"])
+    def test_verbs_record_resource_usage(self, tmp_path, argv, capsys):
+        doc = self.run_manifest(tmp_path, argv)
+        capsys.readouterr()
+        resource = doc["resource"]
+        assert self.RESOURCE_KEYS <= set(resource)
+        assert resource["ru_maxrss_kb"] > 0
+        assert resource["cpu_user_s"] >= 0.0
+        assert resource["cpu_system_s"] >= 0.0
+        assert doc["wall_s"] >= 0.0
+
+    def test_untraced_run_has_empty_trace_id(self, tmp_path, capsys):
+        doc = self.run_manifest(
+            tmp_path,
+            ["predict", "-n", "120", "-b", "30", "--layout", "diagonal",
+             "--no-measured"],
+        )
+        capsys.readouterr()
+        assert doc["trace_id"] == ""
+
+    def test_traced_sweep_stamps_trace_id(self, tmp_path, capsys):
+        shards = tmp_path / "shards"
+        doc = self.run_manifest(
+            tmp_path,
+            ["sweep", "-n", "120", "--blocks", "30", "--layout", "diagonal",
+             "--no-measured", "--trace-shards", str(shards)],
+        )
+        capsys.readouterr()
+        assert len(doc["trace_id"]) == 32
+        # the manifest's trace id matches the shard header's: the join key
+        # between run provenance and the stitched timeline
+        from repro.obs.telemetry import read_shard, shard_paths
+
+        (shard,) = [read_shard(p) for p in shard_paths(shards)]
+        assert shard.context["trace_id"] == doc["trace_id"]

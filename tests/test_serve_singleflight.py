@@ -68,7 +68,9 @@ class TestSingleFlight:
         assert len(batch_spans) == 1
         assert batch_spans[0].attrs["points"] == 1
         assert batch_spans[0].attrs["computed"] == 1
-        assert stats["batches"] == {"count": 1, "points": 1, "max_size": 1}
+        assert stats["batches"] == {
+            "count": 1, "points": 1, "max_size": 1, "sizes": {"1": 1},
+        }
 
         # exactly one leader; everyone else rode the in-flight future
         # (or, if scheduled late, the already-cached entry)

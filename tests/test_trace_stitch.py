@@ -1,0 +1,199 @@
+"""End-to-end trace stitching: ``repro sweep --trace-shards`` → ``repro
+trace-merge`` — plus rendering coverage for :mod:`repro.analysis.timeline`.
+
+The CI trace-stitch gate in executable form: a worker sweep leaves one
+shard per process, the merge verb stitches them into a single timeline
+with zero orphaned spans, and the retained-event digest is identical
+across worker counts (content-keyed retention + content-pure sort keys).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import describe_sequence, render_timeline
+from repro.apps import sample_pattern
+from repro.cli import main
+from repro.core import MEIKO_CS2, simulate_standard
+from repro.core.loggp import OpKind
+from repro.obs import Tracer
+from repro.obs.telemetry import (
+    TraceContext,
+    merge_shards,
+    shard_paths,
+    trace_digest,
+    write_merged_events,
+    write_shard,
+)
+
+BASE = ["sweep", "-n", "120", "--blocks", "30", "60", "--layout", "diagonal",
+        "--no-measured", "--seed", "0"]
+
+
+def traced_sweep(tmp_path, capsys, name, *extra):
+    shards = tmp_path / name
+    argv = [*BASE, *extra, "--trace-shards", str(shards), "--no-manifest"]
+    assert main(argv) == 0
+    capsys.readouterr()
+    return shards
+
+
+def merge_json(shards, capsys, *extra):
+    assert main(["trace-merge", str(shards), "--json", "--no-manifest",
+                 *extra]) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+class TestSweepStitching:
+    def test_single_worker_tree_is_complete(self, tmp_path, capsys):
+        shards = traced_sweep(tmp_path, capsys, "w1", "--workers", "1")
+        assert [p.name for p in shard_paths(shards)] == ["shard-main.jsonl"]
+        report = merge_json(shards, capsys)
+        assert report["ok"] is True
+        assert report["orphans"] == 0
+        assert report["events"] > 0
+        assert len(report["trace_ids"]) == 1
+
+    def test_worker_shards_stitch_with_zero_orphans(self, tmp_path, capsys):
+        shards = traced_sweep(tmp_path, capsys, "w2", "--workers", "2")
+        names = [p.name for p in shard_paths(shards)]
+        assert "shard-main.jsonl" in names
+        assert sum(n.startswith("shard-chunk-") for n in names) == 2
+        report = merge_json(shards, capsys, "--strict")
+        assert report["ok"] is True and report["orphans"] == 0
+        # the two sweep.chunk spans are stitched into the parent trace
+        assert report["spans"] >= 2
+        assert report["labels"] == ["chunk-0000", "chunk-0001", "main"]
+
+    def test_digest_identical_across_worker_counts(self, tmp_path, capsys):
+        w1 = traced_sweep(tmp_path, capsys, "w1", "--workers", "1")
+        w2 = traced_sweep(tmp_path, capsys, "w2", "--workers", "2")
+        r1, r2 = merge_json(w1, capsys), merge_json(w2, capsys)
+        assert r1["digest"] == r2["digest"]
+        # worker count is execution, not workload: one root trace id
+        assert r1["trace_ids"] == r2["trace_ids"]
+
+    def test_shard_permutation_is_byte_identical(self, tmp_path, capsys):
+        shards = traced_sweep(tmp_path, capsys, "w2", "--workers", "2")
+        paths = shard_paths(shards)
+        a = write_merged_events(merge_shards(paths), tmp_path / "a.jsonl")
+        b = write_merged_events(
+            merge_shards(list(reversed(paths))), tmp_path / "b.jsonl"
+        )
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_merged_exports_written(self, tmp_path, capsys):
+        shards = traced_sweep(tmp_path, capsys, "w1", "--workers", "1")
+        out = tmp_path / "merged.json"
+        events_out = tmp_path / "merged-events.jsonl"
+        report = merge_json(shards, capsys, "-o", str(out),
+                            "--events-out", str(events_out))
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        assert len(events_out.read_text().splitlines()) == report["events"]
+
+    def test_digest_matches_api(self, tmp_path, capsys):
+        shards = traced_sweep(tmp_path, capsys, "w1", "--workers", "1")
+        report = merge_json(shards, capsys)
+        assert report["digest"] == trace_digest(
+            merge_shards(shard_paths(shards)).events
+        )
+
+
+class TestTraceMergeCli:
+    def test_no_shards_is_exit_2(self, tmp_path, capsys):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        assert main(["trace-merge", str(empty), "--no-manifest"]) == 2
+        assert "no shard files" in capsys.readouterr().err
+
+    def test_strict_fails_on_orphans(self, tmp_path, capsys):
+        tracer = Tracer()
+        stray = TraceContext.root("fake").child("x", 0).child("y", 0)
+        with tracer.span("stray", ctx=stray,
+                         parent_span_id="deadbeefdeadbeef"):
+            pass
+        write_shard(tmp_path / "shard-main.jsonl", tracer)
+        assert main(["trace-merge", str(tmp_path), "--json", "--strict",
+                     "--no-manifest"]) == 1
+        out, err = capsys.readouterr()
+        assert json.loads(out)["orphans"] == 1
+        assert "orphan" in err
+
+    def test_extra_root_resolves_upstream_parent(self, tmp_path, capsys):
+        tracer = Tracer()
+        upstream = "feedfacefeedface"
+        ctx = TraceContext.root("client").child("serve.request", 0)
+        with tracer.span("serve.request", ctx=ctx, parent_span_id=upstream):
+            pass
+        write_shard(tmp_path / "shard-main.jsonl", tracer)
+        assert main(["trace-merge", str(tmp_path), "--json", "--strict",
+                     "--extra-root", upstream, "--no-manifest"]) == 0
+        assert json.loads(capsys.readouterr().out)["ok"] is True
+
+    def test_human_summary_reports_counts(self, tmp_path, capsys):
+        tracer = Tracer()
+        tracer.slice("compute", proc=0, ts=1.0, dur=2.0)
+        write_shard(tmp_path / "shard-main.jsonl", tracer)
+        assert main(["trace-merge", str(tmp_path), "--no-manifest"]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out and "digest" in out
+
+
+class TestTimelineRendering:
+    """Geometry of the ASCII gantt (beyond test_analysis's smoke checks)."""
+
+    @pytest.fixture(scope="class")
+    def timeline(self):
+        return simulate_standard(MEIKO_CS2, sample_pattern()).timeline
+
+    def test_lane_geometry_is_exact(self, timeline):
+        width = 72
+        text = render_timeline(timeline, width=width)
+        lanes = [ln for ln in text.splitlines() if ln.endswith("|")]
+        assert len(lanes) == len(timeline.participants())
+        label_w = max(len(f"P{p}") for p in timeline.participants()) + 1
+        for lane in lanes:
+            assert len(lane) == label_w + 1 + width + 1
+
+    def test_ops_painted_at_their_columns(self, timeline):
+        width = 100
+        text = render_timeline(timeline, width=width)
+        lanes = {int(ln.split("|")[0][1:]): ln.split("|")[1]
+                 for ln in text.splitlines() if ln.endswith("|")}
+        t0 = min(timeline.start_times.values(), default=0.0)
+        t0 = min([t0] + [e.start for e in timeline.events])
+        span = max(timeline.completion_time - t0, 1e-9)
+        scale = (width - 1) / span
+        for p in timeline.participants():
+            for e in timeline.events_of(p):
+                col = min(width - 1, max(0, int((e.start - t0) * scale + 0.5)))
+                marker = "S" if e.kind is OpKind.SEND else "R"
+                assert lanes[p][col] == marker
+
+    def test_fill_characters_distinguish_send_and_recv(self, timeline):
+        text = render_timeline(timeline, width=120)
+        kinds = {e.kind for e in timeline.events}
+        if OpKind.SEND in kinds:
+            assert "#" in text or "S" in text
+        if OpKind.RECV in kinds:
+            assert "=" in text or "R" in text
+
+    def test_axis_labels_span_the_window(self, timeline):
+        axis = render_timeline(timeline, width=80).splitlines()[-1]
+        assert axis.endswith(" us")
+        t1 = timeline.completion_time
+        assert f"{t1:.0f}" in axis
+
+    def test_narrow_and_wide_render_same_lane_count(self, timeline):
+        narrow = render_timeline(timeline, width=20).splitlines()
+        wide = render_timeline(timeline, width=200).splitlines()
+        assert len(narrow) == len(wide)
+
+    def test_describe_lists_every_op(self, timeline):
+        text = describe_sequence(timeline)
+        for p in timeline.participants():
+            assert f"P{p}:" in text
+            assert f"finishes at {timeline.finish_time(p):.2f} us" in text
+        ops = sum(len(timeline.events_of(p)) for p in timeline.participants())
+        assert len(text.splitlines()) == ops + 2 * len(timeline.participants()) + 1
